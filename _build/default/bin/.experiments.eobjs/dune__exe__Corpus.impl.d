@@ -1,0 +1,1 @@
+bin/corpus.ml: Array Glql_graph Glql_util

@@ -1,0 +1,108 @@
+(* Shared graph corpora for the experiments: the classic WL benchmark
+   pairs, each annotated with its ground truth. *)
+
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Product = Glql_graph.Product
+module Cfi = Glql_graph.Cfi
+
+let unlabel g =
+  Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |])
+
+type pair = {
+  pair_name : string;
+  left : Graph.t;
+  right : Graph.t;
+  isomorphic : bool;
+}
+
+(* Triangular prism = C3 x K2: 3-regular on 6 vertices, like K3,3. *)
+let prism k = unlabel (Product.cartesian (Generators.cycle k) (Generators.complete 2))
+
+let c6_vs_2c3 () =
+  let c6, c33 = Generators.hexagon_vs_two_triangles () in
+  { pair_name = "C6 vs C3+C3"; left = c6; right = c33; isomorphic = false }
+
+let decalin_vs_bicyclopentyl () =
+  {
+    pair_name = "decalin vs bicyclopentyl";
+    left = Generators.decalin ();
+    right = Generators.bicyclopentyl ();
+    isomorphic = false;
+  }
+
+let k33_vs_prism () =
+  {
+    pair_name = "K3,3 vs prism";
+    left = Generators.complete_bipartite 3 3;
+    right = prism 3;
+    isomorphic = false;
+  }
+
+let petersen_vs_5prism () =
+  {
+    pair_name = "Petersen vs C5xK2";
+    left = Generators.petersen ();
+    right = prism 5;
+    isomorphic = false;
+  }
+
+let rook_vs_shrikhande () =
+  {
+    pair_name = "rook 4x4 vs Shrikhande";
+    left = Generators.rook_4x4 ();
+    right = Generators.shrikhande ();
+    isomorphic = false;
+  }
+
+let cfi_k3 () =
+  let a, b = Cfi.pair (Generators.complete 3) in
+  { pair_name = "CFI(K3) untwisted vs twisted"; left = a; right = b; isomorphic = false }
+
+let cfi_k4 () =
+  let a, b = Cfi.pair (Generators.complete 4) in
+  { pair_name = "CFI(K4) untwisted vs twisted"; left = a; right = b; isomorphic = false }
+
+let shuffled_petersen seed =
+  let rng = Glql_util.Rng.create seed in
+  let g = Generators.petersen () in
+  { pair_name = "Petersen vs shuffled copy"; left = g; right = Graph.shuffle rng g; isomorphic = true }
+
+let p4_vs_star3 () =
+  {
+    pair_name = "P4 vs star3";
+    left = Generators.path 4;
+    right = unlabel (Generators.star 3);
+    isomorphic = false;
+  }
+
+(* The standard benchmark pair list (CFI(K4) excluded: it is only used by
+   the hierarchy experiment, where 3-FWL cost is expected). *)
+let standard_pairs () =
+  [
+    shuffled_petersen 2024;
+    p4_vs_star3 ();
+    c6_vs_2c3 ();
+    decalin_vs_bicyclopentyl ();
+    k33_vs_prism ();
+    petersen_vs_5prism ();
+    rook_vs_shrikhande ();
+    cfi_k3 ();
+  ]
+
+(* A mixed corpus of individual graphs for partition-level experiments. *)
+let partition_corpus () =
+  [
+    Generators.cycle 6;
+    Graph.disjoint_union (Generators.cycle 3) (Generators.cycle 3);
+    Generators.path 6;
+    unlabel (Generators.star 5);
+    Generators.cycle 7;
+    Generators.petersen ();
+    prism 5;
+    Generators.complete_bipartite 3 3;
+    prism 3;
+    Generators.decalin ();
+    Generators.bicyclopentyl ();
+    unlabel (Generators.grid 2 3);
+  ]

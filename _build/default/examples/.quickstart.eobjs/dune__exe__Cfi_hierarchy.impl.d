@@ -1,0 +1,1 @@
+examples/cfi_hierarchy.ml: Array Glql_graph Glql_util Glql_wl List Printf Sys

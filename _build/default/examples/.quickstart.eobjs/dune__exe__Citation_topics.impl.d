@@ -1,0 +1,1 @@
+examples/citation_topics.ml: Array Glql_gnn Glql_graph Glql_learning Glql_nn Glql_util Printf

@@ -1,0 +1,1 @@
+examples/expressivity_audit.ml: Array Glql_core Glql_gel Glql_graph Glql_tensor Glql_util Glql_wl List Printf

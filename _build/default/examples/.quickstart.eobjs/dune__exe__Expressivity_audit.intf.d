@@ -1,0 +1,1 @@
+examples/expressivity_audit.mli:

@@ -1,0 +1,1 @@
+examples/link_prediction.ml: Array Float Glql_gel Glql_graph Glql_learning Glql_nn Glql_util Printf

@@ -1,0 +1,1 @@
+examples/molecule_screening.ml: Array Glql_gnn Glql_graph Glql_learning Glql_logic Glql_tensor Glql_util Glql_wl List Printf

@@ -1,0 +1,1 @@
+examples/molecule_screening.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Glql_gel Glql_graph Glql_tensor Glql_util Glql_wl List Printf String

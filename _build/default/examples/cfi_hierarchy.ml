@@ -1,0 +1,64 @@
+(* A guided tour of the Cai-Furer-Immerman construction and the strictness
+   of the Weisfeiler-Leman hierarchy (slide 65).
+
+     dune exec examples/cfi_hierarchy.exe            # fast (CFI(K3) only)
+     dune exec examples/cfi_hierarchy.exe -- --full  # adds CFI(K4), ~15 s *)
+
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Cfi = Glql_graph.Cfi
+module Iso = Glql_graph.Iso
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+module Tbl = Glql_util.Tbl
+
+let describe base_name base =
+  let c = Cfi.build base in
+  let g = Cfi.graph c in
+  Printf.printf "CFI(%s): base has %d vertices / %d edges; gadget graph has %d vertices\n"
+    base_name (Graph.n_vertices base) (Graph.n_edges base) (Graph.n_vertices g);
+  let untwisted, twisted = Cfi.pair base in
+  Printf.printf "  untwisted vs one-twist isomorphic? %b\n" (Iso.are_isomorphic untwisted twisted);
+  let double = Cfi.graph (Cfi.build ~twisted:[ 0; 1 ] base) in
+  Printf.printf "  two twists isomorphic to untwisted? %b (twists cancel in pairs)\n"
+    (Iso.are_isomorphic untwisted double);
+  (untwisted, twisted)
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  print_endline "The CFI construction turns any connected base graph into a pair of";
+  print_endline "non-isomorphic gadget graphs that low-dimensional WL cannot tell apart.";
+  print_newline ();
+
+  let k3 = Generators.complete 3 in
+  let a3, b3 = describe "K3" k3 in
+  print_newline ();
+
+  let rows = ref [] in
+  let verdicts name g h =
+    rows :=
+      (name,
+       Cr.equivalent_graphs g h,
+       Kwl.equivalent_graphs ~k:2 ~variant:Kwl.Folklore g h,
+       Kwl.equivalent_graphs ~k:3 ~variant:Kwl.Folklore g h)
+      :: !rows
+  in
+  verdicts "CFI(K3)  [tw 2]" a3 b3;
+  if full then begin
+    let k4 = Generators.complete 4 in
+    let a4, b4 = describe "K4" k4 in
+    print_newline ();
+    print_endline "running 3-FWL on 40-vertex graphs (64,000 triples each)...";
+    verdicts "CFI(K4)  [tw 3]" a4 b4
+  end;
+
+  let t = ref (Tbl.create ~headers:[ "pair"; "CR fooled"; "2-FWL fooled"; "3-FWL fooled" ]) in
+  List.iter
+    (fun (name, cr, f2, f3) ->
+      t := Tbl.add_row !t [ name; Tbl.fmt_bool cr; Tbl.fmt_bool f2; Tbl.fmt_bool f3 ])
+    (List.rev !rows);
+  Tbl.print !t;
+  print_newline ();
+  print_endline "Higher base treewidth pushes the fooling threshold up the hierarchy:";
+  print_endline "tw-2 bases fool CR only; tw-3 bases fool 2-FWL as well (slide 65).";
+  if not full then print_endline "(re-run with --full to add the CFI(K4) row)"

@@ -1,0 +1,41 @@
+(* Vertex embeddings for topic prediction in a citation network (slide 8's
+   Cora story on a synthetic stand-in): semi-supervised node
+   classification with a GCN.
+
+     dune exec examples/citation_topics.exe *)
+
+module Rng = Glql_util.Rng
+module Graph = Glql_graph.Graph
+module Model = Glql_gnn.Model
+module Dataset = Glql_learning.Dataset
+module Erm = Glql_learning.Erm
+
+let () =
+  let rng = Rng.create 2025 in
+  let ds =
+    Dataset.citation rng ~n_per_class:40 ~n_classes:3 ~feature_noise:0.45 ~train_fraction:0.25
+  in
+  let n = Graph.n_vertices ds.Dataset.graph in
+  let n_train = Array.fold_left (fun a b -> if b then a + 1 else a) 0 ds.Dataset.train_mask in
+  Printf.printf "citation network: %d papers, %d edges, %d topics, %d labelled (%.0f%%)\n"
+    n (Graph.n_edges ds.Dataset.graph) ds.Dataset.nc_n_classes n_train
+    (100.0 *. float_of_int n_train /. float_of_int n);
+  Printf.printf "features: noisy topic indicator (45%% noise) + random word coordinates\n\n";
+
+  (* Feature-only baseline: an MLP ignoring the graph (depth-0 'GNN'). *)
+  let baseline =
+    Model.create
+      ~head:
+        (Glql_nn.Mlp.create rng ~sizes:[ ds.Dataset.nc_in_dim; 16; 3 ]
+           ~act:Glql_nn.Activation.Relu ~out_act:Glql_nn.Activation.Identity)
+      []
+  in
+  let hb = Erm.train_node_classifier ~epochs:150 ~lr:0.02 baseline ds in
+  Printf.printf "feature-only MLP : train %.3f  test %.3f\n" hb.Erm.train_metric hb.Erm.test_metric;
+
+  (* GCN: message passing pools topic evidence from citations. *)
+  let gcn = Model.gcn_node_classifier rng ~in_dim:ds.Dataset.nc_in_dim ~width:24 ~depth:2 ~n_classes:3 in
+  let hg = Erm.train_node_classifier ~epochs:150 ~lr:0.02 gcn ds in
+  Printf.printf "2-layer GCN      : train %.3f  test %.3f\n\n" hg.Erm.train_metric hg.Erm.test_metric;
+  Printf.printf "message passing beats the feature-only baseline by %.1f accuracy points.\n"
+    (100.0 *. (hg.Erm.test_metric -. hb.Erm.test_metric))

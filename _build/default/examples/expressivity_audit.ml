@@ -1,0 +1,83 @@
+(* The paper's recipe (slide 35) as a tool: "a new embedding method just
+   needs to be cast in the embedding language to know a bound on its
+   expressive power."
+
+   We define a *custom* architecture — a degree-normalised max-aggregation
+   network with a quirky gating nonlinearity — cast it in GEL, read off
+   its fragment and WL bound, and validate the bound on the classic pairs.
+
+     dune exec examples/expressivity_audit.exe *)
+
+module Rng = Glql_util.Rng
+module Tbl = Glql_util.Tbl
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Cr = Glql_wl.Color_refinement
+module Expr = Glql_gel.Expr
+module Func = Glql_gel.Func
+module B = Glql_gel.Builder
+module Audit = Glql_core.Audit
+
+(* A made-up architecture: h'(x) = swish(W1 h(x) + W2 (max_{y~x} h(y) / (1 + deg(x)))). *)
+let custom_layer rng ~din ~dout (prev_x, prev_y) ~x ~y =
+  let swish = Func.scalar "swish" (fun v -> v /. (1.0 +. exp (-.v))) in
+  let swish_d d =
+    Func.custom ~name:"swish" ~in_dims:[ d ] ~out_dim:d (fun args ->
+        match args with
+        | [ v ] -> Array.map (fun t -> (swish.Func.apply [ [| t |] ]).(0)) v
+        | _ -> assert false)
+  in
+  let step ~self ~other ~sv ~ov =
+    let maxed = B.max_neighbors ~x:sv ~y:ov other in
+    let inv_deg =
+      Expr.Apply
+        (Func.scalar "inv1p" (fun d -> 1.0 /. (1.0 +. d)), [ B.degree ~x:sv ~y:ov ])
+    in
+    let gated = Expr.Apply (Func.scale_by din, [ maxed; inv_deg ]) in
+    let w1 = Glql_tensor.Mat.glorot rng din dout in
+    let w2 = Glql_tensor.Mat.glorot rng din dout in
+    Expr.Apply
+      (swish_d dout, [ Expr.Apply (Func.linear_multi [ w1; w2 ] (Glql_tensor.Vec.zeros dout), [ self; gated ]) ])
+  in
+  (step ~self:prev_x ~other:prev_y ~sv:x ~ov:y, step ~self:prev_y ~other:prev_x ~sv:y ~ov:x)
+
+let custom_network rng ~depth =
+  let x = B.x1 and y = B.x2 in
+  let rec go d pair = if d = 0 then fst pair else go (d - 1) (custom_layer rng ~din:4 ~dout:4 pair ~x ~y) in
+  let init v = Expr.Apply (Func.linear (Glql_tensor.Mat.glorot rng 1 4) (Glql_tensor.Vec.zeros 4), [ B.labels ~dim:1 v ]) in
+  go depth (init x, init y)
+
+let () =
+  let rng = Rng.create 7 in
+  let expr = custom_network rng ~depth:3 in
+  let entry = Audit.audit ~architecture:"swish-gated max-GNN" expr in
+  Printf.printf "architecture : %s\n" entry.Audit.architecture;
+  Printf.printf "fragment     : %s\n" (Expr.fragment_name entry.Audit.fragment);
+  Printf.printf "WL bound     : %s\n" (Audit.bound_name entry.Audit.bound);
+  Printf.printf "agg depth    : %d rounds, %d DAG nodes\n\n" entry.Audit.agg_depth entry.Audit.n_nodes;
+
+  (* The bound predicts: the method cannot separate CR-equivalent pairs. *)
+  let pairs =
+    [
+      ("C6 vs C3+C3", Generators.cycle 6,
+       Graph.disjoint_union (Generators.cycle 3) (Generators.cycle 3));
+      ("rook vs Shrikhande", Generators.rook_4x4 (), Generators.shrikhande ());
+      ("P4 vs star3", Generators.path 4,
+       Graph.with_labels (Generators.star 3) (Array.make 4 [| 1.0 |]));
+    ]
+  in
+  let table = ref (Tbl.create ~headers:[ "pair"; "CR equivalent"; "method separates"; "bound respected" ]) in
+  List.iter
+    (fun (name, g, h) ->
+      let cr_eq = Cr.equivalent_graphs g h in
+      let separates = not (Audit.consistent_on_pair entry g h) in
+      (* Sound bound: separation implies CR separation. *)
+      let respected = (not separates) || not cr_eq in
+      table :=
+        Tbl.add_row !table
+          [ name; Tbl.fmt_bool cr_eq; Tbl.fmt_bool separates; Tbl.fmt_bool respected ])
+    pairs;
+  Tbl.print !table;
+  print_newline ();
+  print_endline
+    "The audit took one compilation — no bespoke proof needed (slide 35's recipe)."

@@ -1,0 +1,67 @@
+(* Quickstart: the public API in five minutes.
+
+   Build a labelled graph, run colour refinement, write a GEL expression
+   and evaluate it, compile a GNN into the language, and compare
+   separation powers — the paper's pipeline end to end.
+
+     dune exec examples/quickstart.exe *)
+
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Expr = Glql_gel.Expr
+module B = Glql_gel.Builder
+module Compile_gnn = Glql_gel.Compile_gnn
+
+let () =
+  (* 1. A labelled graph G = (V, E, L) — slide 6. *)
+  let g =
+    Graph.with_one_hot_labels
+      (Graph.unlabelled ~n:5 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (0, 2) ])
+      [| 0; 1; 0; 1; 0 |] ~n_colors:2
+  in
+  Printf.printf "graph: %s\n\n" (Graph.to_string g);
+
+  (* 2. Colour refinement — slide 50. *)
+  let result = Cr.run g in
+  (match Cr.stable_colors result with
+  | [ colors ] ->
+      Printf.printf "colour refinement stabilised after %d rounds; vertex colours: %s\n\n"
+        (Cr.rounds result)
+        (String.concat " " (Array.to_list (Array.map string_of_int colors)))
+  | _ -> assert false);
+
+  (* 3. A GEL expression: the degree of x1 as agg_sum_{x2}(1 | E(x1,x2)),
+     slide 45. *)
+  let deg = B.degree ~x:B.x1 ~y:B.x2 in
+  Printf.printf "expression  %s\n" (Expr.to_string deg);
+  Printf.printf "fragment    %s (dimension %d, %d free variable)\n"
+    (Expr.fragment_name (Expr.fragment deg))
+    (Expr.dim deg)
+    (List.length (Expr.free_vars deg));
+  let degrees = Expr.eval_vertexwise g deg in
+  Printf.printf "degrees     %s\n\n"
+    (String.concat " " (Array.to_list (Array.map (fun v -> string_of_int (int_of_float v.(0))) degrees)));
+
+  (* 4. Triangle counting needs three variables — slide 60. *)
+  let tri = B.triangle_count () in
+  Printf.printf "triangles   %g   (expression lives in %s, beyond MPNN reach)\n\n"
+    (Expr.eval_closed g tri).(0)
+    (Expr.fragment_name (Expr.fragment tri));
+
+  (* 5. A random-weight GNN 101 compiled into the language — slides 13/48. *)
+  let rng = Glql_util.Rng.create 2024 in
+  let spec = Compile_gnn.random_gnn101 rng ~in_dim:2 ~width:4 ~depth:2 ~out_dim:3 in
+  let expr = Compile_gnn.gnn101_vertex_expr spec in
+  Printf.printf "a 2-layer GNN 101 compiles to a %s expression with %d DAG nodes\n"
+    (Expr.fragment_name (Expr.fragment expr))
+    (Expr.n_nodes expr);
+  let from_expr = Expr.eval_vertexwise g expr in
+  let from_tensor = Compile_gnn.gnn101_vertex_forward spec g in
+  let max_diff = ref 0.0 in
+  Array.iteri
+    (fun v row ->
+      max_diff :=
+        Float.max !max_diff
+          (Glql_tensor.Vec.linf_dist row (Glql_tensor.Mat.row from_tensor v)))
+    from_expr;
+  Printf.printf "language evaluation vs tensor forward: max |diff| = %g\n" !max_diff

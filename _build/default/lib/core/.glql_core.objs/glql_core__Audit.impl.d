@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Glql_gel Glql_graph Glql_util List Printf

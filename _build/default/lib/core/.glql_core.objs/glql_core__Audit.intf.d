@@ -1,0 +1,1 @@
+lib/core/audit.mli: Glql_gel Glql_graph Glql_util

@@ -1,0 +1,1 @@
+lib/core/separation.ml: Array Glql_graph Glql_tensor Glql_util Glql_wl List Printf

@@ -1,0 +1,1 @@
+lib/core/separation.mli: Glql_graph Glql_tensor Glql_wl

@@ -1,0 +1,31 @@
+(** Expressivity audit (slides 34-35, 63): cast an architecture in the
+    embedding language, read off the fragment, conclude a WL upper bound,
+    and check the bound empirically on WL-equivalent pairs. *)
+
+module Graph = Glql_graph.Graph
+module Expr = Glql_gel.Expr
+
+type bound = B_cr | B_kwl of int
+
+val bound_name : bound -> string
+
+(** MPNN fragment -> colour refinement; GEL^{k+1} -> k-FWL (slides 52, 66). *)
+val bound_of_fragment : Expr.fragment -> bound
+
+type entry = {
+  architecture : string;
+  expr : Expr.t;
+  fragment : Expr.fragment;
+  bound : bound;
+  n_nodes : int;
+  agg_depth : int;
+}
+
+val audit : architecture:string -> Expr.t -> entry
+
+(** One entry per implemented architecture (random weights). *)
+val standard_entries : Glql_util.Rng.t -> in_dim:int -> entry list
+
+(** Equal (rounded) value multisets on the two graphs — required when the
+    pair is equivalent under the entry's bound. *)
+val consistent_on_pair : entry -> Graph.t -> Graph.t -> bool

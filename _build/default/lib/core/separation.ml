@@ -1,0 +1,74 @@
+(* The separation-power toolkit (slides 24-25).
+
+   rho(F), restricted to a finite corpus, is a partition: two items are in
+   the same class iff no embedding of the (sampled) family F separates
+   them.  Embedding values are rounded before interning so numerical noise
+   does not create spurious separations; comparing rho's is comparing
+   partitions by refinement. *)
+
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+module Partition = Glql_wl.Partition
+module Sig_hash = Glql_util.Sig_hash
+
+(* A sampled hypothesis family of graph embeddings: finitely many draws
+   from the (infinite) weight-parameterised class. *)
+type graph_family = { gf_name : string; members : (Graph.t -> Vec.t) list }
+
+(* A family of vertex embeddings: each member maps a graph to one vector
+   per vertex. *)
+type vertex_family = { vf_name : string; vmembers : (Graph.t -> Vec.t array) list }
+
+let rounded ?(decimals = 6) v = Sig_hash.of_float_vector ~decimals v
+
+(* Partition of a graph corpus induced by the family: items i, j together
+   iff every member maps graphs i and j to (rounded-)equal vectors. *)
+let graph_partition ?decimals family corpus =
+  let graphs = Array.of_list corpus in
+  let signatures =
+    Array.map
+      (fun g ->
+        family.members
+        |> List.map (fun xi -> rounded ?decimals (xi g))
+        |> Sig_hash.of_string_list)
+      graphs
+  in
+  Partition.group ~n:(Array.length graphs) (fun i -> signatures.(i))
+
+(* Partition of all (graph, vertex) items (graph-major order). *)
+let vertex_partition ?decimals family corpus =
+  let graphs = Array.of_list corpus in
+  let per_graph =
+    Array.map
+      (fun g ->
+        let member_values = List.map (fun xi -> xi g) family.vmembers in
+        Array.init (Graph.n_vertices g) (fun v ->
+            member_values
+            |> List.map (fun values -> rounded ?decimals values.(v))
+            |> Sig_hash.of_string_list))
+      graphs
+  in
+  let all = Array.concat (Array.to_list per_graph) in
+  Partition.group ~n:(Array.length all) (fun i -> all.(i))
+
+(* Does the family separate the two graphs? *)
+let separates_graphs ?decimals family g h =
+  List.exists (fun xi -> rounded ?decimals (xi g) <> rounded ?decimals (xi h)) family.members
+
+type verdict = { claim : string; holds : bool; detail : string }
+
+(* Compare two corpus partitions for the rho-subset relations of
+   slide 25: p separates at least q (rho(p) subset of rho(q)), etc. *)
+let compare_partitions ~name_p ~name_q p q =
+  let fmt b = if b then "yes" else "no" in
+  [
+    {
+      claim = Printf.sprintf "rho(%s) = rho(%s)" name_p name_q;
+      holds = Partition.equal p q;
+      detail =
+        Printf.sprintf "%d vs %d classes, p refines q: %s, q refines p: %s"
+          (Partition.n_classes p) (Partition.n_classes q)
+          (fmt (Partition.refines p q))
+          (fmt (Partition.refines q p));
+    };
+  ]

@@ -1,0 +1,26 @@
+(** Separation power rho(F) on finite corpora (slides 24-25): partitions
+    induced by sampled embedding families, and the refinement comparisons
+    that order embedding methods by expressive power. *)
+
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+module Partition = Glql_wl.Partition
+
+type graph_family = { gf_name : string; members : (Graph.t -> Vec.t) list }
+
+type vertex_family = { vf_name : string; vmembers : (Graph.t -> Vec.t array) list }
+
+(** Partition of a corpus by joint (rounded) values of all members. *)
+val graph_partition : ?decimals:int -> graph_family -> Graph.t list -> Partition.t
+
+(** Partition of all (graph, vertex) items, graph-major order. *)
+val vertex_partition : ?decimals:int -> vertex_family -> Graph.t list -> Partition.t
+
+(** Does some member tell the two graphs apart? *)
+val separates_graphs : ?decimals:int -> graph_family -> Graph.t -> Graph.t -> bool
+
+type verdict = { claim : string; holds : bool; detail : string }
+
+(** Equality/refinement report between two partitions of one corpus. *)
+val compare_partitions :
+  name_p:string -> name_q:string -> Partition.t -> Partition.t -> verdict list

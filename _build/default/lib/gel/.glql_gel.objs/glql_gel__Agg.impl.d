@@ -1,0 +1,1 @@
+lib/gel/agg.ml: Float Glql_tensor List Printf

@@ -1,0 +1,1 @@
+lib/gel/agg.mli: Glql_tensor

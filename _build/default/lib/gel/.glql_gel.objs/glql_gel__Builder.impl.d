@@ -1,0 +1,1 @@
+lib/gel/builder.ml: Agg Expr Func Glql_nn Glql_tensor List

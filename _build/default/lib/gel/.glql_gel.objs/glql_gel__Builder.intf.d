@@ -1,0 +1,1 @@
+lib/gel/builder.mli: Agg Expr Func Glql_tensor

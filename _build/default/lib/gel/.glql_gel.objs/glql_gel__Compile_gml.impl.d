@@ -1,0 +1,1 @@
+lib/gel/compile_gml.ml: Array Builder Expr Func Glql_graph Glql_logic Glql_tensor List

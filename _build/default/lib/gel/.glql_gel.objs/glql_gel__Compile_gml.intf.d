@@ -1,0 +1,1 @@
+lib/gel/compile_gml.mli: Expr Glql_graph Glql_logic

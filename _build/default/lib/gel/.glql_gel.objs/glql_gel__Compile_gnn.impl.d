@@ -1,0 +1,1 @@
+lib/gel/compile_gnn.ml: Agg Array Builder Expr Func Glql_gnn Glql_graph Glql_nn Glql_tensor List

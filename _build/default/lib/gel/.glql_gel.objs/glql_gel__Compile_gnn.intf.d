@@ -1,0 +1,1 @@
+lib/gel/compile_gnn.mli: Expr Glql_graph Glql_nn Glql_tensor Glql_util

@@ -1,0 +1,1 @@
+lib/gel/expr.ml: Agg Array Func Glql_graph Glql_tensor Hashtbl List Printf String

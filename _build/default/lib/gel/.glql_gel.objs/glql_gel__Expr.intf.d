@@ -1,0 +1,1 @@
+lib/gel/expr.mli: Agg Func Glql_graph Glql_tensor

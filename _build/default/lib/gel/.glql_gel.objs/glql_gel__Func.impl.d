@@ -1,0 +1,1 @@
+lib/gel/func.ml: Array Glql_nn Glql_tensor List Option Printf String

@@ -1,0 +1,1 @@
+lib/gel/func.mli: Glql_nn Glql_tensor

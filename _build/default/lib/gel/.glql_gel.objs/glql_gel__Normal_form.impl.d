@@ -1,0 +1,1 @@
+lib/gel/normal_form.ml: Agg Array Builder Expr Float Func Glql_graph Glql_tensor Hashtbl List Mat Printf

@@ -1,0 +1,1 @@
+lib/gel/normal_form.mli: Expr Glql_graph Glql_tensor

@@ -1,0 +1,1 @@
+lib/gel/optimize.ml: Agg Expr Func Glql_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/gel/optimize.mli: Expr

@@ -1,0 +1,1 @@
+lib/gel/parser.ml: Agg Array Expr Func Glql_nn List Printf String

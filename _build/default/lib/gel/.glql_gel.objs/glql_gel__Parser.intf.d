@@ -1,0 +1,1 @@
+lib/gel/parser.mli: Expr

@@ -1,0 +1,1 @@
+lib/gel/views.ml: Array Glql_graph Glql_hom Glql_tensor Glql_wl List Printf

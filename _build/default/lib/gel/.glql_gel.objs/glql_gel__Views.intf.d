@@ -1,0 +1,1 @@
+lib/gel/views.mli: Glql_graph

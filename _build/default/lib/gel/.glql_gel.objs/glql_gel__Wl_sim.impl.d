@@ -1,0 +1,1 @@
+lib/gel/wl_sim.ml: Agg Array Builder Expr Func Glql_nn Glql_tensor Hashtbl

@@ -1,0 +1,1 @@
+lib/gel/wl_sim.mli: Expr Func Glql_util

@@ -1,0 +1,25 @@
+(** The aggregation collection Theta (slides 45-46, 61): functions from
+    bags of vectors to vectors. Empty bags yield the zero vector (or 0 for
+    [count]). *)
+
+module Vec = Glql_tensor.Vec
+
+type t = {
+  name : string;
+  in_dim : int;
+  out_dim : int;
+  apply : Vec.t list -> Vec.t;
+}
+
+(** Apply with dimension checks. *)
+val apply : t -> Vec.t list -> Vec.t
+
+val sum : int -> t
+val mean : int -> t
+val max : int -> t
+val min : int -> t
+
+(** Bag cardinality (output dim 1). *)
+val count : int -> t
+
+val custom : name:string -> in_dim:int -> out_dim:int -> (Vec.t list -> Vec.t) -> t

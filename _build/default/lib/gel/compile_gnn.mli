@@ -1,0 +1,80 @@
+(** Casting GNN architectures as MPNN(Omega, Theta) expressions
+    (slides 40, 48, 63). Each architecture has an explicit weight spec,
+    a compiled expression, and a tensor-level reference forward; the two
+    agree numerically, which is what "architecture X is an MPNN" means. *)
+
+module Vec = Glql_tensor.Vec
+module Mat = Glql_tensor.Mat
+module Graph = Glql_graph.Graph
+module Activation = Glql_nn.Activation
+module Mlp = Glql_nn.Mlp
+
+(** {1 GNN 101 (slide 13)} *)
+
+type gnn101_layer = { w1 : Mat.t; w2 : Mat.t; b : Vec.t; act : Activation.t }
+
+type gnn101 = {
+  in_dim : int;
+  layers : gnn101_layer list;
+  readout_w : Mat.t;
+  readout_b : Vec.t;
+  readout_act : Activation.t;
+}
+
+val random_gnn101 :
+  Glql_util.Rng.t -> in_dim:int -> width:int -> depth:int -> out_dim:int -> gnn101
+
+(** Vertex embedding expression with free variable x1. *)
+val gnn101_vertex_expr : gnn101 -> Expr.t
+
+(** Closed graph-embedding expression with the slide-14 readout. *)
+val gnn101_graph_expr : gnn101 -> Expr.t
+
+(** Tensor reference forward (one row per vertex). *)
+val gnn101_vertex_forward : gnn101 -> Graph.t -> Mat.t
+
+val gnn101_graph_forward : gnn101 -> Graph.t -> Vec.t
+
+(** {1 GIN} *)
+
+type gin_layer = { eps : float; mlp : Mlp.t }
+
+type gin = { gin_in_dim : int; gin_layers : gin_layer list }
+
+val random_gin : Glql_util.Rng.t -> in_dim:int -> width:int -> depth:int -> gin
+val gin_vertex_expr : gin -> Expr.t
+val gin_vertex_forward : gin -> Graph.t -> Mat.t
+
+(** {1 GCN (Kipf-Welling normalisation, slide 38)} *)
+
+type gcn_layer = { gw : Mat.t; gact : Activation.t }
+
+type gcn = { gcn_in_dim : int; gcn_layers : gcn_layer list }
+
+val random_gcn : Glql_util.Rng.t -> in_dim:int -> width:int -> depth:int -> gcn
+val gcn_vertex_expr : gcn -> Expr.t
+val gcn_vertex_forward : gcn -> Graph.t -> Mat.t
+
+(** {1 GraphSAGE} *)
+
+type sage_layer = { wself : Mat.t; wnb : Mat.t; sb : Vec.t; sact : Activation.t }
+
+type sage_agg = Sage_sum | Sage_mean | Sage_max
+
+type sage = { sage_in_dim : int; sage_agg : sage_agg; sage_layers : sage_layer list }
+
+val random_sage :
+  Glql_util.Rng.t -> in_dim:int -> width:int -> depth:int -> agg:sage_agg -> sage
+
+val sage_vertex_expr : sage -> Expr.t
+val sage_vertex_forward : sage -> Graph.t -> Mat.t
+
+(** {1 GAT: softmax attention as a quotient of two aggregations} *)
+
+type gat_layer = { gat_w : Mat.t; a_src : Vec.t; a_dst : Vec.t }
+
+type gat = { gat_in_dim : int; gat_layers : gat_layer list }
+
+val random_gat : Glql_util.Rng.t -> in_dim:int -> width:int -> depth:int -> gat
+val gat_vertex_expr : gat -> Expr.t
+val gat_vertex_forward : gat -> Graph.t -> Mat.t

@@ -1,0 +1,83 @@
+(** The graph embedding language GEL(Omega, Theta) (slides 57-62) and its
+    guarded fragment MPNN(Omega, Theta) (slides 42-47).
+
+    An expression with [p] free variables and dimension [d] denotes an
+    invariant p-vertex embedding [xi : G -> (V^p -> R^d)]. Evaluation is
+    database-style bottom-up materialisation of one table per
+    subexpression. Expressions may share subterms (DAGs); all analyses and
+    the evaluator memoise on physical identity, so build shared structure
+    with [let] bindings for efficiency. *)
+
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+
+type var = int
+
+type cmp = Ceq | Cneq
+
+type t =
+  | Lab of int * var        (** [lab_j(x_i)], dimension 1 (slide 43). *)
+  | Edge of var * var       (** [E(x_i, x_j)] as a 0/1 value (slide 59). *)
+  | Cmp of cmp * var * var  (** [1\[x_i op x_j\]] (slide 59). *)
+  | Const of Vec.t          (** Constant vector, no free variables. *)
+  | Apply of Func.t * t list  (** [F(phi_1, ..., phi_l)] (slides 44, 60). *)
+  | Agg of Agg.t * var list * t * t
+      (** [Agg (theta, ys, value, guard)]: aggregate [value] over
+          assignments of [ys] where [guard] is nonzero (slides 45-46, 61). *)
+
+exception Type_error of string
+
+(** Sorted free variables; [p = length (free_vars e)]. *)
+val free_vars : t -> var list
+
+(** All variables, free and bound. *)
+val all_vars : t -> var list
+
+(** Number of distinct variables — the k of GEL^k (slide 62). *)
+val width : t -> int
+
+(** Output dimension; raises {!Type_error} on ill-formed expressions. *)
+val dim : t -> int
+
+(** Maximum aggregation nesting depth (message-passing rounds). *)
+val agg_depth : t -> int
+
+(** Number of distinct DAG nodes. *)
+val n_nodes : t -> int
+
+(** Membership in the guarded MPNN fragment (slide 62: GGEL2 = MPNN). *)
+val is_mpnn : t -> bool
+
+type fragment = Frag_mpnn | Frag_gel of int
+
+(** Smallest fragment of this implementation containing the expression. *)
+val fragment : t -> fragment
+
+val fragment_name : fragment -> string
+
+val to_string : t -> string
+
+(** Materialised table of a (sub)expression: values over V^p. *)
+type table = {
+  tvars : var list;
+  tn : int;
+  tdim : int;
+  tdata : Vec.t array;
+}
+
+(** Row-major index of an assignment (array indexed by variable). *)
+val table_index : table -> int array -> int
+
+val table_get : table -> int array -> Vec.t
+
+(** Evaluate on a graph, materialising the table over its free variables. *)
+val eval : Graph.t -> t -> table
+
+(** Value on a p-tuple (components in sorted free-variable order). *)
+val eval_tuple : Graph.t -> t -> int array -> Vec.t
+
+(** Value of a closed expression — a graph embedding (slide 46). *)
+val eval_closed : Graph.t -> t -> Vec.t
+
+(** Per-vertex values of a single-free-variable expression. *)
+val eval_vertexwise : Graph.t -> t -> Vec.t array

@@ -1,0 +1,338 @@
+(* Normal forms for MPNN(Omega, sum) expressions (slide 55, after
+   Geerts-Steegmans-Van den Bussche, FoIKS 2022).
+
+   A normal-form MPNN alternates pure function application with one plain
+   neighbourhood sum of the full feature vector:
+
+       phi(t)(x1) = F(t)( phi(t-1)(x1), agg_sum_{x2}(phi(t-1)(x2) | E(x1,x2)) )
+
+   The transformation proceeds in two steps:
+
+   1. *Separation* (the linearity-of-sum step): every aggregation
+      agg_sum_{y}(value | E(x,y)) whose value mixes both variables is
+      rewritten so the value only mentions the bound variable, by pushing
+      the sum through concatenation, linear maps, products with an
+      x-only factor, etc.; a value not mentioning y at all becomes
+      deg(x) * value. Opaque function kinds block this and raise
+      [Unsupported] — matching the theorem's restriction to sum
+      aggregation (mean/max aggregators are rejected too).
+
+   2. *Layering*: each remaining aggregation node gets two feature slots —
+      its per-vertex message and its aggregated result. Layer 2t-1
+      computes the messages of all depth-t aggregations by function
+      application; layer 2t reads their neighbourhood sums off the
+      aggregated feature vector. The final expression value is a function
+      of the last feature vector.
+
+   The result evaluates layer-by-layer like a GNN (fast path) and can be
+   exported back as a bona-fide normal-form expression. *)
+
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let is_sum (th : Agg.t) = th.Agg.name = "sum"
+
+module Memo = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let deg ~x ~y = Expr.Agg (Agg.sum 1, [ y ], Expr.Const [| 1.0 |], Expr.Edge (x, y))
+
+(* --- step 1: separation ------------------------------------------------- *)
+
+(* [push ~x ~y value] builds an expression over {x} equal to
+   sum_{y in N(x)} value(x, y). *)
+let rec push ~x ~y value =
+  let fv = Expr.free_vars value in
+  let d = Expr.dim value in
+  if fv = [] || fv = [ x ] then
+    (* Independent of y: the sum is deg(x) copies. *)
+    Expr.Apply (Func.scale_by d, [ value; deg ~x ~y ])
+  else if fv = [ y ] then Expr.Agg (Agg.sum d, [ y ], value, Expr.Edge (x, y))
+  else begin
+    match value with
+    | Expr.Edge (a, b) when (a = x && b = y) || (a = y && b = x) ->
+        (* sum_{y ~ x} E(x,y) = deg(x). *)
+        deg ~x ~y
+    | Expr.Cmp (Expr.Cneq, a, b) when (a = x && b = y) || (a = y && b = x) ->
+        (* Neighbours are never equal on simple graphs. *)
+        deg ~x ~y
+    | Expr.Cmp (Expr.Ceq, a, b) when (a = x && b = y) || (a = y && b = x) ->
+        Expr.Const [| 0.0 |]
+    | Expr.Apply (f, args) -> push_apply ~x ~y f args
+    | _ -> unsupported "cannot push sum through %s" (Expr.to_string value)
+  end
+
+and push_apply ~x ~y f args =
+  let open Func in
+  match (f.kind, args) with
+  | K_concat, _ ->
+      let pushed = List.map (push ~x ~y) args in
+      Expr.Apply (Func.concat (List.map Expr.dim pushed), pushed)
+  | K_linear (w, b), [ arg ] ->
+      (* sum (a W + b) = (sum a) W + deg * b *)
+      let bmat = Mat.init 1 (Vec.dim b) (fun _ j -> b.(j)) in
+      Expr.Apply
+        ( Func.linear_multi ~name:"pushed-linear" [ w; bmat ] (Vec.zeros (Vec.dim b)),
+          [ push ~x ~y arg; deg ~x ~y ] )
+  | K_linear_multi (ws, b), _ ->
+      let bmat = Mat.init 1 (Vec.dim b) (fun _ j -> b.(j)) in
+      Expr.Apply
+        ( Func.linear_multi ~name:"pushed-linear-multi" (ws @ [ bmat ]) (Vec.zeros (Vec.dim b)),
+          List.map (push ~x ~y) args @ [ deg ~x ~y ] )
+  | K_add, [ a; b ] -> Expr.Apply (f, [ push ~x ~y a; push ~x ~y b ])
+  | K_scale _, [ a ] -> Expr.Apply (f, [ push ~x ~y a ])
+  | K_product, [ a; b ] ->
+      let fa = Expr.free_vars a and fb = Expr.free_vars b in
+      let dprod = Expr.dim a in
+      if List.for_all (fun v -> v = x) fa then Expr.Apply (Func.product dprod, [ a; push ~x ~y b ])
+      else if List.for_all (fun v -> v = x) fb then
+        Expr.Apply (Func.product dprod, [ push ~x ~y a; b ])
+      else unsupported "product mixes the bound variable on both sides"
+  | K_scale_by, [ v; s ] ->
+      let fvv = Expr.free_vars v and fvs = Expr.free_vars s in
+      let dv = Expr.dim v in
+      if List.for_all (fun w -> w = x) fvs then Expr.Apply (Func.scale_by dv, [ push ~x ~y v; s ])
+      else if List.for_all (fun w -> w = x) fvv then
+        Expr.Apply (Func.scale_by dv, [ v; push ~x ~y s ])
+      else unsupported "scale-by mixes the bound variable on both sides"
+  | _ -> unsupported "cannot push sum through opaque function %s" f.name
+
+(* Rewrite so that every neighbourhood aggregation's value mentions only
+   the bound variable. Memoised on physical identity to preserve DAG
+   sharing. *)
+let separate e =
+  let memo = Memo.create 64 in
+  let rec go e =
+    match Memo.find_opt memo e with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match e with
+          | Expr.Lab _ | Expr.Const _ -> e
+          | Expr.Cmp (_, a, b) when a = b -> e
+          | Expr.Edge _ | Expr.Cmp _ ->
+              unsupported "naked binary atom %s outside a guard" (Expr.to_string e)
+          | Expr.Apply (f, args) -> Expr.Apply (f, List.map go args)
+          | Expr.Agg (th, [ y ], value, Expr.Edge (a, b)) when a <> b && (a = y || b = y) ->
+              if not (is_sum th) then
+                unsupported "normal form requires sum aggregation, got %s" th.Agg.name;
+              let x = if a = y then b else a in
+              push ~x ~y (go value)
+          | Expr.Agg _ -> unsupported "unsupported aggregation shape %s" (Expr.to_string e)
+        in
+        Memo.add memo e e';
+        e'
+  in
+  go e
+
+(* --- step 2: layering ---------------------------------------------------- *)
+
+type slot = { msg_off : int; res_off : int; sdim : int; message : Expr.t }
+
+type t = {
+  d0 : int;
+  feature_dim : int;
+  n_rounds : int;          (* aggregation depth L; the net has 2L layers *)
+  layers : Func.t list;
+  output : Func.t;
+  normal_expr : Expr.t;    (* the expression in normal-form shape *)
+  separated : Expr.t;
+}
+
+(* Gather all (separated) aggregation nodes, deduplicated physically. *)
+let collect_aggs e =
+  let memo = Memo.create 64 in
+  let out = ref [] in
+  let rec go e =
+    if not (Memo.mem memo e) then begin
+      Memo.add memo e ();
+      match e with
+      | Expr.Lab _ | Expr.Const _ | Expr.Edge _ | Expr.Cmp _ -> ()
+      | Expr.Apply (_, args) -> List.iter go args
+      | Expr.Agg (_, _, value, guard) ->
+          go value;
+          go guard;
+          out := e :: !out
+    end
+  in
+  go e;
+  !out
+
+let of_vertex_expr e =
+  (match Expr.free_vars e with
+  | [ _ ] -> ()
+  | _ -> invalid_arg "Normal_form.of_vertex_expr: need exactly one free variable");
+  if not (Expr.is_mpnn e) then unsupported "expression is not in the MPNN fragment";
+  let sep = separate e in
+  let d0 =
+    (* Label dimension actually used: max lab index + 1. *)
+    let memo = Memo.create 64 in
+    let m = ref 0 in
+    let rec go e =
+      if not (Memo.mem memo e) then begin
+        Memo.add memo e ();
+        match e with
+        | Expr.Lab (j, _) -> m := max !m (j + 1)
+        | Expr.Const _ | Expr.Edge _ | Expr.Cmp _ -> ()
+        | Expr.Apply (_, args) -> List.iter go args
+        | Expr.Agg (_, _, v, g) ->
+            go v;
+            go g
+      end
+    in
+    go sep;
+    max 1 !m
+  in
+  let aggs = collect_aggs sep in
+  (* Ignore the deg-guard constant aggregations?  No: all are genuine sum
+     aggregations; each gets slots.  Assign offsets. *)
+  let slots = Memo.create 16 in
+  let next = ref d0 in
+  let slot_list =
+    List.filter_map
+      (fun a ->
+        match a with
+        | Expr.Agg (_, _, value, _) ->
+            let sdim = Expr.dim value in
+            let s = { msg_off = !next; res_off = !next + sdim; sdim; message = value } in
+            next := !next + (2 * sdim);
+            Memo.add slots a s;
+            Some (a, s)
+        | _ -> None)
+      aggs
+  in
+  let feature_dim = !next in
+  let n_rounds = Expr.agg_depth sep in
+  (* Interpreter of a separated single-variable expression against a
+     feature vector of the vertex itself. *)
+  let rec interp e (f : Vec.t) : Vec.t =
+    match e with
+    | Expr.Const v -> v
+    | Expr.Lab (j, _) -> [| f.(j) |]
+    | Expr.Cmp (Expr.Ceq, a, b) when a = b -> [| 1.0 |]
+    | Expr.Cmp (Expr.Cneq, a, b) when a = b -> [| 0.0 |]
+    | Expr.Apply (fn, args) -> fn.Func.apply (List.map (fun a -> interp a f) args)
+    | Expr.Agg _ ->
+        let s = Memo.find slots e in
+        Array.sub f s.res_off s.sdim
+    | _ -> assert false
+  in
+  (* Layers: for round t, a message layer then a collect layer. *)
+  let depth_of = Memo.create 16 in
+  List.iter (fun (a, _) -> Memo.add depth_of a (Expr.agg_depth a)) slot_list;
+  let make_message_layer t =
+    Func.custom ~name:(Printf.sprintf "nf-msg-%d" t) ~in_dims:[ feature_dim; feature_dim ]
+      ~out_dim:feature_dim (fun args ->
+        match args with
+        | [ self; _nbsum ] ->
+            let out = Vec.copy self in
+            List.iter
+              (fun (a, s) ->
+                if Memo.find depth_of a = t then begin
+                  let m = interp s.message self in
+                  Array.blit m 0 out s.msg_off s.sdim
+                end)
+              slot_list;
+            out
+        | _ -> assert false)
+  in
+  let make_collect_layer t =
+    Func.custom ~name:(Printf.sprintf "nf-col-%d" t) ~in_dims:[ feature_dim; feature_dim ]
+      ~out_dim:feature_dim (fun args ->
+        match args with
+        | [ self; nbsum ] ->
+            let out = Vec.copy self in
+            List.iter
+              (fun (a, s) ->
+                if Memo.find depth_of a = t then
+                  Array.blit (Array.sub nbsum s.msg_off s.sdim) 0 out s.res_off s.sdim)
+              slot_list;
+            out
+        | _ -> assert false)
+  in
+  let layers =
+    List.concat_map (fun t -> [ make_message_layer t; make_collect_layer t ])
+      (List.init n_rounds (fun i -> i + 1))
+  in
+  let out_dim = Expr.dim sep in
+  let output =
+    Func.custom ~name:"nf-out" ~in_dims:[ feature_dim ] ~out_dim (fun args ->
+        match args with [ f ] -> interp sep f | _ -> assert false)
+  in
+  (* Normal-form expression: embed labels, then alternate layers. *)
+  let x = Builder.x1 and y = Builder.x2 in
+  let embed =
+    Func.custom ~name:"nf-embed" ~in_dims:[ d0 ] ~out_dim:feature_dim (fun args ->
+        match args with
+        | [ l ] ->
+            let f = Vec.zeros feature_dim in
+            Array.blit l 0 f 0 d0;
+            f
+        | _ -> assert false)
+  in
+  let init v = Expr.Apply (embed, [ Builder.labels ~dim:d0 v ]) in
+  let rec stack layers (prev_x, prev_y) =
+    match layers with
+    | [] -> prev_x
+    | layer :: rest ->
+        let step ~self ~other ~sv ~ov =
+          let nbsum = Expr.Agg (Agg.sum feature_dim, [ ov ], other, Expr.Edge (sv, ov)) in
+          Expr.Apply (layer, [ self; nbsum ])
+        in
+        stack rest
+          ( step ~self:prev_x ~other:prev_y ~sv:x ~ov:y,
+            step ~self:prev_y ~other:prev_x ~sv:y ~ov:x )
+  in
+  let normal_expr = Expr.Apply (output, [ stack layers (init x, init y) ]) in
+  { d0; feature_dim; n_rounds; layers; output; normal_expr; separated = sep }
+
+let to_expr nf = nf.normal_expr
+
+let n_rounds nf = nf.n_rounds
+
+let separated nf = nf.separated
+
+let n_layers nf = List.length nf.layers
+
+let feature_dim nf = nf.feature_dim
+
+(* Fast layered evaluation: one row per vertex. *)
+let eval nf g =
+  let n = Graph.n_vertices g in
+  let feat =
+    Array.init n (fun v ->
+        let f = Vec.zeros nf.feature_dim in
+        let l = Graph.label g v in
+        Array.blit l 0 f 0 (min (Vec.dim l) nf.d0);
+        f)
+  in
+  let current = ref feat in
+  List.iter
+    (fun layer ->
+      let prev = !current in
+      let nbsum =
+        Array.init n (fun v ->
+            let acc = Vec.zeros nf.feature_dim in
+            Array.iter (fun u -> Vec.add_inplace ~into:acc prev.(u)) (Graph.neighbors g v);
+            acc)
+      in
+      current := Array.init n (fun v -> layer.Func.apply [ prev.(v); nbsum.(v) ]))
+    nf.layers;
+  Array.map (fun f -> nf.output.Func.apply [ f ]) !current
+
+(* Largest deviation between the original expression and the normal form
+   across all vertices of a graph. *)
+let max_deviation nf e g =
+  let original = Expr.eval_vertexwise g e in
+  let normalised = eval nf g in
+  let d = ref 0.0 in
+  Array.iteri (fun v ov -> d := Float.max !d (Vec.linf_dist ov normalised.(v))) original;
+  !d

@@ -1,0 +1,44 @@
+(** Normal forms of MPNN(Omega, sum) expressions (slide 55, after
+    Geerts-Steegmans-Van den Bussche): rewrite any guarded expression into
+    the layered shape
+
+    [phi(t)(x1) = F(t)(phi(t-1)(x1), agg_sum_x2(phi(t-1)(x2) | E(x1,x2)))].
+
+    Aggregators other than sum, and values that mix both variables under
+    an opaque function, raise {!Unsupported} — matching the theorem's
+    scope. *)
+
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+
+exception Unsupported of string
+
+(** Separation step alone: rewrite so every aggregation's value mentions
+    only the bound variable (linearity of sum). *)
+val separate : Expr.t -> Expr.t
+
+type t
+
+(** Normalise a single-free-variable MPNN expression. *)
+val of_vertex_expr : Expr.t -> t
+
+(** The resulting expression, literally in normal-form shape. *)
+val to_expr : t -> Expr.t
+
+(** Number of layers of the normal form (2 per aggregation round). *)
+val n_layers : t -> int
+
+(** Aggregation depth of the source expression. *)
+val n_rounds : t -> int
+
+(** The separated intermediate expression. *)
+val separated : t -> Expr.t
+
+(** Width of the layered feature vector. *)
+val feature_dim : t -> int
+
+(** Fast layered evaluation, one output vector per vertex. *)
+val eval : t -> Graph.t -> Vec.t array
+
+(** Max |original - normalised| over all vertices of [g]. *)
+val max_deviation : t -> Expr.t -> Graph.t -> float

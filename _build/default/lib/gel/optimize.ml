@@ -1,0 +1,161 @@
+(* Expression optimisation — the database side of the "embedding methods
+   are queries" view: GEL expressions are queries, so they deserve a
+   little query optimiser.
+
+   Two semantics-preserving passes:
+
+   - [constant_fold]: evaluate graph-independent subexpressions
+     ([Apply] on constants, trivial atoms like E(x,x) and 1[x = x]),
+     and drop unit rewrites (scale by 1, concat of one).
+   - [share]: hash-consing — structurally equal subexpressions are
+     collapsed into one physical node, so the memoising evaluator
+     computes each table once. Compilers already share layer outputs,
+     but hand-written expressions usually do not.
+
+   [optimize] runs folding then sharing. The test suite checks value
+   preservation on random graphs and node-count reduction. *)
+
+
+(* Physical-identity interner for the opaque payloads (Omega functions and
+   Theta aggregators), so they can participate in structural keys. *)
+module Phys (T : sig
+  type t
+end) =
+struct
+  module H = Hashtbl.Make (struct
+    type t = T.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end)
+
+  type t = { tbl : int H.t; mutable next : int }
+
+  let create () = { tbl = H.create 32; next = 0 }
+
+  let id t x =
+    match H.find_opt t.tbl x with
+    | Some i -> i
+    | None ->
+        let i = t.next in
+        t.next <- i + 1;
+        H.add t.tbl x i;
+        i
+end
+
+module Func_ids = Phys (struct
+  type t = Func.t
+end)
+
+module Agg_ids = Phys (struct
+  type t = Agg.t
+end)
+
+module Memo = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* --- constant folding ---------------------------------------------------- *)
+
+let is_const = function Expr.Const _ -> true | _ -> false
+
+let const_value = function Expr.Const v -> v | _ -> assert false
+
+let constant_fold e =
+  let memo = Memo.create 64 in
+  let rec go e =
+    match Memo.find_opt memo e with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match e with
+          | Expr.Lab _ | Expr.Const _ -> e
+          | Expr.Edge (x, y) when x = y ->
+              (* No self-loops on simple graphs — but the atom still has a
+                 free variable, so keep a variable-preserving form only if
+                 needed; a constant 0 has the same value on every
+                 assignment, and downstream dims/fv of enclosing nodes are
+                 unions, so folding is safe whenever the variable also
+                 occurs elsewhere. To stay conservative we keep the atom. *)
+              e
+          | Expr.Edge _ | Expr.Cmp _ -> e
+          | Expr.Apply (f, args) ->
+              let args = List.map go args in
+              if List.for_all is_const args then
+                Expr.Const (f.Func.apply (List.map const_value args))
+              else begin
+                match (f.Func.kind, args) with
+                | Func.K_scale 1.0, [ a ] -> a
+                | Func.K_concat, [ a ] -> a
+                | _ -> Expr.Apply (f, args)
+              end
+          | Expr.Agg (th, ys, value, guard) -> Expr.Agg (th, ys, go value, go guard)
+        in
+        Memo.add memo e e';
+        e'
+  in
+  go e
+
+(* --- hash-consing ---------------------------------------------------------- *)
+
+let share e =
+  let func_ids = Func_ids.create () in
+  let agg_ids = Agg_ids.create () in
+  let node_ids = Memo.create 64 in
+  let next_id = ref 0 in
+  let canon : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let memo = Memo.create 64 in
+  let id_of node =
+    match Memo.find_opt node_ids node with
+    | Some i -> i
+    | None ->
+        let i = !next_id in
+        incr next_id;
+        Memo.add node_ids node i;
+        i
+  in
+  let intern key node =
+    match Hashtbl.find_opt canon key with
+    | Some existing -> existing
+    | None ->
+        Hashtbl.add canon key node;
+        ignore (id_of node);
+        node
+  in
+  let rec go e =
+    match Memo.find_opt memo e with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match e with
+          | Expr.Lab (j, x) -> intern (Printf.sprintf "L%d,%d" j x) e
+          | Expr.Edge (x, y) -> intern (Printf.sprintf "E%d,%d" x y) e
+          | Expr.Cmp (op, x, y) ->
+              let tag = match op with Expr.Ceq -> "=" | Expr.Cneq -> "!" in
+              intern (Printf.sprintf "C%s%d,%d" tag x y) e
+          | Expr.Const v -> intern ("K" ^ Glql_util.Sig_hash.of_float_vector ~decimals:12 v) e
+          | Expr.Apply (f, args) ->
+              let args = List.map go args in
+              let key =
+                Printf.sprintf "A%d(%s)" (Func_ids.id func_ids f)
+                  (String.concat "," (List.map (fun a -> string_of_int (id_of a)) args))
+              in
+              intern key (Expr.Apply (f, args))
+          | Expr.Agg (th, ys, value, guard) ->
+              let value = go value and guard = go guard in
+              let key =
+                Printf.sprintf "G%d[%s](%d|%d)" (Agg_ids.id agg_ids th)
+                  (String.concat "," (List.map string_of_int ys))
+                  (id_of value) (id_of guard)
+              in
+              intern key (Expr.Agg (th, ys, value, guard))
+        in
+        Memo.add memo e e';
+        e'
+  in
+  go e
+
+let optimize e = share (constant_fold e)

@@ -1,0 +1,13 @@
+(** A small query optimiser for GEL expressions: semantics-preserving
+    constant folding and hash-consing (maximal structural sharing), so the
+    memoising evaluator computes each distinct table once. *)
+
+(** Fold graph-independent subexpressions and unit rewrites. *)
+val constant_fold : Expr.t -> Expr.t
+
+(** Collapse structurally equal subexpressions into shared nodes. Payload
+    functions/aggregators are compared by physical identity. *)
+val share : Expr.t -> Expr.t
+
+(** [share] after [constant_fold]. *)
+val optimize : Expr.t -> Expr.t

@@ -1,0 +1,13 @@
+(** Concrete surface syntax for GEL(Omega, Theta) expressions.
+
+    The grammar covers the standard fragment — label/edge/indicator atoms,
+    constant vectors, the named aggregators (sum/mean/max/min/count),
+    concat/product/add/scale and the named activations — and round-trips
+    with {!Expr.to_string} on that fragment. Weight-carrying functions
+    (linear maps, MLPs) have no literal syntax and are not parseable. *)
+
+exception Parse_error of string
+
+(** Parse an expression; raises {!Parse_error} on syntax errors and
+    {!Expr.Type_error} on dimension errors. *)
+val parse : string -> Expr.t

@@ -1,0 +1,1 @@
+lib/gnn/ign.ml: Array Glql_graph Glql_nn Glql_tensor Glql_util List

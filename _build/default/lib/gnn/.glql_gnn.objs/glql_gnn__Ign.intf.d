@@ -1,0 +1,1 @@
+lib/gnn/ign.mli: Glql_graph Glql_tensor Glql_util

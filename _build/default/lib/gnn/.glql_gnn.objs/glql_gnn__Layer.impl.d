@@ -1,0 +1,1 @@
+lib/gnn/layer.ml: Array Glql_graph Glql_nn Glql_tensor Propagate

@@ -1,0 +1,1 @@
+lib/gnn/model.ml: Array Glql_graph Glql_nn Glql_tensor Layer List

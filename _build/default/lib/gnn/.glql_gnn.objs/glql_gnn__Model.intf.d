@@ -1,0 +1,1 @@
+lib/gnn/model.mli: Glql_graph Glql_nn Glql_tensor Glql_util Layer

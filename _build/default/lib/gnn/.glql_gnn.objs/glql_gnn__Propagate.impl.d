@@ -1,0 +1,1 @@
+lib/gnn/propagate.ml: Array Glql_graph Glql_tensor

@@ -1,0 +1,1 @@
+lib/gnn/propagate.mli: Glql_graph Glql_tensor

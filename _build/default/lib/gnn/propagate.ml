@@ -1,0 +1,105 @@
+(* Sparse message-passing primitives over the adjacency structure: the
+   "sum over u in N_G(v)" of slide 13 and its mean/max/GCN-normalised
+   variants, with the transposed operations needed for backpropagation.
+   All graphs here are undirected, so A = A^T and sum/mean/GCN backward
+   reuse the forward propagation with appropriate scaling. *)
+
+module Mat = Glql_tensor.Mat
+module Graph = Glql_graph.Graph
+
+(* (A H): row v becomes the sum of H's rows over v's neighbours. *)
+let sum_neighbors g h =
+  let n = Graph.n_vertices g and d = Mat.cols h in
+  let out = Mat.zeros n d in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun u ->
+        for j = 0 to d - 1 do
+          Mat.set out v j (Mat.get out v j +. Mat.get h u j)
+        done)
+      (Graph.neighbors g v)
+  done;
+  out
+
+(* Mean over neighbours; isolated vertices get the zero vector. *)
+let mean_neighbors g h =
+  let out = sum_neighbors g h in
+  for v = 0 to Graph.n_vertices g - 1 do
+    let deg = Graph.degree g v in
+    if deg > 0 then
+      for j = 0 to Mat.cols h - 1 do
+        Mat.set out v j (Mat.get out v j /. float_of_int deg)
+      done
+  done;
+  out
+
+(* Backward of mean: scatter dZ row v divided by deg(v) to v's neighbours;
+   equals A D^{-1} dZ by symmetry of A. *)
+let mean_neighbors_backward g dz =
+  let n = Graph.n_vertices g and d = Mat.cols dz in
+  let out = Mat.zeros n d in
+  for v = 0 to n - 1 do
+    let deg = Graph.degree g v in
+    if deg > 0 then begin
+      let inv = 1.0 /. float_of_int deg in
+      Array.iter
+        (fun u ->
+          for j = 0 to d - 1 do
+            Mat.set out u j (Mat.get out u j +. (inv *. Mat.get dz v j))
+          done)
+        (Graph.neighbors g v)
+    end
+  done;
+  out
+
+(* Max over neighbours with the argmax cache (first max wins); isolated
+   vertices get zeros and argmax -1. *)
+let max_neighbors g h =
+  let n = Graph.n_vertices g and d = Mat.cols h in
+  let out = Mat.zeros n d in
+  let arg = Array.make_matrix n d (-1) in
+  for v = 0 to n - 1 do
+    let nb = Graph.neighbors g v in
+    if Array.length nb > 0 then
+      for j = 0 to d - 1 do
+        let best = ref nb.(0) in
+        Array.iter (fun u -> if Mat.get h u j > Mat.get h !best j then best := u) nb;
+        Mat.set out v j (Mat.get h !best j);
+        arg.(v).(j) <- !best
+      done
+  done;
+  (out, arg)
+
+(* Backward of max: route each output gradient to its argmax source. *)
+let max_neighbors_backward g arg dz =
+  let n = Graph.n_vertices g and d = Mat.cols dz in
+  let out = Mat.zeros n d in
+  for v = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      let u = arg.(v).(j) in
+      if u >= 0 then Mat.set out u j (Mat.get out u j +. Mat.get dz v j)
+    done
+  done;
+  out
+
+(* GCN propagation \hat A H with \hat A = D~^{-1/2} (A + I) D~^{-1/2}
+   (Kipf & Welling; quoted on slide 38). Symmetric, so it is its own
+   backward operator. *)
+let gcn_neighbors g h =
+  let n = Graph.n_vertices g and d = Mat.cols h in
+  let inv_sqrt_deg = Array.init n (fun v -> 1.0 /. sqrt (float_of_int (Graph.degree g v + 1))) in
+  let out = Mat.zeros n d in
+  for v = 0 to n - 1 do
+    let self_coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(v) in
+    for j = 0 to d - 1 do
+      Mat.set out v j (self_coef *. Mat.get h v j)
+    done;
+    Array.iter
+      (fun u ->
+        let coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(u) in
+        for j = 0 to d - 1 do
+          Mat.set out v j (Mat.get out v j +. (coef *. Mat.get h u j))
+        done)
+      (Graph.neighbors g v)
+  done;
+  out

@@ -1,0 +1,25 @@
+(** Sparse message-passing primitives (the neighbourhood aggregations of
+    slides 13 and 45) and their backward counterparts. *)
+
+module Mat = Glql_tensor.Mat
+module Graph = Glql_graph.Graph
+
+(** [A H]: sum of neighbour rows. Self-adjoint, so it is also the backward
+    operator for itself. *)
+val sum_neighbors : Graph.t -> Mat.t -> Mat.t
+
+(** Mean of neighbour rows; zero for isolated vertices. *)
+val mean_neighbors : Graph.t -> Mat.t -> Mat.t
+
+(** Adjoint of [mean_neighbors]. *)
+val mean_neighbors_backward : Graph.t -> Mat.t -> Mat.t
+
+(** Pointwise max over neighbour rows plus the argmax cache. *)
+val max_neighbors : Graph.t -> Mat.t -> Mat.t * int array array
+
+(** Backward of max: gradients go to the cached argmax sources. *)
+val max_neighbors_backward : Graph.t -> int array array -> Mat.t -> Mat.t
+
+(** GCN-normalised propagation [D~^{-1/2} (A+I) D~^{-1/2} H]; symmetric,
+    hence self-adjoint. *)
+val gcn_neighbors : Graph.t -> Mat.t -> Mat.t

@@ -1,0 +1,1 @@
+lib/graph/cfi.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graph/cfi.mli: Graph

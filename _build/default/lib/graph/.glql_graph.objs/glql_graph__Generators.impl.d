@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Glql_util Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Glql_tensor Glql_util Hashtbl List Option Printf String

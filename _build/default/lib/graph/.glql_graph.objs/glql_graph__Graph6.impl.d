@@ -1,0 +1,1 @@
+lib/graph/graph6.ml: Array Buffer Char Graph List String

@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Glql_tensor Glql_util Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graph/product.ml: Array Glql_tensor Graph List

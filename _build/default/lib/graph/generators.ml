@@ -1,0 +1,210 @@
+(* Generators for the graph families used throughout the experiments:
+   classic parametric families, the strongly-regular Rook/Shrikhande pair
+   (the standard 2-FWL-hard instance), and random models. *)
+
+module Rng = Glql_util.Rng
+
+let path n = Graph.unlabelled ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  Graph.unlabelled ~n ~edges:((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.unlabelled ~n ~edges:!edges
+
+let star n =
+  (* One centre (vertex 0) with [n] leaves. *)
+  Graph.unlabelled ~n:(n + 1) ~edges:(List.init n (fun i -> (0, i + 1)))
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for i = 0 to a - 1 do
+    for j = 0 to b - 1 do
+      edges := (i, a + j) :: !edges
+    done
+  done;
+  Graph.unlabelled ~n:(a + b) ~edges:!edges
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.unlabelled ~n:(rows * cols) ~edges:!edges
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5))) in
+  let spokes = List.init 5 (fun i -> (i, i + 5)) in
+  Graph.unlabelled ~n:10 ~edges:(outer @ inner @ spokes)
+
+(* 4x4 rook's graph: vertices Z4 x Z4, edges between cells sharing a row or
+   a column. Strongly regular with parameters (16, 6, 2, 2). *)
+let rook_4x4 () =
+  let id r c = (r * 4) + c in
+  let edges = ref [] in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      for c' = c + 1 to 3 do
+        edges := (id r c, id r c') :: !edges
+      done;
+      for r' = r + 1 to 3 do
+        edges := (id r c, id r' c) :: !edges
+      done
+    done
+  done;
+  Graph.unlabelled ~n:16 ~edges:!edges
+
+(* Shrikhande graph: vertices Z4 x Z4, (a,b) ~ (c,d) iff (a-c, b-d) is one
+   of +-(1,0), +-(0,1), +-(1,1). Also SRG(16, 6, 2, 2), non-isomorphic to
+   the rook's graph; the classic pair that colour refinement and 2-FWL
+   cannot tell apart but 3-FWL can. *)
+let shrikhande () =
+  let id a b = (a * 4) + b in
+  let deltas = [ (1, 0); (3, 0); (0, 1); (0, 3); (1, 1); (3, 3) ] in
+  let edges = ref [] in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      List.iter
+        (fun (da, db) ->
+          let a' = (a + da) mod 4 and b' = (b + db) mod 4 in
+          let u = id a b and v = id a' b' in
+          if u < v then edges := (u, v) :: !edges)
+        deltas
+    done
+  done;
+  Graph.unlabelled ~n:16 ~edges:!edges
+
+(* The folklore colour-refinement-equivalent pair: one hexagon vs two
+   triangles (equal degree sequences, equal CR colourings, different
+   triangle counts). *)
+let hexagon_vs_two_triangles () =
+  (cycle 6, Graph.disjoint_union (cycle 3) (cycle 3))
+
+(* Decalin vs bicyclopentyl skeletons (two fused/linked rings on 10
+   vertices): the standard chemistry example of CR-equivalent molecules. *)
+let decalin () =
+  Graph.unlabelled ~n:10
+    ~edges:
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0); (0, 6); (6, 7); (7, 8); (8, 9); (9, 5) ]
+
+let bicyclopentyl () =
+  Graph.unlabelled ~n:10
+    ~edges:
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (5, 6); (6, 7); (7, 8); (8, 9); (9, 5); (0, 5) ]
+
+let erdos_renyi rng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.unlabelled ~n ~edges:!edges
+
+let random_tree rng ~n =
+  (* Uniform attachment tree: vertex i attaches to a uniform earlier vertex. *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Rng.int rng v, v) :: !edges
+  done;
+  Graph.unlabelled ~n ~edges:!edges
+
+(* Random d-regular graph by the pairing model with retries; raises after
+   too many failed attempts (n * d must be even). *)
+let random_regular rng ~n ~d =
+  if n * d mod 2 <> 0 then invalid_arg "Generators.random_regular: n*d must be even";
+  if d >= n then invalid_arg "Generators.random_regular: d >= n";
+  let attempt () =
+    let stubs = Array.make (n * d) 0 in
+    for i = 0 to (n * d) - 1 do
+      stubs.(i) <- i / d
+    done;
+    Rng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * d) in
+    let edges = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        edges := key :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some (Graph.unlabelled ~n ~edges:!edges) else None
+  in
+  let rec go tries =
+    if tries = 0 then failwith "Generators.random_regular: too many rejections"
+    else match attempt () with Some g -> g | None -> go (tries - 1)
+  in
+  go 1000
+
+(* Stochastic block model: [sizes.(i)] vertices in block i, edge probability
+   [p_in] within a block and [p_out] across. Vertices get the block id as a
+   one-hot label unless [labelled] is false. *)
+let sbm rng ~sizes ~p_in ~p_out ~labelled =
+  let n = Array.fold_left ( + ) 0 sizes in
+  let block = Array.make n 0 in
+  let idx = ref 0 in
+  Array.iteri
+    (fun b size ->
+      for _ = 1 to size do
+        block.(!idx) <- b;
+        incr idx
+      done)
+    sizes;
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if block.(u) = block.(v) then p_in else p_out in
+      if Rng.float rng < p then edges := (u, v) :: !edges
+    done
+  done;
+  let g = Graph.unlabelled ~n ~edges:!edges in
+  let g = if labelled then Graph.with_one_hot_labels g block ~n_colors:(Array.length sizes) else g in
+  (g, block)
+
+(* Random molecule-like graph: a random tree backbone over [n] atoms with a
+   few extra ring-closing edges, and atom types drawn from a small alphabet
+   one-hot encoded as labels. Returns the graph and the atom types. *)
+let molecule rng ~n ~n_atom_types ~ring_edges =
+  let tree = random_tree rng ~n in
+  let extra = ref [] in
+  let attempts = ref 0 in
+  while List.length !extra < ring_edges && !attempts < 50 * ring_edges do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Graph.has_edge tree u v) && not (List.mem (min u v, max u v) !extra)
+    then extra := (min u v, max u v) :: !extra
+  done;
+  let g = Graph.create ~n ~edges:(Graph.edges tree @ !extra) ~labels:(Array.make n [| 1.0 |]) in
+  let atoms = Array.init n (fun _ -> Rng.int rng n_atom_types) in
+  (Graph.with_one_hot_labels g atoms ~n_colors:n_atom_types, atoms)
+
+(* Circulant graph C_n(S): i ~ i+s (mod n) for each s in S. *)
+let circulant n offsets =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        let j = (i + s) mod n in
+        if i <> j then edges := (min i j, max i j) :: !edges)
+      offsets
+  done;
+  Graph.unlabelled ~n ~edges:!edges

@@ -1,0 +1,68 @@
+(** Graph families used throughout the experiments: classic parametric
+    graphs, the strongly-regular Rook/Shrikhande pair, the folklore
+    colour-refinement-equivalent pairs, and random models. *)
+
+(** Path on [n] vertices. *)
+val path : int -> Graph.t
+
+(** Cycle C_n, [n >= 3]. *)
+val cycle : int -> Graph.t
+
+(** Complete graph K_n. *)
+val complete : int -> Graph.t
+
+(** Star with [n] leaves (centre is vertex 0). *)
+val star : int -> Graph.t
+
+(** Complete bipartite K_{a,b}. *)
+val complete_bipartite : int -> int -> Graph.t
+
+(** [rows] x [cols] grid graph. *)
+val grid : int -> int -> Graph.t
+
+(** The Petersen graph. *)
+val petersen : unit -> Graph.t
+
+(** 4x4 rook's graph, SRG(16,6,2,2). *)
+val rook_4x4 : unit -> Graph.t
+
+(** Shrikhande graph, SRG(16,6,2,2); non-isomorphic to the rook's graph but
+    2-FWL-equivalent to it. *)
+val shrikhande : unit -> Graph.t
+
+(** C_6 and C_3 + C_3: colour-refinement equivalent, non-isomorphic. *)
+val hexagon_vs_two_triangles : unit -> Graph.t * Graph.t
+
+(** Decalin carbon skeleton (two fused hexagon/pentagon rings). *)
+val decalin : unit -> Graph.t
+
+(** Bicyclopentyl carbon skeleton; CR-equivalent to decalin. *)
+val bicyclopentyl : unit -> Graph.t
+
+(** G(n, p) random graph. *)
+val erdos_renyi : Glql_util.Rng.t -> n:int -> p:float -> Graph.t
+
+(** Uniform-attachment random tree. *)
+val random_tree : Glql_util.Rng.t -> n:int -> Graph.t
+
+(** Random [d]-regular graph by the pairing model (raises after too many
+    rejections; [n * d] must be even, [d < n]). *)
+val random_regular : Glql_util.Rng.t -> n:int -> d:int -> Graph.t
+
+(** Stochastic block model; returns the graph and the block assignment.
+    With [labelled:true] blocks become one-hot labels. *)
+val sbm :
+  Glql_util.Rng.t ->
+  sizes:int array ->
+  p_in:float ->
+  p_out:float ->
+  labelled:bool ->
+  Graph.t * int array
+
+(** Random molecule-like graph: tree backbone plus [ring_edges] extra
+    edges; atom types one-hot encoded. Returns graph and atom types. *)
+val molecule :
+  Glql_util.Rng.t -> n:int -> n_atom_types:int -> ring_edges:int -> Graph.t * int array
+
+(** Circulant graph C_n(S). *)
+val circulant : int -> int list -> Graph.t

@@ -1,0 +1,217 @@
+(* Finite undirected vertex-labelled graphs G = (V, E, L) with
+   L : V -> R^d (slide 6).  Vertices are [0 .. n-1]; adjacency lists are
+   sorted and deduplicated so membership tests are binary searches and
+   structural equality is meaningful.  Finite label alphabets are handled
+   by one-hot encoding (see [with_one_hot_labels]). *)
+
+module Vec = Glql_tensor.Vec
+
+type t = {
+  n : int;
+  adj : int array array;
+  labels : Vec.t array;
+  label_dim : int;
+}
+
+let n_vertices g = g.n
+
+let n_edges g =
+  let deg_sum = Array.fold_left (fun acc nb -> acc + Array.length nb) 0 g.adj in
+  deg_sum / 2
+
+let neighbors g v = g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let label g v = g.labels.(v)
+
+let label_dim g = g.label_dim
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    d := max !d (degree g v)
+  done;
+  !d
+
+let validate_vertex g v name =
+  if v < 0 || v >= g.n then invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range" name v)
+
+let has_edge g u v =
+  validate_vertex g u "has_edge";
+  validate_vertex g v "has_edge";
+  let nb = g.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if nb.(mid) = v then true
+      else if nb.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length nb)
+
+let normalize_adjacency n edges =
+  let sets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.create: edge (%d,%d) out of range" u v);
+      if u <> v then begin
+        sets.(u) <- v :: sets.(u);
+        sets.(v) <- u :: sets.(v)
+      end)
+    edges;
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      (* Deduplicate the sorted list. *)
+      let out = ref [] in
+      Array.iteri (fun i x -> if i = 0 || a.(i - 1) <> x then out := x :: !out) a;
+      Array.of_list (List.rev !out))
+    sets
+
+let create ~n ~edges ~labels =
+  if Array.length labels <> n then invalid_arg "Graph.create: |labels| <> n";
+  let label_dim = if n = 0 then 0 else Vec.dim labels.(0) in
+  Array.iter
+    (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.create: ragged labels")
+    labels;
+  { n; adj = normalize_adjacency n edges; labels = Array.map Vec.copy labels; label_dim }
+
+let unlabelled ~n ~edges =
+  create ~n ~edges ~labels:(Array.make n [| 1.0 |])
+
+let with_labels g labels =
+  if Array.length labels <> g.n then invalid_arg "Graph.with_labels: |labels| <> n";
+  let label_dim = if g.n = 0 then 0 else Vec.dim labels.(0) in
+  Array.iter
+    (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.with_labels: ragged labels")
+    labels;
+  { g with labels = Array.map Vec.copy labels; label_dim }
+
+(* One-hot encode a finite colour alphabet (slide 6's "hot-one encoding"). *)
+let with_one_hot_labels g colors ~n_colors =
+  if Array.length colors <> g.n then invalid_arg "Graph.with_one_hot_labels";
+  let labels =
+    Array.map
+      (fun c ->
+        if c < 0 || c >= n_colors then invalid_arg "Graph.with_one_hot_labels: colour out of range";
+        Vec.init n_colors (fun j -> if j = c then 1.0 else 0.0))
+      colors
+  in
+  with_labels g labels
+
+let edges g =
+  let out = ref [] in
+  for u = g.n - 1 downto 0 do
+    let nb = g.adj.(u) in
+    for i = Array.length nb - 1 downto 0 do
+      if u < nb.(i) then out := (u, nb.(i)) :: !out
+    done
+  done;
+  !out
+
+(* Relabel vertices along a permutation: vertex v of g becomes perm.(v).
+   Labels travel with the vertices, so the result is isomorphic to g. *)
+let permute g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.permute: bad permutation length";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= g.n || seen.(p) then invalid_arg "Graph.permute: not a permutation";
+      seen.(p) <- true)
+    perm;
+  let labels = Array.make g.n [||] in
+  for v = 0 to g.n - 1 do
+    labels.(perm.(v)) <- g.labels.(v)
+  done;
+  let edges = List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g) in
+  create ~n:g.n ~edges ~labels
+
+let random_permutation rng n =
+  let perm = Array.init n (fun i -> i) in
+  Glql_util.Rng.shuffle rng perm;
+  perm
+
+let shuffle rng g = permute g (random_permutation rng g.n)
+
+let disjoint_union g h =
+  if g.label_dim <> h.label_dim && g.n > 0 && h.n > 0 then
+    invalid_arg "Graph.disjoint_union: label dims differ";
+  let n = g.n + h.n in
+  let labels = Array.append g.labels h.labels in
+  let edges =
+    edges g @ List.map (fun (u, v) -> (u + g.n, v + g.n)) (edges h)
+  in
+  create ~n ~edges ~labels
+
+let induced_subgraph g vs =
+  let index = Hashtbl.create (Array.length vs) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let labels = Array.map (fun v -> g.labels.(v)) vs in
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+        | Some iu, Some iv -> Some (iu, iv)
+        | _ -> None)
+      (edges g)
+  in
+  create ~n:(Array.length vs) ~edges ~labels
+
+let complement g =
+  let edges = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (has_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  create ~n:g.n ~edges:!edges ~labels:g.labels
+
+let connected_components g =
+  let comp = Array.make g.n (-1) in
+  let next = ref 0 in
+  for start = 0 to g.n - 1 do
+    if comp.(start) = -1 then begin
+      let id = !next in
+      incr next;
+      let stack = ref [ start ] in
+      comp.(start) <- id;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            Array.iter
+              (fun u ->
+                if comp.(u) = -1 then begin
+                  comp.(u) <- id;
+                  stack := u :: !stack
+                end)
+              g.adj.(v)
+      done
+    end
+  done;
+  (!next, comp)
+
+let is_connected g = g.n = 0 || fst (connected_components g) = 1
+
+let degree_histogram g =
+  let h = Hashtbl.create 16 in
+  for v = 0 to g.n - 1 do
+    let d = degree g v in
+    Hashtbl.replace h d (1 + Option.value ~default:0 (Hashtbl.find_opt h d))
+  done;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) h [])
+
+let equal_structure g h =
+  g.n = h.n && g.adj = h.adj
+  && Array.for_all2 (fun a b -> Vec.equal_approx a b) g.labels h.labels
+
+let to_string g =
+  let edge_str =
+    edges g |> List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) |> String.concat " "
+  in
+  Printf.sprintf "graph(n=%d, m=%d): %s" g.n (n_edges g) edge_str

@@ -1,0 +1,71 @@
+(** Finite undirected vertex-labelled graphs [G = (V, E, L)] with labels in
+    [R^d] (paper, slide 6). Vertices are [0 .. n-1]. The representation is
+    immutable from the outside; adjacency lists are sorted and deduplicated. *)
+
+module Vec = Glql_tensor.Vec
+
+type t
+
+(** [create ~n ~edges ~labels] builds a simple undirected graph. Self-loops
+    are dropped, parallel edges deduplicated, labels copied. All labels must
+    share one dimension. *)
+val create : n:int -> edges:(int * int) list -> labels:Vec.t array -> t
+
+(** All-ones 1-dimensional labels (the "no information" labelling). *)
+val unlabelled : n:int -> edges:(int * int) list -> t
+
+(** Replace the labelling, keeping the structure. *)
+val with_labels : t -> Vec.t array -> t
+
+(** One-hot encode a finite colour alphabet as labels (slide 6). *)
+val with_one_hot_labels : t -> int array -> n_colors:int -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** Sorted neighbour array of [v]. Do not mutate. *)
+val neighbors : t -> int -> int array
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val label : t -> int -> Vec.t
+val label_dim : t -> int
+
+(** Binary-search membership test; raises on out-of-range vertices. *)
+val has_edge : t -> int -> int -> bool
+
+(** Edge list with [u < v], sorted lexicographically. *)
+val edges : t -> (int * int) list
+
+(** [permute g perm] renames vertex [v] to [perm.(v)]; the result is
+    isomorphic to [g] with labels travelling along. *)
+val permute : t -> int array -> t
+
+(** Uniformly random permutation of [0 .. n-1]. *)
+val random_permutation : Glql_util.Rng.t -> int -> int array
+
+(** Isomorphic copy under a uniformly random renaming (for invariance
+    tests, slide 11). *)
+val shuffle : Glql_util.Rng.t -> t -> t
+
+val disjoint_union : t -> t -> t
+
+(** Subgraph induced by the given (distinct) vertices, renumbered in array
+    order. *)
+val induced_subgraph : t -> int array -> t
+
+val complement : t -> t
+
+(** [(k, comp)] where [comp.(v)] is the component id of [v] in [0..k-1]. *)
+val connected_components : t -> int * int array
+
+val is_connected : t -> bool
+
+(** Sorted [(degree, count)] pairs. *)
+val degree_histogram : t -> (int * int) list
+
+(** Structural equality: same vertex count, adjacency and (approximately)
+    the same labels. Not isomorphism. *)
+val equal_structure : t -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,65 @@
+(* graph6 codec (McKay's format) for unlabelled graphs up to 62 vertices
+   plus the long form up to 258047.  Lets corpora be exchanged with nauty
+   and friends, and gives the test suite a round-trip property target. *)
+
+let encode g =
+  let n = Graph.n_vertices g in
+  let buf = Buffer.create 64 in
+  if n <= 62 then Buffer.add_char buf (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    Buffer.add_char buf (Char.chr 126);
+    Buffer.add_char buf (Char.chr (((n lsr 12) land 63) + 63));
+    Buffer.add_char buf (Char.chr (((n lsr 6) land 63) + 63));
+    Buffer.add_char buf (Char.chr ((n land 63) + 63))
+  end
+  else invalid_arg "Graph6.encode: too many vertices";
+  (* Upper triangle in column order, packed 6 bits per char. *)
+  let bits = ref [] in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      bits := (if Graph.has_edge g u v then 1 else 0) :: !bits
+    done
+  done;
+  let bits = Array.of_list (List.rev !bits) in
+  let nbits = Array.length bits in
+  let i = ref 0 in
+  while !i < nbits do
+    let chunk = ref 0 in
+    for j = 0 to 5 do
+      let b = if !i + j < nbits then bits.(!i + j) else 0 in
+      chunk := (!chunk lsl 1) lor b
+    done;
+    Buffer.add_char buf (Char.chr (!chunk + 63));
+    i := !i + 6
+  done;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Graph6.decode: empty";
+  let n, start =
+    if s.[0] = Char.chr 126 then begin
+      if len < 4 then invalid_arg "Graph6.decode: truncated header";
+      let d i = Char.code s.[i] - 63 in
+      (((d 1 lsl 12) lor (d 2 lsl 6) lor d 3), 4)
+    end
+    else (Char.code s.[0] - 63, 1)
+  in
+  if n < 0 then invalid_arg "Graph6.decode: bad vertex count";
+  let nbits = n * (n - 1) / 2 in
+  let bits = Array.make nbits 0 in
+  for k = 0 to nbits - 1 do
+    let char_idx = start + (k / 6) in
+    if char_idx >= len then invalid_arg "Graph6.decode: truncated body";
+    let c = Char.code s.[char_idx] - 63 in
+    bits.(k) <- (c lsr (5 - (k mod 6))) land 1
+  done;
+  let edges = ref [] in
+  let k = ref 0 in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      if bits.(!k) = 1 then edges := (u, v) :: !edges;
+      incr k
+    done
+  done;
+  Graph.unlabelled ~n ~edges:!edges

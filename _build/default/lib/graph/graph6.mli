@@ -1,0 +1,5 @@
+(** graph6 codec (nauty's text format) for unlabelled graphs. Labels are
+    not represented; decoding yields the all-ones labelling. *)
+
+val encode : Graph.t -> string
+val decode : string -> Graph.t

@@ -1,0 +1,149 @@
+(* Exact graph-isomorphism testing by backtracking over colour classes.
+
+   The invariance requirement of slide 11 and the E4 hierarchy experiment
+   both need ground truth for "are G and H isomorphic?".  We use joint
+   colour refinement as an invariant to (a) reject quickly and (b) order
+   and prune the backtracking search.  The refinement here is a private,
+   minimal variant; the fully-featured, history-producing colour refinement
+   used by the experiments lives in [Glql_wl.Color_refinement]. *)
+
+module Sig_hash = Glql_util.Sig_hash
+
+(* One joint refinement pass over both graphs: colours are interned from
+   structural signatures so they are comparable across the two graphs.
+   Returns the stable colourings. *)
+let joint_refine g h =
+  let interner = Sig_hash.Interner.create () in
+  let init gr =
+    Array.init (Graph.n_vertices gr) (fun v ->
+        Sig_hash.Interner.intern interner
+          ("L" ^ Sig_hash.of_float_vector (Graph.label gr v)))
+  in
+  let cg = ref (init g) and ch = ref (init h) in
+  let n_colors colors_g colors_h =
+    let s = Hashtbl.create 64 in
+    Array.iter (fun c -> Hashtbl.replace s c ()) colors_g;
+    Array.iter (fun c -> Hashtbl.replace s c ()) colors_h;
+    Hashtbl.length s
+  in
+  let refine gr colors =
+    Array.init (Graph.n_vertices gr) (fun v ->
+        let nb = Array.map (fun u -> colors.(u)) (Graph.neighbors gr v) in
+        let key =
+          string_of_int colors.(v) ^ "|" ^ Sig_hash.of_int_multiset nb
+        in
+        Sig_hash.Interner.intern interner key)
+  in
+  let continue_ = ref true in
+  let count = ref (n_colors !cg !ch) in
+  while !continue_ do
+    let cg' = refine g !cg and ch' = refine h !ch in
+    let count' = n_colors cg' ch' in
+    cg := cg';
+    ch := ch';
+    if count' = !count then continue_ := false else count := count'
+  done;
+  (!cg, !ch)
+
+let histogram colors =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun c -> Hashtbl.replace h c (1 + Option.value ~default:0 (Hashtbl.find_opt h c)))
+    colors;
+  List.sort compare (Hashtbl.fold (fun c k acc -> (c, k) :: acc) h [])
+
+(* Backtracking search for an isomorphism respecting the refined colours.
+   Vertices of [g] are processed in order of ascending candidate count. *)
+let search g h cg ch =
+  let n = Graph.n_vertices g in
+  let candidates =
+    Array.init n (fun v ->
+        let cs = ref [] in
+        for w = Graph.n_vertices h - 1 downto 0 do
+          if ch.(w) = cg.(v) then cs := w :: !cs
+        done;
+        Array.of_list !cs)
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Array.length candidates.(a)) (Array.length candidates.(b)))
+    order;
+  let mapping = Array.make n (-1) in
+  let used = Array.make (Graph.n_vertices h) false in
+  let consistent v w =
+    (* Check edges between v and already-mapped vertices. *)
+    Array.for_all
+      (fun u -> mapping.(u) = -1 || Graph.has_edge h w mapping.(u))
+      (Graph.neighbors g v)
+    &&
+    (* Non-edges must map to non-edges: check all mapped vertices that are
+       not neighbours of v. *)
+    let ok = ref true in
+    Array.iter
+      (fun u ->
+        if mapping.(u) <> -1 && not (Graph.has_edge g v u) && Graph.has_edge h w mapping.(u)
+        then ok := false)
+      (Array.init n (fun i -> i));
+    !ok
+  in
+  let rec go idx =
+    if idx = n then true
+    else
+      let v = order.(idx) in
+      let found = ref false in
+      let i = ref 0 in
+      let cands = candidates.(v) in
+      while (not !found) && !i < Array.length cands do
+        let w = cands.(!i) in
+        incr i;
+        if (not used.(w)) && consistent v w then begin
+          mapping.(v) <- w;
+          used.(w) <- true;
+          if go (idx + 1) then found := true
+          else begin
+            mapping.(v) <- -1;
+            used.(w) <- false
+          end
+        end
+      done;
+      !found
+  in
+  if go 0 then Some (Array.copy mapping) else None
+
+let find_isomorphism g h =
+  if Graph.n_vertices g <> Graph.n_vertices h then None
+  else if Graph.n_edges g <> Graph.n_edges h then None
+  else if Graph.degree_histogram g <> Graph.degree_histogram h then None
+  else
+    let cg, ch = joint_refine g h in
+    if histogram cg <> histogram ch then None else search g h cg ch
+
+let are_isomorphic g h = Option.is_some (find_isomorphism g h)
+
+let is_isomorphism g h perm =
+  Array.length perm = Graph.n_vertices g
+  && Graph.n_vertices g = Graph.n_vertices h
+  &&
+  let n = Graph.n_vertices g in
+  let injective =
+    let seen = Array.make n false in
+    Array.for_all
+      (fun w ->
+        if w < 0 || w >= n || seen.(w) then false
+        else begin
+          seen.(w) <- true;
+          true
+        end)
+      perm
+  in
+  injective
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if not (Glql_tensor.Vec.equal_approx (Graph.label g u) (Graph.label h perm.(u))) then
+      ok := false;
+    for v = u + 1 to n - 1 do
+      if Graph.has_edge g u v <> Graph.has_edge h perm.(u) perm.(v) then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,39 @@
+(* Graph products. The tutorial remarks (slide 65) that k-WL can be seen
+   as colour refinement on a k-fold product of a graph; products are also
+   handy pattern builders for tests. Labels of a product vertex are the
+   concatenation of the factor labels. *)
+
+module Vec = Glql_tensor.Vec
+
+let product_labels g h =
+  let ng = Graph.n_vertices g and nh = Graph.n_vertices h in
+  Array.init (ng * nh) (fun k ->
+      let u = k / nh and v = k mod nh in
+      Vec.concat [ Graph.label g u; Graph.label h v ])
+
+(* Tensor (categorical) product: (u,v) ~ (u',v') iff u~u' and v~v'. *)
+let tensor g h =
+  let nh = Graph.n_vertices h in
+  let id u v = (u * nh) + v in
+  let edges = ref [] in
+  List.iter
+    (fun (u, u') ->
+      List.iter
+        (fun (v, v') ->
+          edges := (id u v, id u' v') :: (id u v', id u' v) :: !edges)
+        (Graph.edges h))
+    (Graph.edges g);
+  Graph.create ~n:(Graph.n_vertices g * nh) ~edges:!edges ~labels:(product_labels g h)
+
+(* Cartesian product: (u,v) ~ (u',v') iff (u = u' and v~v') or (v = v' and u~u'). *)
+let cartesian g h =
+  let ng = Graph.n_vertices g and nh = Graph.n_vertices h in
+  let id u v = (u * nh) + v in
+  let edges = ref [] in
+  for u = 0 to ng - 1 do
+    List.iter (fun (v, v') -> edges := (id u v, id u v') :: !edges) (Graph.edges h)
+  done;
+  for v = 0 to nh - 1 do
+    List.iter (fun (u, u') -> edges := (id u v, id u' v) :: !edges) (Graph.edges g)
+  done;
+  Graph.create ~n:(ng * nh) ~edges:!edges ~labels:(product_labels g h)

@@ -1,0 +1,8 @@
+(** Tensor and Cartesian graph products; labels of a product vertex are the
+    concatenated factor labels. *)
+
+(** Categorical/tensor product: [(u,v) ~ (u',v')] iff [u~u'] and [v~v']. *)
+val tensor : Graph.t -> Graph.t -> Graph.t
+
+(** Cartesian product: edges move in exactly one coordinate. *)
+val cartesian : Graph.t -> Graph.t -> Graph.t

@@ -1,0 +1,1 @@
+lib/hom/count.ml: Array Glql_graph List Tree

@@ -1,0 +1,1 @@
+lib/hom/count.mli: Glql_graph

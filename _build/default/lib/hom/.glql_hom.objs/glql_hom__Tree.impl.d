@@ -1,0 +1,1 @@
+lib/hom/tree.ml: Array Glql_graph Hashtbl List String

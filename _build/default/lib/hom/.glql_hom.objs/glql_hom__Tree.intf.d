@@ -1,0 +1,1 @@
+lib/hom/tree.mli: Glql_graph

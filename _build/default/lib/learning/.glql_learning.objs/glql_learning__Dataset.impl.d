@@ -1,0 +1,1 @@
+lib/learning/dataset.ml: Array Glql_graph Glql_hom Glql_logic Glql_tensor Glql_util List

@@ -1,0 +1,1 @@
+lib/learning/dataset.mli: Glql_graph Glql_logic Glql_util

@@ -1,0 +1,1 @@
+lib/learning/erm.ml: Array Dataset Float Glql_gnn Glql_nn Glql_tensor Glql_util List

@@ -1,0 +1,1 @@
+lib/learning/erm.mli: Dataset Glql_gnn Glql_nn Glql_tensor Glql_util

@@ -1,0 +1,169 @@
+(* Synthetic datasets exercising the three embedding kinds of slides 7-9:
+
+   - graph embeddings: molecule-like graphs with a chemical-flavoured
+     activity target (slide 7's antibiotic example);
+   - vertex embeddings: a citation-network stand-in built from a
+     stochastic block model with noisy community features (slide 8);
+   - 2-vertex embeddings: link prediction between community members
+     (slide 9).
+
+   The paper's real datasets motivate, not evaluate, so faithful
+   substitutes are generators with controllable ground truth (DESIGN.md,
+   substitution table). *)
+
+module Rng = Glql_util.Rng
+module Vec = Glql_tensor.Vec
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Gml = Glql_logic.Gml
+
+type graph_classification = {
+  gc_name : string;
+  graphs : Graph.t array;
+  gc_labels : int array;
+  gc_n_classes : int;
+  gc_in_dim : int;
+}
+
+type node_classification = {
+  nc_name : string;
+  graph : Graph.t;
+  nc_labels : int array;
+  train_mask : bool array;
+  nc_n_classes : int;
+  nc_in_dim : int;
+}
+
+type link_prediction = {
+  lp_name : string;
+  lp_graph : Graph.t;
+  pairs : (int * int) array;
+  lp_targets : float array;  (* 1.0 = will connect *)
+  lp_train_mask : bool array;
+  lp_in_dim : int;
+}
+
+(* The molecular activity target: a graded-modal-logic property of the
+   atom types, i.e. something message passing can in principle learn
+   exactly (slide 54). "Active" molecules contain an atom of type 0 with
+   at least two neighbours of type 1. *)
+let activity_property = Gml.And (Gml.Prop 0, Gml.Diamond (2, Gml.Prop 1))
+
+let molecules rng ~n_graphs ~n_atoms ~n_atom_types =
+  let graphs = ref [] in
+  let labels = ref [] in
+  for _ = 1 to n_graphs do
+    let size = max 4 (n_atoms - 2 + Rng.int rng 5) in
+    let g, _ = Generators.molecule rng ~n:size ~n_atom_types ~ring_edges:(1 + Rng.int rng 2) in
+    let active = Array.exists (fun b -> b) (Gml.eval activity_property g) in
+    graphs := g :: !graphs;
+    labels := (if active then 1 else 0) :: !labels
+  done;
+  {
+    gc_name = "molecules";
+    graphs = Array.of_list (List.rev !graphs);
+    gc_labels = Array.of_list (List.rev !labels);
+    gc_n_classes = 2;
+    gc_in_dim = n_atom_types;
+  }
+
+(* Citation stand-in: SBM communities = paper topics; features are the
+   one-hot topic with label noise plus random "word" coordinates, so the
+   model has to use both features and structure. *)
+let citation rng ~n_per_class ~n_classes ~feature_noise ~train_fraction =
+  let sizes = Array.make n_classes n_per_class in
+  let g, blocks = Generators.sbm rng ~sizes ~p_in:0.20 ~p_out:0.03 ~labelled:false in
+  let n = Graph.n_vertices g in
+  let n_words = 4 in
+  let labels =
+    Array.init n (fun v ->
+        let topic = Vec.zeros n_classes in
+        (* Noisy topic indicator: with probability [feature_noise], a random
+           topic is shown instead of the true one. *)
+        let shown =
+          if Rng.float rng < feature_noise then Rng.int rng n_classes else blocks.(v)
+        in
+        topic.(shown) <- 1.0;
+        Vec.concat [ topic; Vec.init n_words (fun _ -> Rng.float rng) ])
+  in
+  let g = Graph.with_labels g labels in
+  let train_mask = Array.init n (fun _ -> Rng.float rng < train_fraction) in
+  {
+    nc_name = "citation";
+    graph = g;
+    nc_labels = blocks;
+    train_mask;
+    nc_n_classes = n_classes;
+    nc_in_dim = n_classes + n_words;
+  }
+
+(* Link prediction: pairs of vertices, target 1 when they live in the same
+   community (the "will connect" ground truth of slide 9). *)
+let links rng ~n_per_class ~n_classes ~n_pairs ~train_fraction =
+  let sizes = Array.make n_classes n_per_class in
+  let g, blocks = Generators.sbm rng ~sizes ~p_in:0.25 ~p_out:0.04 ~labelled:false in
+  let n = Graph.n_vertices g in
+  (* Structure-only features: constant 1, so prediction must come from the
+     graph topology. *)
+  let g = Graph.with_labels g (Array.make n [| 1.0 |]) in
+  let pairs =
+    Array.init n_pairs (fun _ ->
+        let u = Rng.int rng n in
+        let v = ref (Rng.int rng n) in
+        while !v = u do
+          v := Rng.int rng n
+        done;
+        (u, !v))
+  in
+  let targets = Array.map (fun (u, v) -> if blocks.(u) = blocks.(v) then 1.0 else 0.0) pairs in
+  let train_mask = Array.init n_pairs (fun _ -> Rng.float rng < train_fraction) in
+  {
+    lp_name = "links";
+    lp_graph = g;
+    pairs;
+    lp_targets = targets;
+    lp_train_mask = train_mask;
+    lp_in_dim = 1;
+  }
+
+(* Regression targets for the approximation experiment (E9, slides 30-31):
+   a CR-bounded target (walks of length 2 = sum over v of deg(v)^2) and a
+   CR-unbounded one (triangle count). *)
+let two_walk_count g =
+  let acc = ref 0.0 in
+  for v = 0 to Graph.n_vertices g - 1 do
+    let d = float_of_int (Graph.degree g v) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let triangle_count g = Glql_hom.Count.triangles g
+
+type regression = {
+  rg_name : string;
+  rg_graphs : Graph.t array;
+  rg_targets : float array;
+  rg_in_dim : int;
+}
+
+let regression_corpus rng ~n_graphs ~generator ~target ~target_name =
+  let graphs =
+    Array.init n_graphs (fun _ ->
+        let g = generator rng in
+        Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |]))
+  in
+  {
+    rg_name = target_name;
+    rg_graphs = graphs;
+    rg_targets = Array.map target graphs;
+    rg_in_dim = 1;
+  }
+
+(* Erdos-Renyi corpus with varying density: CR-visible statistics vary, so
+   CR-bounded targets are learnable. *)
+let er_generator ~n rng = Generators.erdos_renyi rng ~n ~p:(0.2 +. (0.3 *. Rng.float rng))
+
+(* Random d-regular corpus: all graphs are CR-equivalent (same n, same
+   degree everywhere, uniform labels), so *no* CR-bounded embedding can
+   distinguish them — the negative control for approximation (E9). *)
+let regular_generator ~n ~d rng = Generators.random_regular rng ~n ~d

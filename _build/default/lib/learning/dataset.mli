@@ -1,0 +1,87 @@
+(** Synthetic datasets for the three embedding kinds of slides 7-9 (see
+    DESIGN.md for the substitution rationale). All generation is
+    deterministic in the supplied RNG. *)
+
+module Graph = Glql_graph.Graph
+module Gml = Glql_logic.Gml
+
+type graph_classification = {
+  gc_name : string;
+  graphs : Graph.t array;
+  gc_labels : int array;
+  gc_n_classes : int;
+  gc_in_dim : int;
+}
+
+type node_classification = {
+  nc_name : string;
+  graph : Graph.t;
+  nc_labels : int array;
+  train_mask : bool array;
+  nc_n_classes : int;
+  nc_in_dim : int;
+}
+
+type link_prediction = {
+  lp_name : string;
+  lp_graph : Graph.t;
+  pairs : (int * int) array;
+  lp_targets : float array;
+  lp_train_mask : bool array;
+  lp_in_dim : int;
+}
+
+(** The GML property defining molecular "activity" (learnable by MPNNs
+    per slide 54). *)
+val activity_property : Gml.t
+
+(** Molecule-like graph classification (slide 7). *)
+val molecules :
+  Glql_util.Rng.t -> n_graphs:int -> n_atoms:int -> n_atom_types:int -> graph_classification
+
+(** Citation-network stand-in for node classification (slide 8). *)
+val citation :
+  Glql_util.Rng.t ->
+  n_per_class:int ->
+  n_classes:int ->
+  feature_noise:float ->
+  train_fraction:float ->
+  node_classification
+
+(** Link prediction between community members (slide 9). *)
+val links :
+  Glql_util.Rng.t ->
+  n_per_class:int ->
+  n_classes:int ->
+  n_pairs:int ->
+  train_fraction:float ->
+  link_prediction
+
+(** Sum over vertices of degree squared — a CR-bounded regression target. *)
+val two_walk_count : Graph.t -> float
+
+(** Triangle count — a CR-unbounded regression target. *)
+val triangle_count : Graph.t -> float
+
+type regression = {
+  rg_name : string;
+  rg_graphs : Graph.t array;
+  rg_targets : float array;
+  rg_in_dim : int;
+}
+
+(** Random-graph corpus with a scalar target (experiment E9). *)
+val regression_corpus :
+  Glql_util.Rng.t ->
+  n_graphs:int ->
+  generator:(Glql_util.Rng.t -> Graph.t) ->
+  target:(Graph.t -> float) ->
+  target_name:string ->
+  regression
+
+(** Erdos-Renyi generator with varying density (CR-visible variation). *)
+val er_generator : n:int -> Glql_util.Rng.t -> Graph.t
+
+(** Random d-regular generator: the resulting corpus is CR-homogeneous, so
+    CR-bounded embeddings cannot separate its members. *)
+val regular_generator : n:int -> d:int -> Glql_util.Rng.t -> Graph.t

@@ -1,0 +1,269 @@
+(* Empirical risk minimisation (slides 19-20): pick the best hypothesis
+   from a GNN hypothesis class by full-batch gradient descent on a loss.
+
+   Three trainers cover the three embedding kinds: graph classification,
+   semi-supervised node classification and link prediction, plus a scalar
+   graph regressor for the approximation experiment (E9). *)
+
+module Mat = Glql_tensor.Mat
+module Vec = Glql_tensor.Vec
+module Model = Glql_gnn.Model
+module Loss = Glql_nn.Loss
+module Optim = Glql_nn.Optim
+module Mlp = Glql_nn.Mlp
+
+type history = { losses : float list; train_metric : float; test_metric : float }
+
+(* --- graph classification ------------------------------------------------ *)
+
+let graph_logits model g = Model.graph_embedding model g
+
+let eval_graph_classifier model (ds : Dataset.graph_classification) indices =
+  match indices with
+  | [] -> 0.0
+  | _ ->
+      let correct =
+        List.fold_left
+          (fun acc i ->
+            let logits = graph_logits model ds.Dataset.graphs.(i) in
+            if Vec.argmax logits = ds.Dataset.gc_labels.(i) then acc + 1 else acc)
+          0 indices
+      in
+      float_of_int correct /. float_of_int (List.length indices)
+
+let train_graph_classifier ?(epochs = 60) ?(lr = 0.01) model (ds : Dataset.graph_classification)
+    ~train_indices ~test_indices =
+  let opt = Optim.adam ~lr () in
+  let params = Model.params model in
+  let losses = ref [] in
+  for _epoch = 1 to epochs do
+    let total = ref 0.0 in
+    List.iter
+      (fun i ->
+        let g = ds.Dataset.graphs.(i) in
+        let logits, cache = Model.forward_graph_cached model g in
+        let loss, dlogits =
+          Loss.softmax_cross_entropy ~logits:(Mat.of_rows [ logits ])
+            ~labels:[| ds.Dataset.gc_labels.(i) |]
+        in
+        total := !total +. loss;
+        Model.backward_graph model g cache ~dout:(Mat.row dlogits 0))
+      train_indices;
+    Optim.step opt params;
+    losses := (!total /. float_of_int (max 1 (List.length train_indices))) :: !losses
+  done;
+  {
+    losses = List.rev !losses;
+    train_metric = eval_graph_classifier model ds train_indices;
+    test_metric = eval_graph_classifier model ds test_indices;
+  }
+
+(* --- node classification -------------------------------------------------- *)
+
+let masked_cross_entropy ~logits ~labels ~mask =
+  let rows = Mat.rows logits in
+  let grad = Mat.zeros rows (Mat.cols logits) in
+  let loss = ref 0.0 in
+  let count = ref 0 in
+  for i = 0 to rows - 1 do
+    if mask.(i) then incr count
+  done;
+  let inv_n = 1.0 /. float_of_int (max 1 !count) in
+  for i = 0 to rows - 1 do
+    if mask.(i) then begin
+      let p = Vec.softmax (Mat.row logits i) in
+      let y = labels.(i) in
+      loss := !loss -. log (Float.max 1e-12 p.(y));
+      for j = 0 to Array.length p - 1 do
+        let ind = if j = y then 1.0 else 0.0 in
+        Mat.set grad i j ((p.(j) -. ind) *. inv_n)
+      done
+    end
+  done;
+  (!loss *. inv_n, grad)
+
+let node_accuracy logits labels mask ~value =
+  let n = Mat.rows logits in
+  let correct = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    if mask.(i) = value then begin
+      incr total;
+      if Vec.argmax (Mat.row logits i) = labels.(i) then incr correct
+    end
+  done;
+  if !total = 0 then 0.0 else float_of_int !correct /. float_of_int !total
+
+let train_node_classifier ?(epochs = 120) ?(lr = 0.02) model (ds : Dataset.node_classification) =
+  let opt = Optim.adam ~lr () in
+  let params = Model.params model in
+  let losses = ref [] in
+  let g = ds.Dataset.graph in
+  for _epoch = 1 to epochs do
+    let logits, cache = Model.forward_vertices_cached model g in
+    let loss, dlogits =
+      masked_cross_entropy ~logits ~labels:ds.Dataset.nc_labels ~mask:ds.Dataset.train_mask
+    in
+    Model.backward_vertices model g cache ~dout:dlogits;
+    Optim.step opt params;
+    losses := loss :: !losses
+  done;
+  let logits = Model.vertex_embeddings model g in
+  {
+    losses = List.rev !losses;
+    train_metric = node_accuracy logits ds.Dataset.nc_labels ds.Dataset.train_mask ~value:true;
+    test_metric = node_accuracy logits ds.Dataset.nc_labels ds.Dataset.train_mask ~value:false;
+  }
+
+(* --- link prediction ------------------------------------------------------ *)
+
+(* A 2-vertex embedding (slide 9) assembled from a vertex embedding: score
+   the pair (u, v) by an MLP on the pointwise product h_u * h_v. *)
+let pair_logit head h u v =
+  (Mlp.apply_vec head (Vec.mul (Mat.row h u) (Mat.row h v))).(0)
+
+let link_accuracy head h (ds : Dataset.link_prediction) ~value =
+  let correct = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      if ds.Dataset.lp_train_mask.(i) = value then begin
+        incr total;
+        let p = pair_logit head h u v in
+        let predicted = if p >= 0.0 then 1.0 else 0.0 in
+        if predicted = ds.Dataset.lp_targets.(i) then incr correct
+      end)
+    ds.Dataset.pairs;
+  if !total = 0 then 0.0 else float_of_int !correct /. float_of_int !total
+
+let train_link_predictor ?(epochs = 150) ?(lr = 0.02) model head (ds : Dataset.link_prediction) =
+  let opt = Optim.adam ~lr () in
+  let params = Model.params model @ Mlp.params head in
+  let losses = ref [] in
+  let g = ds.Dataset.lp_graph in
+  let n_train =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ds.Dataset.lp_train_mask
+  in
+  for _epoch = 1 to epochs do
+    let h, cache = Model.forward_vertices_cached model g in
+    let dh = Mat.zeros (Mat.rows h) (Mat.cols h) in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i (u, v) ->
+        if ds.Dataset.lp_train_mask.(i) then begin
+          let input = Vec.mul (Mat.row h u) (Mat.row h v) in
+          let out, hcache = Mlp.forward_cached head (Mat.of_rows [ input ]) in
+          let loss, dlogit =
+            Loss.binary_cross_entropy ~logits:out ~targets:[| ds.Dataset.lp_targets.(i) |]
+          in
+          total := !total +. loss;
+          let scale = 1.0 /. float_of_int (max 1 n_train) in
+          let dinput = Mlp.backward head hcache ~dout:(Mat.scale scale dlogit) in
+          let di = Mat.row dinput 0 in
+          (* d(h_u * h_v)/dh_u = h_v and vice versa *)
+          for j = 0 to Vec.dim di - 1 do
+            Mat.set dh u j (Mat.get dh u j +. (di.(j) *. Mat.get h v j));
+            Mat.set dh v j (Mat.get dh v j +. (di.(j) *. Mat.get h u j))
+          done
+        end)
+      ds.Dataset.pairs;
+    Model.backward_vertices model g cache ~dout:dh;
+    Optim.step opt params;
+    losses := (!total /. float_of_int (max 1 n_train)) :: !losses
+  done;
+  let h = Model.vertex_embeddings model g in
+  {
+    losses = List.rev !losses;
+    train_metric = link_accuracy head h ds ~value:true;
+    test_metric = link_accuracy head h ds ~value:false;
+  }
+
+(* A binary classifier over fixed (e.g. GEL-computed) feature vectors: the
+   "view embedding" pattern of slide 72 — a complex fixed embedding
+   followed by a simple learnable head. *)
+let train_feature_classifier ?(epochs = 200) ?(lr = 0.05) head ~features ~targets ~mask =
+  let opt = Optim.adam ~lr () in
+  let params = Mlp.params head in
+  let losses = ref [] in
+  let n = Array.length features in
+  let n_train = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  for _epoch = 1 to epochs do
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask.(i) then begin
+        let out, cache = Mlp.forward_cached head (Mat.of_rows [ features.(i) ]) in
+        let loss, dlogit = Loss.binary_cross_entropy ~logits:out ~targets:[| targets.(i) |] in
+        total := !total +. loss;
+        ignore (Mlp.backward head cache ~dout:(Mat.scale (1.0 /. float_of_int (max 1 n_train)) dlogit))
+      end
+    done;
+    Optim.step opt params;
+    losses := (!total /. float_of_int (max 1 n_train)) :: !losses
+  done;
+  let accuracy ~value =
+    let correct = ref 0 and total = ref 0 in
+    for i = 0 to n - 1 do
+      if mask.(i) = value then begin
+        incr total;
+        let p = (Mlp.apply_vec head features.(i)).(0) in
+        let predicted = if p >= 0.0 then 1.0 else 0.0 in
+        if predicted = targets.(i) then incr correct
+      end
+    done;
+    if !total = 0 then 0.0 else float_of_int !correct /. float_of_int !total
+  in
+  {
+    losses = List.rev !losses;
+    train_metric = accuracy ~value:true;
+    test_metric = accuracy ~value:false;
+  }
+
+(* --- graph regression (E9) ------------------------------------------------ *)
+
+let regression_mse model (rg : Dataset.regression) indices =
+  match indices with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left
+          (fun acc i ->
+            let out = (Model.graph_embedding model rg.Dataset.rg_graphs.(i)).(0) in
+            let d = out -. rg.Dataset.rg_targets.(i) in
+            acc +. (d *. d))
+          0.0 indices
+      in
+      total /. float_of_int (List.length indices)
+
+let train_graph_regressor ?(epochs = 200) ?(lr = 0.005) model (rg : Dataset.regression)
+    ~train_indices ~test_indices =
+  let opt = Optim.adam ~lr () in
+  let params = Model.params model in
+  let losses = ref [] in
+  for _epoch = 1 to epochs do
+    let total = ref 0.0 in
+    List.iter
+      (fun i ->
+        let g = rg.Dataset.rg_graphs.(i) in
+        let out, cache = Model.forward_graph_cached model g in
+        let target = rg.Dataset.rg_targets.(i) in
+        let loss, dout =
+          Loss.mse ~pred:(Mat.of_rows [ out ]) ~target:(Mat.of_rows [ [| target |] ])
+        in
+        total := !total +. loss;
+        Model.backward_graph model g cache
+          ~dout:(Vec.scale (1.0 /. float_of_int (max 1 (List.length train_indices))) (Mat.row dout 0)))
+      train_indices;
+    Optim.step opt params;
+    losses := (!total /. float_of_int (max 1 (List.length train_indices))) :: !losses
+  done;
+  {
+    losses = List.rev !losses;
+    train_metric = regression_mse model rg train_indices;
+    test_metric = regression_mse model rg test_indices;
+  }
+
+(* Split 0..n-1 deterministically into train/test index lists. *)
+let split rng ~n ~train_fraction =
+  let idx = Array.init n (fun i -> i) in
+  Glql_util.Rng.shuffle rng idx;
+  let cut = int_of_float (train_fraction *. float_of_int n) in
+  ( Array.to_list (Array.sub idx 0 cut),
+    Array.to_list (Array.sub idx cut (n - cut)) )

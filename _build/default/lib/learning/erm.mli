@@ -1,0 +1,59 @@
+(** Empirical risk minimisation (slides 19-20) over GNN hypothesis
+    classes: full-batch Adam on cross-entropy / MSE losses, one trainer
+    per embedding kind. *)
+
+module Mat = Glql_tensor.Mat
+module Model = Glql_gnn.Model
+module Mlp = Glql_nn.Mlp
+
+type history = { losses : float list; train_metric : float; test_metric : float }
+
+(** Graph classification: metric is accuracy. The model must have a
+    readout and a logits head. *)
+val train_graph_classifier :
+  ?epochs:int ->
+  ?lr:float ->
+  Model.t ->
+  Dataset.graph_classification ->
+  train_indices:int list ->
+  test_indices:int list ->
+  history
+
+(** Semi-supervised node classification on the train mask; metric is
+    accuracy (train/test = mask true/false). *)
+val train_node_classifier :
+  ?epochs:int -> ?lr:float -> Model.t -> Dataset.node_classification -> history
+
+(** Link prediction: vertex-embedding model (no head) plus a pair-scoring
+    MLP on the pointwise product of endpoint embeddings; metric is
+    accuracy at threshold 0. *)
+val train_link_predictor :
+  ?epochs:int -> ?lr:float -> Model.t -> Mlp.t -> Dataset.link_prediction -> history
+
+(** Binary classifier on fixed feature vectors (the "view embedding"
+    pattern of slide 72: complex fixed embedding + simple learnable head);
+    metric is accuracy at threshold 0. *)
+val train_feature_classifier :
+  ?epochs:int ->
+  ?lr:float ->
+  Mlp.t ->
+  features:Glql_tensor.Vec.t array ->
+  targets:float array ->
+  mask:bool array ->
+  history
+
+(** Scalar graph regression; metric is MSE. *)
+val train_graph_regressor :
+  ?epochs:int ->
+  ?lr:float ->
+  Model.t ->
+  Dataset.regression ->
+  train_indices:int list ->
+  test_indices:int list ->
+  history
+
+(** Mean squared error of a trained regressor on given indices. *)
+val regression_mse : Model.t -> Dataset.regression -> int list -> float
+
+(** Deterministic train/test index split. *)
+val split : Glql_util.Rng.t -> n:int -> train_fraction:float -> int list * int list

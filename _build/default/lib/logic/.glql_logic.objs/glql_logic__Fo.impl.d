@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Array Glql_graph List Printf

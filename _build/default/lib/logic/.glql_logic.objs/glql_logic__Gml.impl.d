@@ -1,0 +1,1 @@
+lib/logic/gml.ml: Array Glql_graph Glql_util Printf

@@ -1,0 +1,1 @@
+lib/logic/gml.mli: Glql_graph Glql_util

@@ -1,0 +1,1 @@
+lib/nn/mlp.mli: Activation Glql_tensor Glql_util Param

@@ -1,0 +1,1 @@
+lib/nn/optim.ml: Glql_tensor List Param

@@ -1,0 +1,1 @@
+lib/nn/param.mli: Glql_tensor

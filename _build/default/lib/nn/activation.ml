@@ -1,0 +1,45 @@
+(* Non-linear activation functions sigma : R -> R (slide 13) together with
+   the derivatives needed for backpropagation.  [Trunc_relu] is the
+   truncated ReLU min(max(x,0),1) used by the GML-to-MPNN compiler, where
+   it computes exact Boolean logic on {0,1} values. *)
+
+type t = Relu | Sigmoid | Tanh | Identity | Sign | Trunc_relu | Leaky_relu
+
+let apply = function
+  | Relu -> fun x -> Float.max 0.0 x
+  | Sigmoid -> fun x -> 1.0 /. (1.0 +. exp (-.x))
+  | Tanh -> tanh
+  | Identity -> fun x -> x
+  | Sign -> fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
+  | Trunc_relu -> fun x -> Float.min 1.0 (Float.max 0.0 x)
+  | Leaky_relu -> fun x -> if x >= 0.0 then x else 0.01 *. x
+
+(* Derivative as a function of the *pre-activation* input. Kinks and jumps
+   use a subgradient (0 at the kink), which is the standard choice. *)
+let derivative = function
+  | Relu -> fun x -> if x > 0.0 then 1.0 else 0.0
+  | Sigmoid ->
+      fun x ->
+        let s = 1.0 /. (1.0 +. exp (-.x)) in
+        s *. (1.0 -. s)
+  | Tanh ->
+      fun x ->
+        let t = tanh x in
+        1.0 -. (t *. t)
+  | Identity -> fun _ -> 1.0
+  | Sign -> fun _ -> 0.0
+  | Trunc_relu -> fun x -> if x > 0.0 && x < 1.0 then 1.0 else 0.0
+  | Leaky_relu -> fun x -> if x >= 0.0 then 1.0 else 0.01
+
+let name = function
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Identity -> "id"
+  | Sign -> "sign"
+  | Trunc_relu -> "trunc-relu"
+  | Leaky_relu -> "leaky-relu"
+
+let apply_vec act v = Array.map (apply act) v
+
+let apply_mat act m = Glql_tensor.Mat.map (apply act) m

@@ -1,0 +1,14 @@
+(** Non-linear activations sigma : R -> R (slide 13) with derivatives for
+    backpropagation. [Trunc_relu] = min(max(x,0),1), the activation the
+    GML compiler uses for exact Boolean arithmetic. *)
+
+type t = Relu | Sigmoid | Tanh | Identity | Sign | Trunc_relu | Leaky_relu
+
+val apply : t -> float -> float
+
+(** Derivative at the pre-activation input (subgradient 0 at kinks). *)
+val derivative : t -> float -> float
+
+val name : t -> string
+val apply_vec : t -> Glql_tensor.Vec.t -> Glql_tensor.Vec.t
+val apply_mat : t -> Glql_tensor.Mat.t -> Glql_tensor.Mat.t

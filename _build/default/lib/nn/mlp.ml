@@ -1,0 +1,92 @@
+(* Multilayer perceptrons F(t) = sigma(W(t) F(t-1) + b(t)) (slide 53,
+   footnote 15), in batch form: inputs are matrices with one example per
+   row, layers compute X W + 1 b^T followed by a pointwise activation.
+   Backpropagation is hand-written; gradients accumulate into the layer
+   parameters. *)
+
+module Mat = Glql_tensor.Mat
+module Vec = Glql_tensor.Vec
+
+type layer = { w : Param.t; b : Param.t; act : Activation.t }
+
+type t = { layers : layer list }
+
+(* [sizes] = [d0; d1; ...; dL]; hidden layers use [act], the final layer
+   [out_act]. *)
+let create rng ~sizes ~act ~out_act =
+  let rec build i = function
+    | [] | [ _ ] -> []
+    | din :: (dout :: _ as rest) ->
+        let a = if List.length rest = 1 then out_act else act in
+        let w = Param.create ~name:(Printf.sprintf "mlp.w%d" i) (Mat.glorot rng din dout) in
+        let b = Param.create ~name:(Printf.sprintf "mlp.b%d" i) (Mat.zeros 1 dout) in
+        { w; b; act = a } :: build (i + 1) rest
+  in
+  { layers = build 0 sizes }
+
+let params t = List.concat_map (fun l -> [ l.w; l.b ]) t.layers
+
+let in_dim t =
+  match t.layers with [] -> invalid_arg "Mlp.in_dim: empty" | l :: _ -> Mat.rows l.w.Param.data
+
+let out_dim t =
+  match List.rev t.layers with
+  | [] -> invalid_arg "Mlp.out_dim: empty"
+  | l :: _ -> Mat.cols l.w.Param.data
+
+(* One layer forward: Z = X W + 1 b^T, Y = act(Z). *)
+let layer_forward l x =
+  let z = Mat.mul x l.w.Param.data in
+  for i = 0 to Mat.rows z - 1 do
+    for j = 0 to Mat.cols z - 1 do
+      Mat.set z i j (Mat.get z i j +. Mat.get l.b.Param.data 0 j)
+    done
+  done;
+  let y = Activation.apply_mat l.act z in
+  (z, y)
+
+type cache = { inputs : Mat.t list; preacts : Mat.t list }
+(* [inputs] holds the input to each layer, in layer order; [preacts] the
+   corresponding pre-activations. *)
+
+let forward t x =
+  List.fold_left (fun acc l -> snd (layer_forward l acc)) x t.layers
+
+let forward_cached t x =
+  let rec go x layers inputs preacts =
+    match layers with
+    | [] -> (x, { inputs = List.rev inputs; preacts = List.rev preacts })
+    | l :: rest ->
+        let z, y = layer_forward l x in
+        go y rest (x :: inputs) (z :: preacts)
+  in
+  go x t.layers [] []
+
+(* Backward pass: accumulates dL/dW, dL/db into the params and returns
+   dL/dX for the network input. *)
+let backward t cache ~dout =
+  let layers = Array.of_list t.layers in
+  let inputs = Array.of_list cache.inputs in
+  let preacts = Array.of_list cache.preacts in
+  let d = ref dout in
+  for li = Array.length layers - 1 downto 0 do
+    let l = layers.(li) in
+    let z = preacts.(li) in
+    let x = inputs.(li) in
+    (* dZ = dY (.) act'(Z) *)
+    let dz = Mat.map2 (fun dy zv -> dy *. Activation.derivative l.act zv) !d z in
+    (* dW += X^T dZ ; db += column sums of dZ ; dX = dZ W^T *)
+    Mat.add_inplace ~into:l.w.Param.grad (Mat.mul (Mat.transpose x) dz);
+    for j = 0 to Mat.cols dz - 1 do
+      let s = ref 0.0 in
+      for i = 0 to Mat.rows dz - 1 do
+        s := !s +. Mat.get dz i j
+      done;
+      Mat.set l.b.Param.grad 0 j (Mat.get l.b.Param.grad 0 j +. !s)
+    done;
+    d := Mat.mul dz (Mat.transpose l.w.Param.data)
+  done;
+  !d
+
+(* Convenience single-vector application. *)
+let apply_vec t v = Mat.row (forward t (Mat.of_rows [ v ])) 0

@@ -1,0 +1,29 @@
+(** Multilayer perceptrons (slide 53, footnote 15) in batch form: one
+    example per matrix row, hand-written backpropagation. *)
+
+module Mat = Glql_tensor.Mat
+module Vec = Glql_tensor.Vec
+
+type t
+
+type cache
+
+(** [create rng ~sizes ~act ~out_act] with [sizes = [d0; ...; dL]]; hidden
+    layers use [act], the last layer [out_act]. *)
+val create :
+  Glql_util.Rng.t -> sizes:int list -> act:Activation.t -> out_act:Activation.t -> t
+
+val params : t -> Param.t list
+val in_dim : t -> int
+val out_dim : t -> int
+
+val forward : t -> Mat.t -> Mat.t
+
+(** Forward keeping the caches needed by [backward]. *)
+val forward_cached : t -> Mat.t -> Mat.t * cache
+
+(** Accumulate parameter gradients given dL/d(output); returns dL/d(input). *)
+val backward : t -> cache -> dout:Mat.t -> Mat.t
+
+(** Apply to a single row vector. *)
+val apply_vec : t -> Vec.t -> Vec.t

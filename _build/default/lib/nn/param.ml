@@ -1,0 +1,30 @@
+(* A learnable parameter: a matrix (vectors are 1 x d) with its gradient
+   accumulator and the Adam moment buffers. *)
+
+module Mat = Glql_tensor.Mat
+
+type t = {
+  name : string;
+  data : Mat.t;
+  grad : Mat.t;
+  moment1 : Mat.t;
+  moment2 : Mat.t;
+}
+
+let create ~name data =
+  let r = Mat.rows data and c = Mat.cols data in
+  { name; data; grad = Mat.zeros r c; moment1 = Mat.zeros r c; moment2 = Mat.zeros r c }
+
+let zero_grad p = Mat.fill p.grad 0.0
+
+let n_elements p = Mat.rows p.data * Mat.cols p.data
+
+let grad_norm p =
+  let acc = ref 0.0 in
+  for i = 0 to Mat.rows p.grad - 1 do
+    for j = 0 to Mat.cols p.grad - 1 do
+      let g = Mat.get p.grad i j in
+      acc := !acc +. (g *. g)
+    done
+  done;
+  sqrt !acc

@@ -1,0 +1,17 @@
+(** A learnable parameter matrix with gradient and Adam moment buffers.
+    All buffers are mutated in place by layers and optimizers. *)
+
+module Mat = Glql_tensor.Mat
+
+type t = {
+  name : string;
+  data : Mat.t;
+  grad : Mat.t;
+  moment1 : Mat.t;
+  moment2 : Mat.t;
+}
+
+val create : name:string -> Mat.t -> t
+val zero_grad : t -> unit
+val n_elements : t -> int
+val grad_norm : t -> float

@@ -1,0 +1,1 @@
+lib/relational/rgraph.ml: Array Glql_graph Glql_tensor Glql_util List

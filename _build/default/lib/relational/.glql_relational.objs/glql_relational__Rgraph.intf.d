@@ -1,0 +1,1 @@
+lib/relational/rgraph.mli: Glql_graph Glql_tensor Glql_util

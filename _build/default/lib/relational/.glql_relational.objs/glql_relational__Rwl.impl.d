@@ -1,0 +1,1 @@
+lib/relational/rwl.ml: Array Buffer Glql_nn Glql_tensor Glql_util Hashtbl List Rgraph

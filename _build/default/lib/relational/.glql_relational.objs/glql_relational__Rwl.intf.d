@@ -1,0 +1,1 @@
+lib/relational/rwl.mli: Glql_tensor Glql_util Rgraph

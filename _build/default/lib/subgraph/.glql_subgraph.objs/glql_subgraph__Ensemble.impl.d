@@ -1,0 +1,1 @@
+lib/subgraph/ensemble.ml: Glql_gel Glql_graph Glql_tensor Glql_util Glql_wl List Policy

@@ -1,0 +1,1 @@
+lib/subgraph/ensemble.mli: Glql_gel Glql_graph Glql_tensor Policy

@@ -1,0 +1,1 @@
+lib/subgraph/kset.ml: Array Glql_graph Glql_tensor Glql_wl Hashtbl List

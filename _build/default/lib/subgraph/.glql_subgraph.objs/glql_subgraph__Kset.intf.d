@@ -1,0 +1,1 @@
+lib/subgraph/kset.mli: Glql_graph

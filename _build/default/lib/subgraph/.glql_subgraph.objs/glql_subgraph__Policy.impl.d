@@ -1,0 +1,1 @@
+lib/subgraph/policy.ml: Array Fun Glql_graph Glql_tensor List Printf

@@ -1,0 +1,1 @@
+lib/subgraph/policy.mli: Glql_graph

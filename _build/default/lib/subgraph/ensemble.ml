@@ -1,0 +1,77 @@
+(* Subgraph-ensemble embeddings (slide 71).
+
+   The method's value on G is the multiset, over vertex choices v, of the
+   base embedding of policy(G, v).  With colour refinement as the base —
+   the exact ceiling of any MPNN base, slide 52 — the ensemble's
+   separation power is computed exactly: all transforms of both graphs
+   are refined jointly so their stable colours are comparable, and each
+   graph's signature is the multiset of its transforms' colour multisets.
+
+   A tensor-level counterpart with a random-weight GNN 101 base is
+   provided for consistency checks: the sampled family must never
+   separate more than the CR-based ensemble. *)
+
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Sig_hash = Glql_util.Sig_hash
+module Vec = Glql_tensor.Vec
+
+(* Joint signatures of a list of graphs under the ensemble with a CR base:
+   one canonical string per input graph, comparable across the list. *)
+let cr_signatures policy graphs =
+  let transform_groups = List.map (Policy.transforms policy) graphs in
+  let all = List.concat transform_groups in
+  let result = Cr.run_joint all in
+  let stable = Cr.stable_colors result in
+  (* Split the flat colour list back into per-input-graph groups. *)
+  let rec split groups colors =
+    match groups with
+    | [] -> []
+    | group :: rest ->
+        let k = List.length group in
+        let rec take n acc colors =
+          if n = 0 then (List.rev acc, colors)
+          else
+            match colors with
+            | c :: cs -> take (n - 1) (c :: acc) cs
+            | [] -> assert false
+        in
+        let mine, others = take k [] colors in
+        mine :: split rest others
+  in
+  let groups = split transform_groups stable in
+  List.map
+    (fun transform_colors ->
+      transform_colors
+      |> List.map Cr.graph_signature
+      |> List.sort compare
+      |> Sig_hash.of_string_list)
+    groups
+
+(* Can the ensemble tell the two graphs apart? *)
+let equivalent policy g h =
+  match cr_signatures policy [ g; h ] with
+  | [ a; b ] -> a = b
+  | _ -> assert false
+
+(* Tensor-level ensemble with a random-weight GNN 101 base: sum over
+   vertex choices of the base graph embedding. The label dimension of the
+   transforms depends on the policy (Mark/Ego append a column). *)
+let gnn_embedding spec policy g =
+  let out = ref None in
+  List.iter
+    (fun g' ->
+      let e = Glql_gel.Compile_gnn.gnn101_graph_forward spec g' in
+      match !out with
+      | None -> out := Some (Vec.copy e)
+      | Some acc -> Vec.add_inplace ~into:acc e)
+    (Policy.transforms policy g);
+  match !out with
+  | Some v -> v
+  | None -> invalid_arg "Ensemble.gnn_embedding: empty graph"
+
+(* Input label dimension the GNN base must accept under a policy. *)
+let base_in_dim policy g =
+  match policy with
+  | Policy.Mark | Policy.Ego _ -> Graph.label_dim g + 1
+  | Policy.Delete -> Graph.label_dim g

@@ -1,0 +1,12 @@
+(** Set-based 2-GNNs (Morris et al., AAAI 2019; the "k-GNNs" of slide 34):
+    message passing over 2-element vertex sets. Their separation power is
+    colour refinement on the derived 2-set graph, computed exactly. *)
+
+module Graph = Glql_graph.Graph
+
+(** The derived graph: unordered pairs as vertices (lexicographic order),
+    invariant pair-type labels, edges between sets sharing a vertex. *)
+val two_set_graph : Graph.t -> Graph.t
+
+(** Does the set-based 2-GNN family consider the graphs equivalent? *)
+val equivalent : Graph.t -> Graph.t -> bool

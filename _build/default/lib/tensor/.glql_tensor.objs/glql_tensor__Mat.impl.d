@@ -1,0 +1,1 @@
+lib/tensor/mat.ml: Array Buffer Float Glql_util List Vec

@@ -1,0 +1,1 @@
+lib/tensor/vec.mli: Glql_util

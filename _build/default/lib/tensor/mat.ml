@@ -1,0 +1,149 @@
+(* Dense row-major matrices. Small and BLAS-free: the corpora in this
+   repository keep dimensions in the tens to low hundreds, where a cache
+   friendly triple loop is plenty. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x = { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.0
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> invalid_arg "Mat.of_rows: empty"
+  | first :: _ ->
+      let cols = Array.length first in
+      let rows = List.length rows_list in
+      let m = zeros rows cols in
+      List.iteri
+        (fun i r ->
+          if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows";
+          Array.blit r 0 m.data (i * cols) cols)
+        rows_list;
+      m
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let set_row m i (v : Vec.t) =
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row: dim mismatch";
+  Array.blit v 0 m.data (i * m.cols) m.cols
+
+let map f m = { m with data = Array.map f m.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.map2: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let scale s m = map (fun x -> s *. x) m
+
+let transpose m =
+  init m.cols m.rows (fun i j -> get m j i)
+
+(* y = x * m for a row vector x (the convention of the paper: F W). *)
+let vec_mul (x : Vec.t) m =
+  if Array.length x <> m.rows then invalid_arg "Mat.vec_mul: dim mismatch";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then begin
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. m.data.(base + j))
+      done
+    end
+  done;
+  y
+
+(* m * x for a column vector x. *)
+let mul_vec m (x : Vec.t) =
+  if Array.length x <> m.cols then invalid_arg "Mat.mul_vec: dim mismatch";
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then begin
+        let bbase = k * b.cols in
+        let cbase = i * c.cols in
+        for j = 0 to b.cols - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  c
+
+let add_inplace ~into a =
+  if into.rows <> a.rows || into.cols <> a.cols then invalid_arg "Mat.add_inplace";
+  for k = 0 to Array.length a.data - 1 do
+    into.data.(k) <- into.data.(k) +. a.data.(k)
+  done
+
+let axpy_inplace ~into alpha a =
+  if into.rows <> a.rows || into.cols <> a.cols then invalid_arg "Mat.axpy_inplace";
+  for k = 0 to Array.length a.data - 1 do
+    into.data.(k) <- into.data.(k) +. (alpha *. a.data.(k))
+  done
+
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let gaussian rng rows cols ~stddev =
+  init rows cols (fun _ _ -> stddev *. Glql_util.Rng.gaussian rng)
+
+(* Glorot/Xavier initialisation used by the GNN substrate. *)
+let glorot rng rows cols =
+  let stddev = sqrt (2.0 /. float_of_int (rows + cols)) in
+  gaussian rng rows cols ~stddev
+
+let frobenius_dist a b =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length a.data - 1 do
+    let d = a.data.(k) -. b.data.(k) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let equal_approx ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length a.data - 1 do
+    if Float.abs (a.data.(k) -. b.data.(k)) > tol then ok := false
+  done;
+  !ok
+
+let to_string ?(digits = 4) m =
+  let buf = Buffer.create 128 in
+  for i = 0 to m.rows - 1 do
+    Buffer.add_string buf (Vec.to_string ~digits (row m i));
+    if i < m.rows - 1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Dense row-major float matrices. BLAS-free; sized for the small corpora
+    used throughout the reproduction. *)
+
+type t
+
+val create : int -> int -> float -> t
+val zeros : int -> int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+(** Build from a non-empty list of equal-length rows. *)
+val of_rows : float array list -> t
+
+(** Fresh copy of row [i]. *)
+val row : t -> int -> Vec.t
+
+val set_row : t -> int -> Vec.t -> unit
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val transpose : t -> t
+
+(** [vec_mul x m] is the row-vector product [x · m] (the paper's [F W]
+    convention). *)
+val vec_mul : Vec.t -> t -> Vec.t
+
+(** [mul_vec m x] is the column-vector product [m · x]. *)
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul : t -> t -> t
+val add_inplace : into:t -> t -> unit
+
+(** [axpy_inplace ~into alpha a] adds [alpha * a] into [into]. *)
+val axpy_inplace : into:t -> float -> t -> unit
+
+val fill : t -> float -> unit
+
+(** I.i.d. centred Gaussian entries. *)
+val gaussian : Glql_util.Rng.t -> int -> int -> stddev:float -> t
+
+(** Glorot/Xavier initialisation. *)
+val glorot : Glql_util.Rng.t -> int -> int -> t
+
+val frobenius_dist : t -> t -> float
+val equal_approx : ?tol:float -> t -> t -> bool
+val to_string : ?digits:int -> t -> string

@@ -1,0 +1,1 @@
+lib/util/sig_hash.ml: Array Buffer Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/util/sig_hash.mli:

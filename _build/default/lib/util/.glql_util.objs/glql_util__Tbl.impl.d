@@ -1,0 +1,1 @@
+lib/util/tbl.ml: Array Float List Printf String

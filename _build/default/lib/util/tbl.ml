@@ -1,0 +1,43 @@
+(* Plain-text table rendering for experiment reports. *)
+
+type t = { headers : string list; rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tbl.add_row: row width differs from header width";
+  { t with rows = t.rows @ [ row ] }
+
+let widths t =
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let feed row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  feed t.headers;
+  List.iter feed t.rows;
+  w
+
+let pad s width = s ^ String.make (width - String.length s) ' '
+
+let render_row w row =
+  let cells = List.mapi (fun i cell -> pad cell w.(i)) row in
+  "| " ^ String.concat " | " cells ^ " |"
+
+let separator w =
+  let dashes = Array.to_list (Array.map (fun n -> String.make n '-') w) in
+  "|-" ^ String.concat "-|-" dashes ^ "-|"
+
+let to_string t =
+  let w = widths t in
+  let lines =
+    render_row w t.headers :: separator w :: List.map (render_row w) t.rows
+  in
+  String.concat "\n" lines
+
+let print t = print_endline (to_string t)
+
+let fmt_float ?(digits = 4) x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" digits x
+
+let fmt_bool b = if b then "yes" else "no"

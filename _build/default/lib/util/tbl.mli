@@ -1,0 +1,22 @@
+(** Minimal aligned ASCII tables (GitHub-Markdown compatible) used by the
+    experiment harness to print each reproduced "table" of the paper. *)
+
+type t
+
+(** A table with the given column headers and no rows. *)
+val create : headers:string list -> t
+
+(** Append a row; raises if its width differs from the header's. *)
+val add_row : t -> string list -> t
+
+(** Render to a markdown-style string. *)
+val to_string : t -> string
+
+(** Print to stdout followed by a newline. *)
+val print : t -> unit
+
+(** Compact float formatting for table cells. *)
+val fmt_float : ?digits:int -> float -> string
+
+(** "yes"/"no". *)
+val fmt_bool : bool -> string

@@ -1,0 +1,1 @@
+lib/wl/color_refinement.ml: Array Glql_graph Glql_util Hashtbl List Partition

@@ -1,0 +1,1 @@
+lib/wl/color_refinement.mli: Glql_graph Partition

@@ -1,0 +1,1 @@
+lib/wl/kwl.ml: Array Buffer Glql_graph Glql_util Hashtbl List Partition

@@ -1,0 +1,1 @@
+lib/wl/kwl.mli: Glql_graph Partition

@@ -1,0 +1,1 @@
+lib/wl/partition.ml: Array Glql_util Hashtbl List Option

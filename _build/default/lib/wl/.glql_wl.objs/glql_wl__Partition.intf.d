@@ -1,0 +1,1 @@
+lib/wl/partition.mli:

@@ -1,0 +1,1 @@
+lib/wl/quotient.ml: Array Color_refinement Glql_graph Glql_tensor Hashtbl List

@@ -1,0 +1,1 @@
+lib/wl/quotient.mli: Glql_graph Glql_tensor

@@ -1,0 +1,99 @@
+(* Colour refinement (1-dimensional Weisfeiler-Leman, slide 50).
+
+   Joint runs: all graphs are refined together against one signature
+   interner, so colours are comparable across graphs and rounds proceed in
+   lockstep until the *joint* partition over all vertices stabilises.
+   Because a vertex's refinement key only mentions its own graph, a joint
+   run restricted to one graph equals a solo run of that graph — which is
+   why comparing stable colourings of a joint run decides CR-equivalence. *)
+
+module Sig_hash = Glql_util.Sig_hash
+module Graph = Glql_graph.Graph
+
+type result = {
+  graphs : Graph.t list;
+  history : int array list list;
+  (* [history] is a list of rounds; each round is a list of per-graph colour
+     arrays, in the order of [graphs]. Round 0 is the initial colouring. *)
+  stable : int array list;
+  rounds : int;
+}
+
+let initial_colors interner g =
+  Array.init (Graph.n_vertices g) (fun v ->
+      Sig_hash.Interner.intern interner ("L" ^ Sig_hash.of_float_vector (Graph.label g v)))
+
+let refine_graph interner g colors =
+  Array.init (Graph.n_vertices g) (fun v ->
+      let nb = Array.map (fun u -> colors.(u)) (Graph.neighbors g v) in
+      let key = string_of_int colors.(v) ^ "|" ^ Sig_hash.of_int_multiset nb in
+      Sig_hash.Interner.intern interner key)
+
+let joint_color_count colorings =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun colors -> Array.iter (fun c -> Hashtbl.replace seen c ()) colors) colorings;
+  Hashtbl.length seen
+
+let run_joint ?max_rounds graphs =
+  let interner = Sig_hash.Interner.create () in
+  let current = ref (List.map (initial_colors interner) graphs) in
+  let history = ref [ !current ] in
+  let count = ref (joint_color_count !current) in
+  let rounds = ref 0 in
+  let limit =
+    match max_rounds with
+    | Some m -> m
+    | None -> List.fold_left (fun acc g -> acc + Graph.n_vertices g) 1 graphs
+  in
+  let continue_ = ref true in
+  while !continue_ && !rounds < limit do
+    let next = List.map2 (refine_graph interner) graphs !current in
+    let count' = joint_color_count next in
+    current := next;
+    history := next :: !history;
+    incr rounds;
+    if count' = !count then continue_ := false else count := count'
+  done;
+  { graphs; history = List.rev !history; stable = !current; rounds = !rounds }
+
+let run ?max_rounds g = run_joint ?max_rounds [ g ]
+
+let stable_colors result = result.stable
+
+let graphs result = result.graphs
+
+let history result = result.history
+
+let rounds result = result.rounds
+
+let graph_signature colors = Sig_hash.of_int_multiset colors
+
+(* Graph-level CR-equivalence: equal stable colour multisets in a joint
+   run (slide 50: "a graph gets a colour based on the multiset of colours
+   of all its vertices"). *)
+let equivalent_graphs g h =
+  match (run_joint [ g; h ]).stable with
+  | [ cg; ch ] -> graph_signature cg = graph_signature ch
+  | _ -> assert false
+
+(* Vertex-level CR-equivalence of (g, v) and (h, w). *)
+let equivalent_vertices g v h w =
+  match (run_joint [ g; h ]).stable with
+  | [ cg; ch ] -> cg.(v) = ch.(w)
+  | _ -> assert false
+
+(* Partition a corpus of graphs by CR graph colour. *)
+let graph_partition graphs =
+  let result = run_joint graphs in
+  let sigs = Array.of_list (List.map graph_signature result.stable) in
+  Partition.group ~n:(Array.length sigs) (fun i -> sigs.(i))
+
+(* Partition all (graph, vertex) items of a corpus by stable CR colour.
+   Items are ordered graph-major: graph 0's vertices first, etc. *)
+let vertex_partition graphs =
+  let result = run_joint graphs in
+  let all = Array.concat (List.map Array.copy result.stable) in
+  Partition.group ~n:(Array.length all) (fun i -> string_of_int all.(i))
+
+(* Number of refinement rounds needed to stabilise one graph. *)
+let stable_round g = (run g).rounds

@@ -1,0 +1,47 @@
+(** Colour refinement — 1-dimensional Weisfeiler-Leman (slide 50).
+
+    All runs are "joint": the given graphs are refined in lockstep against
+    a shared signature interner, making colours comparable across graphs.
+    Restricting a joint run to one graph coincides with a solo run, so
+    stable joint colourings decide CR-equivalence. *)
+
+module Graph = Glql_graph.Graph
+
+type result
+
+(** Refine the given graphs together until the joint vertex partition is
+    stable (or [max_rounds] is hit; default: total vertex count). *)
+val run_joint : ?max_rounds:int -> Graph.t list -> result
+
+(** Solo run. *)
+val run : ?max_rounds:int -> Graph.t -> result
+
+(** Stable colour array per graph, in input order. *)
+val stable_colors : result -> int array list
+
+(** The graphs of the joint run, in input order. *)
+val graphs : result -> Graph.t list
+
+(** Colourings per round (round 0 = initial labels), each a per-graph list. *)
+val history : result -> int array list list
+
+(** Number of refinement rounds executed until stability. *)
+val rounds : result -> int
+
+(** Canonical multiset signature of a colour array (the graph's colour). *)
+val graph_signature : int array -> string
+
+(** Graph-level CR-equivalence: same stable colour multiset. *)
+val equivalent_graphs : Graph.t -> Graph.t -> bool
+
+(** Vertex-level CR-equivalence of [(g,v)] and [(h,w)]. *)
+val equivalent_vertices : Graph.t -> int -> Graph.t -> int -> bool
+
+(** Partition of a graph corpus by CR graph colour. *)
+val graph_partition : Graph.t list -> Partition.t
+
+(** Partition of all (graph, vertex) items, graph-major order. *)
+val vertex_partition : Graph.t list -> Partition.t
+
+(** Rounds to stabilise a single graph. *)
+val stable_round : Graph.t -> int

@@ -1,0 +1,73 @@
+(* Partitions of an indexed item set, used to represent the separation
+   power rho(F) of an embedding class restricted to a finite corpus
+   (slide 24): items are (graph, tuple) pairs; two items are in the same
+   class iff no embedding in F separates them. *)
+
+type t = int array
+
+let of_classes classes = Array.copy classes
+
+let size p = Array.length p
+
+let n_classes p =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace seen c ()) p;
+  Hashtbl.length seen
+
+(* Canonicalise class ids to first-occurrence order so that partitions that
+   induce the same grouping become structurally equal. *)
+let normalize p =
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt remap c with
+      | Some c' -> c'
+      | None ->
+          let c' = !next in
+          incr next;
+          Hashtbl.add remap c c';
+          c')
+    p
+
+let equal p q = Array.length p = Array.length q && normalize p = normalize q
+
+(* [refines p q]: every class of p is contained in a class of q, i.e. p
+   separates at least as much as q (rho relation is a subset). *)
+let refines p q =
+  if Array.length p <> Array.length q then invalid_arg "Partition.refines: size mismatch";
+  let rep = Hashtbl.create 16 in
+  let ok = ref true in
+  Array.iteri
+    (fun i cp ->
+      match Hashtbl.find_opt rep cp with
+      | None -> Hashtbl.add rep cp q.(i)
+      | Some cq -> if cq <> q.(i) then ok := false)
+    p;
+  !ok
+
+let strictly_refines p q = refines p q && not (equal p q)
+
+(* Common refinement: items are together iff together in both. *)
+let meet p q =
+  if Array.length p <> Array.length q then invalid_arg "Partition.meet: size mismatch";
+  let interner = Glql_util.Sig_hash.Interner.create () in
+  Array.init (Array.length p) (fun i ->
+      Glql_util.Sig_hash.Interner.intern interner
+        (string_of_int p.(i) ^ "," ^ string_of_int q.(i)))
+
+(* Build a partition of [n] items from any keying function. *)
+let group ~n key =
+  let interner = Glql_util.Sig_hash.Interner.create () in
+  Array.init n (fun i -> Glql_util.Sig_hash.Interner.intern interner (key i))
+
+let same_class p i j = p.(i) = p.(j)
+
+let classes p =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      Hashtbl.replace tbl c (i :: Option.value ~default:[] (Hashtbl.find_opt tbl c)))
+    p;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,35 @@
+(** Partitions of an indexed item set. The separation power rho(F) of an
+    embedding class, restricted to a finite corpus (slide 24), is exactly a
+    partition of the corpus items; comparing separation powers is comparing
+    partitions by refinement. *)
+
+type t = int array
+
+(** Copy of a class-id array. *)
+val of_classes : int array -> t
+
+val size : t -> int
+val n_classes : t -> int
+
+(** Rename class ids to first-occurrence order (canonical form). *)
+val normalize : t -> t
+
+(** Same grouping, regardless of class-id names. *)
+val equal : t -> t -> bool
+
+(** [refines p q]: every [p]-class lies inside a [q]-class; i.e. [p]
+    separates at least everything [q] separates. *)
+val refines : t -> t -> bool
+
+val strictly_refines : t -> t -> bool
+
+(** Coarsest common refinement. *)
+val meet : t -> t -> t
+
+(** [group ~n key] partitions [0..n-1] by equal [key]. *)
+val group : n:int -> (int -> string) -> t
+
+val same_class : t -> int -> int -> bool
+
+(** Sorted list of classes, each a sorted list of item indices. *)
+val classes : t -> int list list

@@ -1,0 +1,97 @@
+(* Colour-refinement quotients — compressed instances for MPNN-bounded
+   queries.
+
+   The stable CR colouring is an *equitable partition*: every vertex of
+   class c has the same number of neighbours in class d. Message passing
+   with shared weights therefore assigns identical features to all
+   vertices of a class, so any MPNN-bounded embedding can be evaluated on
+   the quotient — classes as vertices, the neighbour-count matrix as
+   weighted adjacency, sizes as multiplicities — instead of the full
+   graph. This is the database move of answering a query on a compressed
+   instance, and the speed-up is |V| / #classes. *)
+
+module Graph = Glql_graph.Graph
+module Vec = Glql_tensor.Vec
+
+type t = {
+  n_classes : int;
+  class_of : int array;          (* vertex -> class id in [0, n_classes) *)
+  sizes : int array;             (* class -> number of vertices *)
+  weights : int array array;     (* weights.(c).(d) = neighbours in d of a c-vertex *)
+  class_labels : Vec.t array;    (* the (shared) label of each class *)
+}
+
+let of_graph g =
+  let result = Color_refinement.run g in
+  let colors = List.hd (Color_refinement.stable_colors result) in
+  (* Dense class ids in first-occurrence order. *)
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let class_of =
+    Array.map
+      (fun c ->
+        match Hashtbl.find_opt remap c with
+        | Some i -> i
+        | None ->
+            let i = !next in
+            incr next;
+            Hashtbl.add remap c i;
+            i)
+      colors
+  in
+  let n_classes = !next in
+  let sizes = Array.make n_classes 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) class_of;
+  let weights = Array.make_matrix n_classes n_classes 0 in
+  let representative = Array.make n_classes (-1) in
+  for v = 0 to Graph.n_vertices g - 1 do
+    if representative.(class_of.(v)) = -1 then begin
+      representative.(class_of.(v)) <- v;
+      Array.iter
+        (fun u ->
+          weights.(class_of.(v)).(class_of.(u)) <- weights.(class_of.(v)).(class_of.(u)) + 1)
+        (Graph.neighbors g v)
+    end
+  done;
+  let class_labels = Array.map (fun v -> Vec.copy (Graph.label g v)) representative in
+  { n_classes; class_of; sizes; weights; class_labels }
+
+(* Verify equitability: every vertex of class c has weights.(c).(d)
+   neighbours in class d, for all d — the correctness certificate of the
+   compression. *)
+let is_equitable g q =
+  let ok = ref true in
+  for v = 0 to Graph.n_vertices g - 1 do
+    let counts = Array.make q.n_classes 0 in
+    Array.iter (fun u -> counts.(q.class_of.(u)) <- counts.(q.class_of.(u)) + 1) (Graph.neighbors g v);
+    if counts <> q.weights.(q.class_of.(v)) then ok := false
+  done;
+  !ok
+
+(* Generic message passing on the quotient: [update] receives the class's
+   current feature and the weighted sum of neighbouring class features
+   (with multiplicities). Returns per-class features after [rounds]. *)
+let propagate q ~init ~update ~rounds =
+  let h = ref (Array.init q.n_classes (fun c -> init q.class_labels.(c))) in
+  for round = 0 to rounds - 1 do
+    let prev = !h in
+    h :=
+      Array.init q.n_classes (fun c ->
+          let agg = Vec.zeros (Vec.dim prev.(0)) in
+          for d = 0 to q.n_classes - 1 do
+            if q.weights.(c).(d) <> 0 then
+              Vec.axpy_inplace ~into:agg (float_of_int q.weights.(c).(d)) prev.(d)
+          done;
+          update round prev.(c) agg)
+  done;
+  !h
+
+(* Weighted (by class size) sum of per-class vectors: the quotient version
+   of a sum readout. *)
+let weighted_sum q per_class =
+  let out = Vec.zeros (Vec.dim per_class.(0)) in
+  Array.iteri (fun c v -> Vec.axpy_inplace ~into:out (float_of_int q.sizes.(c)) v) per_class;
+  out
+
+let compression_ratio g q =
+  float_of_int (Graph.n_vertices g) /. float_of_int q.n_classes

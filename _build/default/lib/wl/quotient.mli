@@ -1,0 +1,37 @@
+(** Colour-refinement quotients: the stable CR colouring is an equitable
+    partition, so MPNN-bounded embeddings can be evaluated on the quotient
+    (classes, neighbour-count matrix, multiplicities) instead of the full
+    graph — query answering on a compressed instance. *)
+
+module Graph = Glql_graph.Graph
+module Vec = Glql_tensor.Vec
+
+type t = {
+  n_classes : int;
+  class_of : int array;
+  sizes : int array;
+  weights : int array array;
+  class_labels : Vec.t array;
+}
+
+val of_graph : Graph.t -> t
+
+(** Certificate: every vertex of class [c] has [weights.(c).(d)]
+    neighbours in class [d]. *)
+val is_equitable : Graph.t -> t -> bool
+
+(** Message passing on the quotient: [update round self agg] gets the
+    0-based round, the class feature and the multiplicity-weighted sum of
+    neighbour-class features. *)
+val propagate :
+  t ->
+  init:(Vec.t -> Vec.t) ->
+  update:(int -> Vec.t -> Vec.t -> Vec.t) ->
+  rounds:int ->
+  Vec.t array
+
+(** Class-size-weighted sum — the quotient sum readout. *)
+val weighted_sum : t -> Vec.t array -> Vec.t
+
+(** [n / #classes]. *)
+val compression_ratio : Graph.t -> t -> float

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Glql_graph Glql_tensor Glql_util Printf QCheck QCheck_alcotest

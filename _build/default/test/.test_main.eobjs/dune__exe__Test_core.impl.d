@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Glql_core Glql_gel Glql_graph Glql_util Glql_wl Helpers List String

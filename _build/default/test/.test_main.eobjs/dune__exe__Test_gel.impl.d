@@ -1,0 +1,1 @@
+test/test_gel.ml: Alcotest Array Glql_gel Glql_graph Glql_hom Glql_logic Glql_tensor Glql_util Glql_wl Helpers List String

@@ -1,0 +1,1 @@
+test/test_gnn.ml: Alcotest Array Float Glql_gnn Glql_graph Glql_nn Glql_tensor Glql_util Helpers List

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Char Glql_graph Glql_util Helpers List QCheck String

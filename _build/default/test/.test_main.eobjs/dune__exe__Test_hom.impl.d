@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Array Glql_graph Glql_hom Glql_wl Helpers List Printf QCheck

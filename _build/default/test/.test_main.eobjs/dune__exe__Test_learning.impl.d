@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Array Float Glql_gnn Glql_graph Glql_learning Glql_logic Glql_nn Glql_util Glql_wl Helpers List

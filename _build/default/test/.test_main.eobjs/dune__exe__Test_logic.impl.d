@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Glql_graph Glql_logic Glql_util Glql_wl Helpers String

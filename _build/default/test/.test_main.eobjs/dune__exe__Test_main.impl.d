@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_gel Test_gnn Test_graph Test_hom Test_learning Test_logic Test_nn Test_parser Test_properties Test_relational Test_subgraph Test_tensor Test_util Test_wl

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Float Glql_nn Glql_tensor Glql_util Helpers List QCheck

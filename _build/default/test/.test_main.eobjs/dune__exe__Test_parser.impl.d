@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Glql_gel Glql_graph Glql_tensor Glql_util Helpers List

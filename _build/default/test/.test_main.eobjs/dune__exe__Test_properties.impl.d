@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Glql_gel Glql_graph Glql_hom Glql_tensor Glql_util Glql_wl Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Glql_graph Glql_relational Glql_tensor Glql_util Glql_wl Helpers List QCheck

@@ -1,0 +1,1 @@
+test/test_subgraph.ml: Alcotest Array Glql_gel Glql_gnn Glql_graph Glql_subgraph Glql_tensor Glql_util Glql_wl Helpers List

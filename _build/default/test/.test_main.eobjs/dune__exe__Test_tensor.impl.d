@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Glql_tensor Glql_util Helpers Printf QCheck

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Glql_util Helpers List QCheck String

@@ -1,0 +1,1 @@
+test/test_wl.ml: Alcotest Array Fun Glql_gel Glql_graph Glql_nn Glql_tensor Glql_util Glql_wl Helpers List

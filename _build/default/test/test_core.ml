@@ -1,0 +1,123 @@
+(* Tests for glql_core: separation-power toolkit and expressivity audit. *)
+
+open Helpers
+module Rng = Glql_util.Rng
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Partition = Glql_wl.Partition
+module Cr = Glql_wl.Color_refinement
+module Expr = Glql_gel.Expr
+module B = Glql_gel.Builder
+module Separation = Glql_core.Separation
+module Audit = Glql_core.Audit
+
+let count_family =
+  (* One-member family: (n_vertices, n_edges) embedding. *)
+  Separation.
+    {
+      gf_name = "counts";
+      members =
+        [
+          (fun g ->
+            [| float_of_int (Graph.n_vertices g); float_of_int (Graph.n_edges g) |]);
+        ];
+    }
+
+let degree_family =
+  Separation.
+    {
+      vf_name = "degree";
+      vmembers =
+        [
+          (fun g ->
+            Array.init (Graph.n_vertices g) (fun v -> [| float_of_int (Graph.degree g v) |]));
+        ];
+    }
+
+let test_graph_partition () =
+  let corpus = [ Generators.cycle 4; Generators.path 4; Generators.cycle 4; Generators.cycle 5 ] in
+  let p = Separation.graph_partition count_family corpus in
+  check_int "classes" 3 (Partition.n_classes p);
+  check_bool "cycles together" true (Partition.same_class p 0 2);
+  check_bool "path apart" false (Partition.same_class p 0 1)
+
+let test_vertex_partition () =
+  let corpus = [ Generators.star 2 ] in
+  let p = Separation.vertex_partition degree_family corpus in
+  (* Centre (degree 2) vs two leaves (degree 1). *)
+  check_int "classes" 2 (Partition.n_classes p);
+  check_bool "leaves together" true (Partition.same_class p 1 2)
+
+let test_separates_graphs () =
+  check_bool "separates by size" true
+    (Separation.separates_graphs count_family (Generators.cycle 4) (Generators.cycle 5));
+  check_bool "same counts not separated" false
+    (Separation.separates_graphs count_family (Generators.cycle 4)
+       (Graph.unlabelled ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3); (3, 1) ]))
+
+let test_rounding_tolerance () =
+  let noisy_family eps =
+    Separation.
+      { gf_name = "noisy"; members = [ (fun g -> [| float_of_int (Graph.n_vertices g) +. eps |]) ] }
+  in
+  (* Both graphs get values differing by less than the rounding step. *)
+  let g = Generators.cycle 4 and h = Generators.cycle 4 in
+  check_bool "noise ignored" false
+    (Separation.separates_graphs ~decimals:3 (noisy_family 1e-7) g h)
+
+let test_compare_partitions () =
+  let p = [| 0; 1; 2 |] and q = [| 0; 0; 1 |] in
+  (match Separation.compare_partitions ~name_p:"fine" ~name_q:"coarse" p q with
+  | [ v ] ->
+      check_bool "not equal" false v.Separation.holds;
+      check_bool "claim mentions rho" true (String.length v.Separation.claim > 0)
+  | _ -> Alcotest.fail "expected one verdict");
+  match Separation.compare_partitions ~name_p:"a" ~name_q:"b" p p with
+  | [ v ] -> check_bool "equal to itself" true v.Separation.holds
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_bound_of_fragment () =
+  check_bool "mpnn -> CR" true (Audit.bound_of_fragment Expr.Frag_mpnn = Audit.B_cr);
+  check_bool "gel3 -> 2-FWL" true (Audit.bound_of_fragment (Expr.Frag_gel 3) = Audit.B_kwl 2);
+  check_bool "names" true
+    (Audit.bound_name Audit.B_cr = "colour refinement (1-WL)"
+    && Audit.bound_name (Audit.B_kwl 2) = "2-FWL")
+
+let test_audit_entry () =
+  let e = Audit.audit ~architecture:"degree" (B.degree ~x:B.x1 ~y:B.x2) in
+  check_bool "fragment" true (e.Audit.fragment = Expr.Frag_mpnn);
+  check_int "agg depth" 1 e.Audit.agg_depth;
+  check_bool "bound" true (e.Audit.bound = Audit.B_cr)
+
+let test_standard_entries () =
+  let entries = Audit.standard_entries (Rng.create 3) ~in_dim:1 in
+  check_int "eight architectures" 8 (List.length entries);
+  let mpnn_count =
+    List.length (List.filter (fun e -> e.Audit.fragment = Expr.Frag_mpnn) entries)
+  in
+  check_int "six MPNN architectures" 6 mpnn_count
+
+let test_consistency_check () =
+  (* The degree expression cannot separate the CR-equivalent pair. *)
+  let e = Audit.audit ~architecture:"degree" (B.degree ~x:B.x1 ~y:B.x2) in
+  let c6 = Generators.cycle 6 in
+  let c33 = Graph.disjoint_union (Generators.cycle 3) (Generators.cycle 3) in
+  check_bool "degree consistent" true (Audit.consistent_on_pair e c6 c33);
+  (* The triangle counter does separate it. *)
+  let t = Audit.audit ~architecture:"triangles" (B.triangles_at_x1 ()) in
+  check_bool "triangles separate" false (Audit.consistent_on_pair t c6 c33);
+  check_bool "and CR is indeed fooled" true (Cr.equivalent_graphs c6 c33)
+
+let suite =
+  ( "core",
+    [
+      case "graph partition" test_graph_partition;
+      case "vertex partition" test_vertex_partition;
+      case "separates graphs" test_separates_graphs;
+      case "rounding tolerance" test_rounding_tolerance;
+      case "compare partitions" test_compare_partitions;
+      case "bound of fragment" test_bound_of_fragment;
+      case "audit entry" test_audit_entry;
+      case "standard entries" test_standard_entries;
+      case "consistency check" test_consistency_check;
+    ] )

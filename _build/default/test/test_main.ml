@@ -1,0 +1,21 @@
+(* Test entry point: one alcotest suite per library. *)
+
+let () =
+  Alcotest.run "glql"
+    [
+      Test_util.suite;
+      Test_tensor.suite;
+      Test_graph.suite;
+      Test_wl.suite;
+      Test_hom.suite;
+      Test_logic.suite;
+      Test_nn.suite;
+      Test_gnn.suite;
+      Test_gel.suite;
+      Test_learning.suite;
+      Test_core.suite;
+      Test_subgraph.suite;
+      Test_relational.suite;
+      Test_properties.suite;
+      Test_parser.suite;
+    ]

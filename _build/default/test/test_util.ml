@@ -1,0 +1,154 @@
+(* Unit and property tests for glql_util: SplitMix64, signatures,
+   interning, tables. *)
+
+open Helpers
+module Rng = Glql_util.Rng
+module Sig_hash = Glql_util.Sig_hash
+module Tbl = Glql_util.Tbl
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different streams" false (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let c = Rng.split a in
+  check_bool "split diverges" false (Rng.next_int64 a = Rng.next_int64 c)
+
+let prop_float_range =
+  qtest "float in [0,1)" QCheck.(int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let prop_int_range =
+  qtest "int in range"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_permutation =
+  qtest "shuffle is a permutation"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = Array.init n (fun i -> i) in
+      Rng.shuffle rng a;
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init n (fun i -> i))
+
+let prop_sample_distinct =
+  qtest "sample without replacement distinct"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 30))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k = 1 + (n / 2) in
+      let s = Rng.sample_without_replacement rng ~n ~k in
+      Array.length s = k
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k
+      && Array.for_all (fun x -> x >= 0 && x < n) s)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean near 0" true (Float.abs mean < 0.05);
+  check_bool "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_multiset_signature () =
+  Alcotest.(check string)
+    "order independent"
+    (Sig_hash.of_int_multiset [| 3; 1; 2 |])
+    (Sig_hash.of_int_multiset [| 2; 3; 1 |]);
+  check_bool "different multisets differ" false
+    (Sig_hash.of_int_multiset [| 1; 1; 2 |] = Sig_hash.of_int_multiset [| 1; 2; 2 |])
+
+let test_multiset_no_mutation () =
+  let a = [| 3; 1; 2 |] in
+  let _ = Sig_hash.of_int_multiset a in
+  check_bool "input untouched" true (a = [| 3; 1; 2 |])
+
+let test_int_list_order_sensitive () =
+  check_bool "order sensitive" false
+    (Sig_hash.of_int_list [ 1; 2 ] = Sig_hash.of_int_list [ 2; 1 ])
+
+let test_list_signature_unambiguous () =
+  (* [1; 23] and [12; 3] must not collide. *)
+  check_bool "no concatenation ambiguity" false
+    (Sig_hash.of_int_list [ 1; 23 ] = Sig_hash.of_int_list [ 12; 3 ])
+
+let test_float_vector_rounding () =
+  Alcotest.(check string)
+    "rounds at decimals"
+    (Sig_hash.of_float_vector ~decimals:3 [| 0.12345 |])
+    (Sig_hash.of_float_vector ~decimals:3 [| 0.12312 |]);
+  check_bool "distinguishes beyond tolerance" false
+    (Sig_hash.of_float_vector ~decimals:3 [| 0.123 |] = Sig_hash.of_float_vector ~decimals:3 [| 0.125 |])
+
+let test_float_vector_negative_zero () =
+  Alcotest.(check string)
+    "-0 = 0"
+    (Sig_hash.of_float_vector [| -0.0 |])
+    (Sig_hash.of_float_vector [| 0.0 |])
+
+let test_interner () =
+  let i = Sig_hash.Interner.create () in
+  let a = Sig_hash.Interner.intern i "x" in
+  let b = Sig_hash.Interner.intern i "y" in
+  let a' = Sig_hash.Interner.intern i "x" in
+  check_int "first id" 0 a;
+  check_int "second id" 1 b;
+  check_int "stable" a a';
+  check_int "size" 2 (Sig_hash.Interner.size i)
+
+let test_table_rendering () =
+  let t = Tbl.create ~headers:[ "a"; "bb" ] in
+  let t = Tbl.add_row t [ "xxx"; "y" ] in
+  let s = Tbl.to_string t in
+  check_bool "has header" true (String.length s > 0);
+  check_bool "header row present" true
+    (String.sub s 0 1 = "|");
+  Alcotest.check_raises "ragged row rejected" (Invalid_argument "Tbl.add_row: row width differs from header width")
+    (fun () -> ignore (Tbl.add_row t [ "only-one" ]))
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer floats" "3" (Tbl.fmt_float 3.0);
+  Alcotest.(check string) "fractional" "0.5000" (Tbl.fmt_float 0.5)
+
+let suite =
+  ( "util",
+    [
+      case "rng determinism" test_determinism;
+      case "rng seeds differ" test_different_seeds;
+      case "rng split" test_split_independent;
+      prop_float_range;
+      prop_int_range;
+      prop_shuffle_permutation;
+      prop_sample_distinct;
+      case "gaussian moments" test_gaussian_moments;
+      case "multiset signature" test_multiset_signature;
+      case "multiset input preserved" test_multiset_no_mutation;
+      case "list signature order" test_int_list_order_sensitive;
+      case "list signature unambiguous" test_list_signature_unambiguous;
+      case "float vector rounding" test_float_vector_rounding;
+      case "float vector -0" test_float_vector_negative_zero;
+      case "interner" test_interner;
+      case "table rendering" test_table_rendering;
+      case "float formatting" test_fmt_float;
+    ] )
