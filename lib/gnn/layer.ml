@@ -157,40 +157,59 @@ let forward g layer h = fst (forward_cached g layer h)
 
 let act_backward act z dout = Mat.map2 (fun dy zv -> dy *. Activation.derivative act zv) dout z
 
+(* Backward passes use the fused Mat kernels: dW accumulates via
+   add_mul_at_b (no transpose / product intermediates) and dX comes from
+   mul_abt; neighbour sums accumulate in place via add_sum_neighbors. *)
 let backward g layer cache ~dout =
   match (layer, cache) with
   | Gnn101 { w1; w2; b; act }, C_gnn101 { h; ah; z } ->
       let dz = act_backward act z dout in
-      Mat.add_inplace ~into:w1.Param.grad (Mat.mul (Mat.transpose h) dz);
-      Mat.add_inplace ~into:w2.Param.grad (Mat.mul (Mat.transpose ah) dz);
+      Mat.add_mul_at_b ~into:w1.Param.grad h dz;
+      Mat.add_mul_at_b ~into:w2.Param.grad ah dz;
       accumulate_bias_grad b dz;
-      let dh = Mat.mul dz (Mat.transpose w1.Param.data) in
-      Mat.add_inplace ~into:dh (Propagate.sum_neighbors g (Mat.mul dz (Mat.transpose w2.Param.data)));
+      let dh = Mat.mul_abt dz w1.Param.data in
+      Propagate.add_sum_neighbors ~into:dh g (Mat.mul_abt dz w2.Param.data);
       dh
   | Gcn { w; act }, C_gcn { p; z } ->
       let dz = act_backward act z dout in
-      Mat.add_inplace ~into:w.Param.grad (Mat.mul (Mat.transpose p) dz);
-      Propagate.gcn_neighbors g (Mat.mul dz (Mat.transpose w.Param.data))
+      Mat.add_mul_at_b ~into:w.Param.grad p dz;
+      Propagate.gcn_neighbors g (Mat.mul_abt dz w.Param.data)
   | Gin { eps; mlp }, C_gin { mlp_cache } ->
       let ds = Mlp.backward mlp mlp_cache ~dout in
       let dh = Mat.scale (1.0 +. eps) ds in
-      Mat.add_inplace ~into:dh (Propagate.sum_neighbors g ds);
+      Propagate.add_sum_neighbors ~into:dh g ds;
       dh
   | Sage { agg; wself; wnb; b; act }, C_sage { h; agg_h; argmax; z } ->
       let dz = act_backward act z dout in
-      Mat.add_inplace ~into:wself.Param.grad (Mat.mul (Mat.transpose h) dz);
-      Mat.add_inplace ~into:wnb.Param.grad (Mat.mul (Mat.transpose agg_h) dz);
+      Mat.add_mul_at_b ~into:wself.Param.grad h dz;
+      Mat.add_mul_at_b ~into:wnb.Param.grad agg_h dz;
       accumulate_bias_grad b dz;
-      let dh = Mat.mul dz (Mat.transpose wself.Param.data) in
-      let dagg = Mat.mul dz (Mat.transpose wnb.Param.data) in
-      let dagg_h =
-        match (agg, argmax) with
-        | Sum, _ -> Propagate.sum_neighbors g dagg
-        | Mean, _ -> Propagate.mean_neighbors_backward g dagg
-        | Max, Some a -> Propagate.max_neighbors_backward g a dagg
-        | Max, None -> assert false
-      in
-      Mat.add_inplace ~into:dh dagg_h;
+      let dh = Mat.mul_abt dz wself.Param.data in
+      let dagg = Mat.mul_abt dz wnb.Param.data in
+      (match (agg, argmax) with
+      | Sum, _ -> Propagate.add_sum_neighbors ~into:dh g dagg
+      | Mean, _ -> Mat.add_inplace ~into:dh (Propagate.mean_neighbors_backward g dagg)
+      | Max, Some a -> Mat.add_inplace ~into:dh (Propagate.max_neighbors_backward g a dagg)
+      | Max, None -> assert false);
       dh
   | Gat _, _ -> failwith "Layer.backward: Gat is forward-only"
   | _ -> invalid_arg "Layer.backward: cache does not match layer"
+
+(* Shadow layer for race-free parallel backward passes: weights shared,
+   gradient buffers private (see Param.shadow). *)
+let shadow = function
+  | Gnn101 { w1; w2; b; act } ->
+      Gnn101 { w1 = Param.shadow w1; w2 = Param.shadow w2; b = Param.shadow b; act }
+  | Gcn { w; act } -> Gcn { w = Param.shadow w; act }
+  | Gin { eps; mlp } -> Gin { eps; mlp = Mlp.shadow mlp }
+  | Sage { agg; wself; wnb; b; act } ->
+      Sage
+        {
+          agg;
+          wself = Param.shadow wself;
+          wnb = Param.shadow wnb;
+          b = Param.shadow b;
+          act;
+        }
+  | Gat { w; a_src; a_dst; act } ->
+      Gat { w = Param.shadow w; a_src = Param.shadow a_src; a_dst = Param.shadow a_dst; act }

@@ -40,3 +40,7 @@ val forward : Graph.t -> t -> Mat.t -> Mat.t
 
 (** Accumulate parameter gradients; returns dL/d(input features). *)
 val backward : Graph.t -> t -> cache -> dout:Mat.t -> Mat.t
+
+(** Shadow layer sharing weights but owning private gradient buffers, for
+    race-free parallel backward passes (see {!Glql_nn.Param.shadow}). *)
+val shadow : t -> t

@@ -27,6 +27,14 @@ type t = {
 
 let create ?readout ?head layers = { layers; readout; head }
 
+(* Shadow model for per-graph parallel training: every parameter shares
+   its weights with [t] but owns a private gradient buffer, so one
+   forward/backward per domain runs race-free.  [params] of a shadow
+   aligns index-wise with [params] of the original, which is what the
+   deterministic gradient merge in Erm relies on. *)
+let shadow t =
+  { t with layers = List.map Layer.shadow t.layers; head = Option.map Mlp.shadow t.head }
+
 let params t =
   List.concat_map Layer.params t.layers
   @ (match t.head with Some mlp -> Mlp.params mlp | None -> [])

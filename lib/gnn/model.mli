@@ -19,6 +19,11 @@ type cache
 val create : ?readout:readout -> ?head:Mlp.t -> Layer.t list -> t
 val params : t -> Param.t list
 
+(** Shadow model sharing weights but owning private gradient buffers;
+    [params] of the shadow aligns index-wise with [params] of the
+    original (the contract of the deterministic gradient merge). *)
+val shadow : t -> t
+
 (** Vertex labels as the initial feature matrix F(0). *)
 val initial_features : Graph.t -> Mat.t
 

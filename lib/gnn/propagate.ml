@@ -2,23 +2,47 @@
    "sum over u in N_G(v)" of slide 13 and its mean/max/GCN-normalised
    variants, with the transposed operations needed for backpropagation.
    All graphs here are undirected, so A = A^T and sum/mean/GCN backward
-   reuse the forward propagation with appropriate scaling. *)
+   reuse the forward propagation with appropriate scaling.
+
+   Every operation is written in gather form — output row v depends only
+   on rows of the input — so rows parallelize over the domain pool with
+   no write conflicts, and since one domain produces a whole row with the
+   sequential loop order, results are bit-identical for every pool size.
+   Adjacency lists are sorted, so the gather form of the mean backward
+   also accumulates contributions in the same vertex order as the
+   textbook scatter form. *)
 
 module Mat = Glql_tensor.Mat
 module Graph = Glql_graph.Graph
+module Pool = Glql_util.Pool
 
-(* (A H): row v becomes the sum of H's rows over v's neighbours. *)
-let sum_neighbors g h =
+(* Below this many output cells the dispatch overhead dominates. *)
+let par_cells = 2048
+
+let rows_over n d f =
+  if n * d >= par_cells then Pool.parallel_for ~n f
+  else
+    for v = 0 to n - 1 do
+      f v
+    done
+
+(* (A H): row v becomes the sum of H's rows over v's neighbours,
+   accumulated into [into] on top of its current contents. *)
+let add_sum_neighbors ~into g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
-  let out = Mat.zeros n d in
-  for v = 0 to n - 1 do
-    Array.iter
-      (fun u ->
-        for j = 0 to d - 1 do
-          Mat.set out v j (Mat.get out v j +. Mat.get h u j)
-        done)
-      (Graph.neighbors g v)
-  done;
+  if Mat.rows into <> n || Mat.cols into <> d then
+    invalid_arg "Propagate.add_sum_neighbors: bad output shape";
+  rows_over n d (fun v ->
+      Array.iter
+        (fun u ->
+          for j = 0 to d - 1 do
+            Mat.set into v j (Mat.get into v j +. Mat.get h u j)
+          done)
+        (Graph.neighbors g v))
+
+let sum_neighbors g h =
+  let out = Mat.zeros (Graph.n_vertices g) (Mat.cols h) in
+  add_sum_neighbors ~into:out g h;
   out
 
 (* Mean over neighbours; isolated vertices get the zero vector. *)
@@ -33,23 +57,19 @@ let mean_neighbors g h =
   done;
   out
 
-(* Backward of mean: scatter dZ row v divided by deg(v) to v's neighbours;
-   equals A D^{-1} dZ by symmetry of A. *)
+(* Backward of mean: A D^{-1} dZ by symmetry of A, gathered per output
+   row — out row u collects dZ row v / deg(v) over v in N(u). *)
 let mean_neighbors_backward g dz =
   let n = Graph.n_vertices g and d = Mat.cols dz in
   let out = Mat.zeros n d in
-  for v = 0 to n - 1 do
-    let deg = Graph.degree g v in
-    if deg > 0 then begin
-      let inv = 1.0 /. float_of_int deg in
+  rows_over n d (fun u ->
       Array.iter
-        (fun u ->
+        (fun v ->
+          let inv = 1.0 /. float_of_int (Graph.degree g v) in
           for j = 0 to d - 1 do
             Mat.set out u j (Mat.get out u j +. (inv *. Mat.get dz v j))
           done)
-        (Graph.neighbors g v)
-    end
-  done;
+        (Graph.neighbors g u));
   out
 
 (* Max over neighbours with the argmax cache (first max wins); isolated
@@ -58,19 +78,19 @@ let max_neighbors g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
   let out = Mat.zeros n d in
   let arg = Array.make_matrix n d (-1) in
-  for v = 0 to n - 1 do
-    let nb = Graph.neighbors g v in
-    if Array.length nb > 0 then
-      for j = 0 to d - 1 do
-        let best = ref nb.(0) in
-        Array.iter (fun u -> if Mat.get h u j > Mat.get h !best j then best := u) nb;
-        Mat.set out v j (Mat.get h !best j);
-        arg.(v).(j) <- !best
-      done
-  done;
+  rows_over n d (fun v ->
+      let nb = Graph.neighbors g v in
+      if Array.length nb > 0 then
+        for j = 0 to d - 1 do
+          let best = ref nb.(0) in
+          Array.iter (fun u -> if Mat.get h u j > Mat.get h !best j then best := u) nb;
+          Mat.set out v j (Mat.get h !best j);
+          arg.(v).(j) <- !best
+        done);
   (out, arg)
 
-(* Backward of max: route each output gradient to its argmax source. *)
+(* Backward of max: route each output gradient to its argmax source.
+   Scatter form (cheap: one add per cell); kept sequential. *)
 let max_neighbors_backward g arg dz =
   let n = Graph.n_vertices g and d = Mat.cols dz in
   let out = Mat.zeros n d in
@@ -89,17 +109,16 @@ let gcn_neighbors g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
   let inv_sqrt_deg = Array.init n (fun v -> 1.0 /. sqrt (float_of_int (Graph.degree g v + 1))) in
   let out = Mat.zeros n d in
-  for v = 0 to n - 1 do
-    let self_coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(v) in
-    for j = 0 to d - 1 do
-      Mat.set out v j (self_coef *. Mat.get h v j)
-    done;
-    Array.iter
-      (fun u ->
-        let coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(u) in
-        for j = 0 to d - 1 do
-          Mat.set out v j (Mat.get out v j +. (coef *. Mat.get h u j))
-        done)
-      (Graph.neighbors g v)
-  done;
+  rows_over n d (fun v ->
+      let self_coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(v) in
+      for j = 0 to d - 1 do
+        Mat.set out v j (self_coef *. Mat.get h v j)
+      done;
+      Array.iter
+        (fun u ->
+          let coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(u) in
+          for j = 0 to d - 1 do
+            Mat.set out v j (Mat.get out v j +. (coef *. Mat.get h u j))
+          done)
+        (Graph.neighbors g v));
   out

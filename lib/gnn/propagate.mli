@@ -8,6 +8,10 @@ module Graph = Glql_graph.Graph
     operator for itself. *)
 val sum_neighbors : Graph.t -> Mat.t -> Mat.t
 
+(** [add_sum_neighbors ~into g h] accumulates [A H] on top of [into] —
+    the allocation-free form used by the backward passes. *)
+val add_sum_neighbors : into:Mat.t -> Graph.t -> Mat.t -> unit
+
 (** Mean of neighbour rows; zero for isolated vertices. *)
 val mean_neighbors : Graph.t -> Mat.t -> Mat.t
 

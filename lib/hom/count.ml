@@ -7,6 +7,7 @@
    (e.g. label-preserving homomorphisms). *)
 
 module Graph = Glql_graph.Graph
+module Pool = Glql_util.Pool
 
 let default_compatible _pattern_v _graph_v = true
 
@@ -130,17 +131,26 @@ let triangles_at g =
       float_of_int !c)
 
 (* Rooted hom-count vector for arbitrary patterns: the tree DP when the
-   pattern is a tree, otherwise one pinned backtracking count per vertex. *)
+   pattern is a tree, otherwise one pinned backtracking count per vertex
+   (each pin is independent, so pins run on the domain pool). *)
 let rooted_hom_vector_any pattern ~root g =
   if Tree.is_tree pattern then hom_tree_rooted pattern root g
-  else
-    Array.init (Graph.n_vertices g) (fun v ->
-        hom_bruteforce ~compatible:(fun pv gv -> pv <> root || gv = v) pattern g)
+  else begin
+    let n = Graph.n_vertices g in
+    let out = Array.make n 0.0 in
+    Pool.parallel_for ~n (fun v ->
+        out.(v) <- hom_bruteforce ~compatible:(fun pv gv -> pv <> root || gv = v) pattern g);
+    out
+  end
 
 (* Homomorphism profile of G over a pattern list — the "hom count
-   embedding" view of slide 27/72. *)
-let profile patterns g = Array.of_list (List.map (fun p -> hom p g) patterns)
+   embedding" view of slide 27/72.  One pure count per pattern, run on
+   the domain pool; entry order follows the pattern list, so the result
+   is identical for every pool size. *)
+let profile patterns g = Pool.parallel_map_array (fun p -> hom p g) (Array.of_list patterns)
 
-(* Are G and H indistinguishable by hom counts from all the patterns? *)
+(* Are G and H indistinguishable by hom counts from all the patterns?
+   Both profiles are counted in one parallel sweep over the patterns. *)
 let equal_profiles patterns g h =
-  List.for_all (fun p -> hom p g = hom p h) patterns
+  let agree = Pool.parallel_map_array (fun p -> hom p g = hom p h) (Array.of_list patterns) in
+  Array.for_all (fun b -> b) agree

@@ -3,7 +3,15 @@
 
    Three trainers cover the three embedding kinds: graph classification,
    semi-supervised node classification and link prediction, plus a scalar
-   graph regressor for the approximation experiment (E9). *)
+   graph regressor for the approximation experiment (E9).
+
+   The per-graph trainers run each minibatch graph's forward/backward on
+   its own domain via the pool: graph t accumulates into its own shadow
+   of the model (shared weights, private gradients), and after the sweep
+   the shadow gradients and losses are folded into the real parameters
+   strictly in minibatch index order.  Gradients therefore see exactly
+   the same sequence of float additions for every pool size, and
+   training is bit-identical to the sequential run. *)
 
 module Mat = Glql_tensor.Mat
 module Vec = Glql_tensor.Vec
@@ -11,8 +19,42 @@ module Model = Glql_gnn.Model
 module Loss = Glql_nn.Loss
 module Optim = Glql_nn.Optim
 module Mlp = Glql_nn.Mlp
+module Param = Glql_nn.Param
+module Pool = Glql_util.Pool
 
 type history = { losses : float list; train_metric : float; test_metric : float }
+
+(* Per-graph gradient accumulation state for one trainer call: one shadow
+   model (and its params, aligned with the real params) per minibatch
+   slot, plus that slot's loss. *)
+type grad_slots = {
+  slot_models : Model.t array;
+  slot_params : Param.t list array;
+  slot_losses : float array;
+}
+
+let make_slots model k =
+  let slot_models = Array.init k (fun _ -> Model.shadow model) in
+  {
+    slot_models;
+    slot_params = Array.map Model.params slot_models;
+    slot_losses = Array.make k 0.0;
+  }
+
+(* Fold the shadows into [params] in index order and return the summed
+   loss; re-zeroes the shadow gradients for the next epoch. *)
+let merge_slots slots params =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun t sparams ->
+      total := !total +. slots.slot_losses.(t);
+      List.iter2
+        (fun (p : Param.t) (s : Param.t) ->
+          Mat.add_inplace ~into:p.Param.grad s.Param.grad;
+          Mat.fill s.Param.grad 0.0)
+        params sparams)
+    slots.slot_params;
+  !total
 
 (* --- graph classification ------------------------------------------------ *)
 
@@ -22,35 +64,40 @@ let eval_graph_classifier model (ds : Dataset.graph_classification) indices =
   match indices with
   | [] -> 0.0
   | _ ->
+      let idxs = Array.of_list indices in
       let correct =
-        List.fold_left
-          (fun acc i ->
+        Pool.parallel_reduce ~n:(Array.length idxs) ~init:0
+          ~map:(fun t ->
+            let i = idxs.(t) in
             let logits = graph_logits model ds.Dataset.graphs.(i) in
-            if Vec.argmax logits = ds.Dataset.gc_labels.(i) then acc + 1 else acc)
-          0 indices
+            if Vec.argmax logits = ds.Dataset.gc_labels.(i) then 1 else 0)
+          ~combine:( + )
       in
-      float_of_int correct /. float_of_int (List.length indices)
+      float_of_int correct /. float_of_int (Array.length idxs)
 
 let train_graph_classifier ?(epochs = 60) ?(lr = 0.01) model (ds : Dataset.graph_classification)
     ~train_indices ~test_indices =
   let opt = Optim.adam ~lr () in
   let params = Model.params model in
+  let idxs = Array.of_list train_indices in
+  let k = Array.length idxs in
+  let slots = make_slots model k in
   let losses = ref [] in
   for _epoch = 1 to epochs do
-    let total = ref 0.0 in
-    List.iter
-      (fun i ->
+    Pool.parallel_for ~n:k (fun t ->
+        let i = idxs.(t) in
         let g = ds.Dataset.graphs.(i) in
-        let logits, cache = Model.forward_graph_cached model g in
+        let sh = slots.slot_models.(t) in
+        let logits, cache = Model.forward_graph_cached sh g in
         let loss, dlogits =
           Loss.softmax_cross_entropy ~logits:(Mat.of_rows [ logits ])
             ~labels:[| ds.Dataset.gc_labels.(i) |]
         in
-        total := !total +. loss;
-        Model.backward_graph model g cache ~dout:(Mat.row dlogits 0))
-      train_indices;
+        slots.slot_losses.(t) <- loss;
+        Model.backward_graph sh g cache ~dout:(Mat.row dlogits 0));
+    let total = merge_slots slots params in
     Optim.step opt params;
-    losses := (!total /. float_of_int (max 1 (List.length train_indices))) :: !losses
+    losses := (total /. float_of_int (max 1 k)) :: !losses
   done;
   {
     losses = List.rev !losses;
@@ -222,37 +269,42 @@ let regression_mse model (rg : Dataset.regression) indices =
   match indices with
   | [] -> 0.0
   | _ ->
+      let idxs = Array.of_list indices in
       let total =
-        List.fold_left
-          (fun acc i ->
+        Pool.parallel_reduce ~n:(Array.length idxs) ~init:0.0
+          ~map:(fun t ->
+            let i = idxs.(t) in
             let out = (Model.graph_embedding model rg.Dataset.rg_graphs.(i)).(0) in
             let d = out -. rg.Dataset.rg_targets.(i) in
-            acc +. (d *. d))
-          0.0 indices
+            d *. d)
+          ~combine:( +. )
       in
-      total /. float_of_int (List.length indices)
+      total /. float_of_int (Array.length idxs)
 
 let train_graph_regressor ?(epochs = 200) ?(lr = 0.005) model (rg : Dataset.regression)
     ~train_indices ~test_indices =
   let opt = Optim.adam ~lr () in
   let params = Model.params model in
+  let idxs = Array.of_list train_indices in
+  let k = Array.length idxs in
+  let slots = make_slots model k in
+  let inv_n = 1.0 /. float_of_int (max 1 k) in
   let losses = ref [] in
   for _epoch = 1 to epochs do
-    let total = ref 0.0 in
-    List.iter
-      (fun i ->
+    Pool.parallel_for ~n:k (fun t ->
+        let i = idxs.(t) in
         let g = rg.Dataset.rg_graphs.(i) in
-        let out, cache = Model.forward_graph_cached model g in
+        let sh = slots.slot_models.(t) in
+        let out, cache = Model.forward_graph_cached sh g in
         let target = rg.Dataset.rg_targets.(i) in
         let loss, dout =
           Loss.mse ~pred:(Mat.of_rows [ out ]) ~target:(Mat.of_rows [ [| target |] ])
         in
-        total := !total +. loss;
-        Model.backward_graph model g cache
-          ~dout:(Vec.scale (1.0 /. float_of_int (max 1 (List.length train_indices))) (Mat.row dout 0)))
-      train_indices;
+        slots.slot_losses.(t) <- loss;
+        Model.backward_graph sh g cache ~dout:(Vec.scale inv_n (Mat.row dout 0)));
+    let total = merge_slots slots params in
     Optim.step opt params;
-    losses := (!total /. float_of_int (max 1 (List.length train_indices))) :: !losses
+    losses := (total /. float_of_int (max 1 k)) :: !losses
   done;
   {
     losses = List.rev !losses;

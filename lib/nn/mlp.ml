@@ -63,7 +63,11 @@ let forward_cached t x =
   go x t.layers [] []
 
 (* Backward pass: accumulates dL/dW, dL/db into the params and returns
-   dL/dX for the network input. *)
+   dL/dX for the network input.  The matrix products are fused
+   (Mat.add_mul_at_b / Mat.mul_abt), so no transpose or product
+   intermediate is materialised, and below the top layer the incoming
+   gradient buffer — owned by this loop — is reused in place as the dZ
+   scratch. *)
 let backward t cache ~dout =
   let layers = Array.of_list t.layers in
   let inputs = Array.of_list cache.inputs in
@@ -73,10 +77,17 @@ let backward t cache ~dout =
     let l = layers.(li) in
     let z = preacts.(li) in
     let x = inputs.(li) in
-    (* dZ = dY (.) act'(Z) *)
-    let dz = Mat.map2 (fun dy zv -> dy *. Activation.derivative l.act zv) !d z in
+    (* dZ = dY (.) act'(Z); never clobber the caller's dout. *)
+    let dz =
+      if li = Array.length layers - 1 then
+        Mat.map2 (fun dy zv -> dy *. Activation.derivative l.act zv) !d z
+      else begin
+        Mat.map2_into ~into:!d (fun dy zv -> dy *. Activation.derivative l.act zv) !d z;
+        !d
+      end
+    in
     (* dW += X^T dZ ; db += column sums of dZ ; dX = dZ W^T *)
-    Mat.add_inplace ~into:l.w.Param.grad (Mat.mul (Mat.transpose x) dz);
+    Mat.add_mul_at_b ~into:l.w.Param.grad x dz;
     for j = 0 to Mat.cols dz - 1 do
       let s = ref 0.0 in
       for i = 0 to Mat.rows dz - 1 do
@@ -84,9 +95,14 @@ let backward t cache ~dout =
       done;
       Mat.set l.b.Param.grad 0 j (Mat.get l.b.Param.grad 0 j +. !s)
     done;
-    d := Mat.mul dz (Mat.transpose l.w.Param.data)
+    d := Mat.mul_abt dz l.w.Param.data
   done;
   !d
+
+(* Shadow network for race-free parallel backward passes: weights are
+   shared, gradient buffers are private (see Param.shadow). *)
+let shadow t =
+  { layers = List.map (fun l -> { l with w = Param.shadow l.w; b = Param.shadow l.b }) t.layers }
 
 (* Convenience single-vector application. *)
 let apply_vec t v = Mat.row (forward t (Mat.of_rows [ v ])) 0

@@ -27,3 +27,7 @@ val backward : t -> cache -> dout:Mat.t -> Mat.t
 
 (** Apply to a single row vector. *)
 val apply_vec : t -> Vec.t -> Vec.t
+
+(** Shadow network sharing weights but owning private gradient buffers,
+    for race-free parallel backward passes (see {!Param.shadow}). *)
+val shadow : t -> t

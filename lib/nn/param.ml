@@ -28,3 +28,10 @@ let grad_norm p =
     done
   done;
   sqrt !acc
+
+(* A shadow of [p]: shares the (read-only during forward/backward) data
+   matrix but owns a private zeroed gradient buffer, so concurrent
+   backward passes on different domains never race.  The moment buffers
+   are shared too — only the optimiser touches them, and it only ever
+   runs on the original parameters. *)
+let shadow p = { p with grad = Mat.zeros (Mat.rows p.grad) (Mat.cols p.grad) }

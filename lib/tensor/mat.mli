@@ -1,5 +1,8 @@
 (** Dense row-major float matrices. BLAS-free; sized for the small corpora
-    used throughout the reproduction. *)
+    used throughout the reproduction.  Large products are row-blocked over
+    the {!Glql_util.Pool} domain pool; each output row is produced by one
+    domain with the sequential inner loops, so results are bit-identical
+    for every pool size. *)
 
 type t
 
@@ -22,6 +25,10 @@ val row : t -> int -> Vec.t
 val set_row : t -> int -> Vec.t -> unit
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
+
+(** Pointwise [into = f a b]; [into] may alias [a] or [b], letting
+    backward passes reuse a gradient buffer as scratch. *)
+val map2_into : into:t -> (float -> float -> float) -> t -> t -> unit
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
@@ -31,10 +38,27 @@ val transpose : t -> t
     convention). *)
 val vec_mul : Vec.t -> t -> Vec.t
 
+(** [vec_mul_into ~into x m] computes [x · m] into the caller-owned
+    buffer [into] (overwritten), avoiding the allocation of [vec_mul]. *)
+val vec_mul_into : into:Vec.t -> Vec.t -> t -> unit
+
 (** [mul_vec m x] is the column-vector product [m · x]. *)
 val mul_vec : t -> Vec.t -> Vec.t
 
 val mul : t -> t -> t
+
+(** [mul_into ~into a b] computes [a · b] into the caller-owned matrix
+    [into] (overwritten; must not alias an operand). *)
+val mul_into : into:t -> t -> t -> unit
+
+(** [add_mul_at_b ~into a b] accumulates [aᵀ · b] into [into] without
+    materialising the transpose or the product — the dW update of the
+    backward passes. *)
+val add_mul_at_b : into:t -> t -> t -> unit
+
+(** [mul_abt a b] is [a · bᵀ] without materialising the transpose — the
+    dX computation of the backward passes. *)
+val mul_abt : t -> t -> t
 val add_inplace : into:t -> t -> unit
 
 (** [axpy_inplace ~into alpha a] adds [alpha * a] into [into]. *)

@@ -5,10 +5,19 @@
    lockstep until the *joint* partition over all vertices stabilises.
    Because a vertex's refinement key only mentions its own graph, a joint
    run restricted to one graph equals a solo run of that graph — which is
-   why comparing stable colourings of a joint run decides CR-equivalence. *)
+   why comparing stable colourings of a joint run decides CR-equivalence.
+
+   Each round runs in two phases so a corpus refines in parallel without
+   losing determinism: phase one builds every vertex's signature string
+   (pure, embarrassingly parallel over all (graph, vertex) items via the
+   domain pool); phase two interns the strings sequentially in graph-major
+   vertex order.  Interned ids depend only on the first-encounter order of
+   distinct keys, which phase two fixes, so colourings are identical for
+   every pool size. *)
 
 module Sig_hash = Glql_util.Sig_hash
 module Graph = Glql_graph.Graph
+module Pool = Glql_util.Pool
 
 type result = {
   graphs : Graph.t list;
@@ -19,35 +28,55 @@ type result = {
   rounds : int;
 }
 
-let initial_colors interner g =
-  Array.init (Graph.n_vertices g) (fun v ->
-      Sig_hash.Interner.intern interner ("L" ^ Sig_hash.of_float_vector (Graph.label g v)))
-
-let refine_graph interner g colors =
-  Array.init (Graph.n_vertices g) (fun v ->
-      let nb = Array.map (fun u -> colors.(u)) (Graph.neighbors g v) in
-      let key = string_of_int colors.(v) ^ "|" ^ Sig_hash.of_int_multiset nb in
-      Sig_hash.Interner.intern interner key)
-
 let joint_color_count colorings =
   let seen = Hashtbl.create 64 in
   List.iter (fun colors -> Array.iter (fun c -> Hashtbl.replace seen c ()) colors) colorings;
   Hashtbl.length seen
 
 let run_joint ?max_rounds graphs =
+  let garr = Array.of_list graphs in
+  let ng = Array.length garr in
+  let offsets = Array.make (ng + 1) 0 in
+  for i = 0 to ng - 1 do
+    offsets.(i + 1) <- offsets.(i) + Graph.n_vertices garr.(i)
+  done;
+  let total = offsets.(ng) in
+  (* owner.(idx) = index of the graph holding flat item idx. *)
+  let owner = Array.make total 0 in
+  for i = 0 to ng - 1 do
+    Array.fill owner offsets.(i) (Graph.n_vertices garr.(i)) i
+  done;
   let interner = Sig_hash.Interner.create () in
-  let current = ref (List.map (initial_colors interner) graphs) in
+  let keys = Array.make total "" in
+  (* Intern this round's keys in flat (graph-major) order into fresh
+     per-graph colour arrays — the sequential phase of each round. *)
+  let intern_all () =
+    let out = Array.init ng (fun gi -> Array.make (Graph.n_vertices garr.(gi)) 0) in
+    for idx = 0 to total - 1 do
+      let gi = owner.(idx) in
+      out.(gi).(idx - offsets.(gi)) <- Sig_hash.Interner.intern interner keys.(idx)
+    done;
+    Array.to_list out
+  in
+  Pool.parallel_for ~n:total (fun idx ->
+      let gi = owner.(idx) in
+      let v = idx - offsets.(gi) in
+      keys.(idx) <- "L" ^ Sig_hash.of_float_vector (Graph.label garr.(gi) v));
+  let current = ref (intern_all ()) in
   let history = ref [ !current ] in
   let count = ref (joint_color_count !current) in
   let rounds = ref 0 in
-  let limit =
-    match max_rounds with
-    | Some m -> m
-    | None -> List.fold_left (fun acc g -> acc + Graph.n_vertices g) 1 graphs
-  in
+  let limit = match max_rounds with Some m -> m | None -> total + 1 in
   let continue_ = ref true in
   while !continue_ && !rounds < limit do
-    let next = List.map2 (refine_graph interner) graphs !current in
+    let colors = Array.of_list !current in
+    Pool.parallel_for ~n:total (fun idx ->
+        let gi = owner.(idx) in
+        let v = idx - offsets.(gi) in
+        let c = colors.(gi) in
+        let nb = Array.map (fun u -> c.(u)) (Graph.neighbors garr.(gi) v) in
+        keys.(idx) <- string_of_int c.(v) ^ "|" ^ Sig_hash.of_int_multiset nb);
+    let next = intern_all () in
     let count' = joint_color_count next in
     current := next;
     history := next :: !history;

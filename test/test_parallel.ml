@@ -1,0 +1,284 @@
+(* Determinism tests for the multicore execution layer.
+
+   This suite is its own executable, run twice by dune (GLQL_DOMAINS=1 and
+   GLQL_DOMAINS=4, see test/dune), so both the sequential fallback and a
+   genuinely parallel pool are exercised on every `dune runtest`.  Each
+   test compares a kernel under the ambient pool size against the same
+   kernel forced through [Pool.sequential]; since the reference never
+   depends on the pool, passing under both sizes proves size-1 and size-4
+   outputs are identical — colours and counts exactly, floats bit for
+   bit. *)
+
+module Pool = Glql_util.Pool
+module Rng = Glql_util.Rng
+module Mat = Glql_tensor.Mat
+module Generators = Glql_graph.Generators
+module Cr = Glql_wl.Color_refinement
+module Tree = Glql_hom.Tree
+module Count = Glql_hom.Count
+module Propagate = Glql_gnn.Propagate
+module Model = Glql_gnn.Model
+module Dataset = Glql_learning.Dataset
+module Erm = Glql_learning.Erm
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 30) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+
+let seed_arb = QCheck.(int_bound 1_000_000)
+
+let random_graph seed ~n ~p = Generators.erdos_renyi (Rng.create seed) ~n ~p
+
+let random_mat seed rows cols =
+  let rng = Rng.create seed in
+  Mat.init rows cols (fun _ _ -> Rng.gaussian rng)
+
+(* Exact float matrix equality (zero tolerance). *)
+let mat_eq a b =
+  Mat.rows a = Mat.rows b
+  && Mat.cols a = Mat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Mat.rows a - 1 do
+    for j = 0 to Mat.cols a - 1 do
+      if not (Float.equal (Mat.get a i j) (Mat.get b i j)) then ok := false
+    done
+  done;
+  !ok
+
+let float_array_eq a b = Array.length a = Array.length b && Array.for_all2 Float.equal a b
+
+(* --- pool combinators --------------------------------------------------- *)
+
+let test_size_env () =
+  match Sys.getenv_opt "GLQL_DOMAINS" with
+  | Some s -> Alcotest.(check int) "size honours GLQL_DOMAINS" (int_of_string s) (Pool.size ())
+  | None -> ()
+
+let test_parallel_for () =
+  let n = 1000 in
+  let par = Array.make n 0 and seq = Array.make n 0 in
+  Pool.parallel_for ~n (fun i -> par.(i) <- (i * i) + 1);
+  for i = 0 to n - 1 do
+    seq.(i) <- (i * i) + 1
+  done;
+  Alcotest.(check bool) "parallel_for fills every slot" true (par = seq)
+
+let test_parallel_map () =
+  let a = Array.init 257 (fun i -> i - 100) in
+  Alcotest.(check bool)
+    "map matches Array.map" true
+    (Pool.parallel_map_array (fun x -> (x * 7) mod 13) a = Array.map (fun x -> (x * 7) mod 13) a)
+
+let test_reduce_order () =
+  (* An order-sensitive float combine: only index-order reduction gives
+     the sequential fold's bits. *)
+  let n = 500 in
+  let map i = Float.of_int (i + 1) /. 3.0 in
+  let combine acc x = (acc *. 0.75) +. x in
+  let par = Pool.parallel_reduce ~n ~init:1.0 ~map ~combine in
+  let seq = ref 1.0 in
+  for i = 0 to n - 1 do
+    seq := combine !seq (map i)
+  done;
+  Alcotest.(check bool) "reduce combines in index order" true (Float.equal par !seq)
+
+exception Boom
+
+let test_exception () =
+  let raised =
+    try
+      Pool.parallel_for ~n:64 (fun i -> if i = 37 then raise Boom);
+      false
+    with Boom -> true
+  in
+  Alcotest.(check bool) "exceptions propagate to the caller" true raised
+
+let test_nested () =
+  let n = 16 in
+  let out = Array.make_matrix n n 0 in
+  Pool.parallel_for ~n (fun i ->
+      Pool.parallel_for ~n (fun j -> out.(i).(j) <- (i * n) + j));
+  let expect = Array.init n (fun i -> Array.init n (fun j -> (i * n) + j)) in
+  Alcotest.(check bool) "nested regions degrade but compute" true (out = expect)
+
+let test_sequential_restores () =
+  let inside = Pool.sequential (fun () -> 41 + 1) in
+  Alcotest.(check int) "sequential returns the thunk's value" 42 inside;
+  (* After [sequential], parallel regions must work again. *)
+  test_parallel_for ()
+
+(* --- WL joint refinement ------------------------------------------------- *)
+
+let prop_run_joint_deterministic =
+  qtest "run_joint: pool == sequential (colors, rounds)" seed_arb (fun seed ->
+      let corpus =
+        List.init 4 (fun i ->
+            random_graph (seed + (31 * i)) ~n:(6 + ((seed + i) mod 9)) ~p:0.3)
+      in
+      let par = Cr.run_joint corpus in
+      let seq = Pool.sequential (fun () -> Cr.run_joint corpus) in
+      Cr.stable_colors par = Cr.stable_colors seq
+      && Cr.rounds par = Cr.rounds seq
+      && Cr.history par = Cr.history seq)
+
+let prop_graph_partition_deterministic =
+  qtest "graph_partition: pool == sequential" seed_arb (fun seed ->
+      let corpus = List.init 6 (fun i -> random_graph (seed + (7 * i)) ~n:8 ~p:0.35) in
+      let par = Cr.graph_partition corpus in
+      let seq = Pool.sequential (fun () -> Cr.graph_partition corpus) in
+      par = seq)
+
+(* --- hom-count profiles --------------------------------------------------- *)
+
+let trees6 = Tree.all_free_trees_up_to 6
+
+let prop_hom_profile_deterministic =
+  qtest "Count.profile: pool == sequential (bit-equal floats)" seed_arb (fun seed ->
+      let g = random_graph seed ~n:(5 + (seed mod 8)) ~p:0.4 in
+      let par = Count.profile trees6 g in
+      let seq = Pool.sequential (fun () -> Count.profile trees6 g) in
+      float_array_eq par seq)
+
+let prop_equal_profiles_deterministic =
+  qtest "Count.equal_profiles: pool == sequential" seed_arb (fun seed ->
+      let g = random_graph seed ~n:8 ~p:0.4 in
+      let h = random_graph (seed + 1) ~n:8 ~p:0.4 in
+      let par = Count.equal_profiles trees6 g h in
+      let seq = Pool.sequential (fun () -> Count.equal_profiles trees6 g h) in
+      par = seq)
+
+(* --- matrix kernels ------------------------------------------------------- *)
+
+let prop_mul_deterministic =
+  (* 65*40*50 = 130k multiply-adds: well above the parallel threshold. *)
+  qtest "Mat.mul: pool == sequential (bit-equal)" seed_arb (fun seed ->
+      let a = random_mat seed 65 40 and b = random_mat (seed + 1) 40 50 in
+      let par = Mat.mul a b in
+      let seq = Pool.sequential (fun () -> Mat.mul a b) in
+      mat_eq par seq)
+
+let prop_mul_abt_deterministic =
+  qtest "Mat.mul_abt: pool == sequential and == mul with transpose" seed_arb (fun seed ->
+      let a = random_mat seed 60 48 and b = random_mat (seed + 1) 55 48 in
+      let par = Mat.mul_abt a b in
+      let seq = Pool.sequential (fun () -> Mat.mul_abt a b) in
+      mat_eq par seq && Mat.equal_approx ~tol:1e-12 par (Mat.mul a (Mat.transpose b)))
+
+let test_mul_into_matches_mul () =
+  let a = random_mat 5 33 21 and b = random_mat 6 21 27 in
+  let c = Mat.zeros 33 27 in
+  Mat.mul_into ~into:c a b;
+  Alcotest.(check bool) "mul_into == mul" true (mat_eq c (Mat.mul a b))
+
+let test_vec_mul_into_matches () =
+  let m = random_mat 7 19 23 in
+  let x = Array.init 19 (fun i -> Float.of_int i /. 7.0) in
+  let y = Array.make 23 Float.nan in
+  Mat.vec_mul_into ~into:y x m;
+  Alcotest.(check bool) "vec_mul_into == vec_mul" true (float_array_eq y (Mat.vec_mul x m))
+
+let test_equal_approx_short_circuit () =
+  let a = Mat.zeros 4 4 and b = Mat.zeros 4 4 in
+  Mat.set b 0 0 1.0;
+  Alcotest.(check bool) "mismatch detected" false (Mat.equal_approx a b);
+  Alcotest.(check bool) "equal matrices still equal" true (Mat.equal_approx a a)
+
+(* --- propagation kernels -------------------------------------------------- *)
+
+let prop_propagate_deterministic =
+  qtest "Propagate kernels: pool == sequential (bit-equal)" seed_arb (fun seed ->
+      (* 40 vertices x 64 features crosses the parallel-cells threshold. *)
+      let g = random_graph seed ~n:40 ~p:0.2 in
+      let h = random_mat (seed + 2) 40 64 in
+      let pairs =
+        [
+          (Propagate.sum_neighbors g h, Pool.sequential (fun () -> Propagate.sum_neighbors g h));
+          (Propagate.mean_neighbors g h, Pool.sequential (fun () -> Propagate.mean_neighbors g h));
+          ( Propagate.mean_neighbors_backward g h,
+            Pool.sequential (fun () -> Propagate.mean_neighbors_backward g h) );
+          (Propagate.gcn_neighbors g h, Pool.sequential (fun () -> Propagate.gcn_neighbors g h));
+          (fst (Propagate.max_neighbors g h), Pool.sequential (fun () -> fst (Propagate.max_neighbors g h)));
+        ]
+      in
+      List.for_all (fun (p, s) -> mat_eq p s) pairs)
+
+(* --- ERM training --------------------------------------------------------- *)
+
+let molecules = Dataset.molecules (Rng.create 4) ~n_graphs:8 ~n_atoms:8 ~n_atom_types:3
+
+let train_once () =
+  let model = Model.gin_classifier (Rng.create 8) ~in_dim:3 ~width:8 ~depth:2 ~n_classes:2 in
+  Erm.train_graph_classifier ~epochs:2 model molecules ~train_indices:[ 0; 1; 2; 3; 4; 5 ]
+    ~test_indices:[ 6; 7 ]
+
+let test_erm_classifier_deterministic () =
+  let par = train_once () in
+  let seq = Pool.sequential train_once in
+  Alcotest.(check bool)
+    "losses bit-equal" true
+    (List.for_all2 Float.equal par.Erm.losses seq.Erm.losses);
+  Alcotest.(check bool)
+    "metrics equal" true
+    (Float.equal par.Erm.train_metric seq.Erm.train_metric
+    && Float.equal par.Erm.test_metric seq.Erm.test_metric)
+
+let regression =
+  Dataset.regression_corpus (Rng.create 6) ~n_graphs:8 ~generator:(Dataset.er_generator ~n:8)
+    ~target:Dataset.two_walk_count ~target_name:"two-walk"
+
+let regress_once () =
+  let model =
+    Model.create ~readout:Model.RSum
+      ~head:
+        (Glql_nn.Mlp.create (Rng.create 7) ~sizes:[ 8; 1 ] ~act:Glql_nn.Activation.Identity
+           ~out_act:Glql_nn.Activation.Identity)
+      [ Glql_gnn.Layer.gnn101 (Rng.create 7) ~din:1 ~dout:8 ~act:Glql_nn.Activation.Tanh ]
+  in
+  Erm.train_graph_regressor ~epochs:2 model regression ~train_indices:[ 0; 1; 2; 3; 4 ]
+    ~test_indices:[ 5; 6; 7 ]
+
+let test_erm_regressor_deterministic () =
+  let par = regress_once () in
+  let seq = Pool.sequential regress_once in
+  Alcotest.(check bool)
+    "losses bit-equal" true
+    (List.for_all2 Float.equal par.Erm.losses seq.Erm.losses);
+  Alcotest.(check bool)
+    "mse equal" true
+    (Float.equal par.Erm.train_metric seq.Erm.train_metric
+    && Float.equal par.Erm.test_metric seq.Erm.test_metric)
+
+let () =
+  Alcotest.run "glql-parallel"
+    [
+      ( Printf.sprintf "pool (size %d)" (Pool.size ()),
+        [
+          case "size env" test_size_env;
+          case "parallel_for" test_parallel_for;
+          case "parallel_map_array" test_parallel_map;
+          case "parallel_reduce order" test_reduce_order;
+          case "exception propagation" test_exception;
+          case "nested regions" test_nested;
+          case "sequential escape hatch" test_sequential_restores;
+        ] );
+      ( "wl",
+        [ prop_run_joint_deterministic; prop_graph_partition_deterministic ] );
+      ( "hom",
+        [ prop_hom_profile_deterministic; prop_equal_profiles_deterministic ] );
+      ( "mat",
+        [
+          prop_mul_deterministic;
+          prop_mul_abt_deterministic;
+          case "mul_into" test_mul_into_matches_mul;
+          case "vec_mul_into" test_vec_mul_into_matches;
+          case "equal_approx" test_equal_approx_short_circuit;
+        ] );
+      ("propagate", [ prop_propagate_deterministic ]);
+      ( "erm",
+        [
+          case "graph classifier deterministic" test_erm_classifier_deterministic;
+          case "graph regressor deterministic" test_erm_regressor_deterministic;
+        ] );
+    ]
