@@ -1,10 +1,11 @@
 (* gelq — run GEL queries against graphs from the command line.
 
      dune exec bin/gelq.exe -- '<expression>' [graph]
+     dune exec bin/gelq.exe -- --list-graphs
 
-   where [graph] is one of: petersen (default), cycle<N>, path<N>,
-   complete<N>, star<N>, rook, shrikhande, decalin, bicyclopentyl,
-   two-triangles, grid<R>x<C>.
+   where [graph] is any spec the server registry understands (see
+   --list-graphs): fixed names like petersen or rook, sized patterns like
+   cycle9 or grid3x4, and '+'-joined disjoint unions like cycle3+cycle3.
 
    Examples:
 
@@ -13,95 +14,77 @@
      gelq 'agg_max{x2}(agg_count{x1}([1] | E(x2,x1)) | E(x1,x2))' path7 *)
 
 module Graph = Glql_graph.Graph
-module Generators = Glql_graph.Generators
 module Expr = Glql_gel.Expr
 module Parser = Glql_gel.Parser
 module Vec = Glql_tensor.Vec
+module Registry = Glql_server.Registry
 
-let parse_sized name ~prefix =
-  let pl = String.length prefix in
-  if String.length name > pl && String.sub name 0 pl = prefix then
-    int_of_string_opt (String.sub name pl (String.length name - pl))
-  else None
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("gelq: " ^ msg);
+      exit 1)
+    fmt
 
-let graph_of_name name =
-  match name with
-  | "petersen" -> Generators.petersen ()
-  | "rook" -> Generators.rook_4x4 ()
-  | "shrikhande" -> Generators.shrikhande ()
-  | "decalin" -> Generators.decalin ()
-  | "bicyclopentyl" -> Generators.bicyclopentyl ()
-  | "two-triangles" ->
-      Graph.disjoint_union (Generators.cycle 3) (Generators.cycle 3)
-  | _ -> (
-      match
-        ( parse_sized name ~prefix:"cycle",
-          parse_sized name ~prefix:"path",
-          parse_sized name ~prefix:"complete",
-          parse_sized name ~prefix:"star" )
-      with
-      | Some n, _, _, _ -> Generators.cycle n
-      | _, Some n, _, _ -> Generators.path n
-      | _, _, Some n, _ -> Generators.complete n
-      | _, _, _, Some n ->
-          let g = Generators.star n in
-          Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |])
-      | _ -> (
-          match String.index_opt name 'x' with
-          | Some i when String.length name > 4 && String.sub name 0 4 = "grid" -> (
-              match
-                ( int_of_string_opt (String.sub name 4 (i - 4)),
-                  int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) )
-              with
-              | Some r, Some c -> Generators.grid r c
-              | _ -> failwith ("unknown graph " ^ name))
-          | _ -> failwith ("unknown graph " ^ name)))
+let list_graphs () =
+  print_endline "fixed graphs:";
+  List.iter (Printf.printf "  %s\n") Registry.generator_names;
+  print_endline "sized patterns:";
+  List.iter (Printf.printf "  %s\n") Registry.generator_patterns;
+  print_endline "disjoint unions: join any of the above with '+', e.g. cycle3+cycle3"
+
+let run query graph_name =
+  let g =
+    match Registry.graph_of_spec graph_name with Ok g -> g | Error msg -> die "%s" msg
+  in
+  let e =
+    match Parser.parse query with
+    | e -> e
+    | exception Parser.Parse_error msg -> die "parse error: %s" msg
+    | exception Expr.Type_error msg -> die "type error: %s" msg
+  in
+  Printf.printf "query    : %s\n" (Expr.to_string e);
+  Printf.printf "fragment : %s | dimension %d | free variables [%s]\n"
+    (Expr.fragment_name (Expr.fragment e))
+    (Expr.dim e)
+    (String.concat "; " (List.map (Printf.sprintf "x%d") (Expr.free_vars e)));
+  Printf.printf "graph    : %s (%d vertices, %d edges)\n\n" graph_name (Graph.n_vertices g)
+    (Graph.n_edges g);
+  let table = match Expr.eval g e with
+    | t -> t
+    | exception Expr.Type_error msg -> die "type error: %s" msg
+  in
+  match table.Expr.tvars with
+  | [] -> Printf.printf "value = %s\n" (Vec.to_string table.Expr.tdata.(0))
+  | [ _ ] ->
+      Array.iteri
+        (fun v value -> Printf.printf "v%-3d -> %s\n" v (Vec.to_string value))
+        table.Expr.tdata
+  | vars ->
+      let n = Graph.n_vertices g in
+      Array.iteri
+        (fun idx value ->
+          let tuple = ref [] in
+          let rest = ref idx in
+          for _ = 1 to List.length vars do
+            tuple := (!rest mod n) :: !tuple;
+            rest := !rest / n
+          done;
+          (* Print only nonzero entries for readability on big tables. *)
+          if Array.exists (fun x -> x <> 0.0) value then
+            Printf.printf "(%s) -> %s\n"
+              (String.concat ", " (List.map string_of_int !tuple))
+              (Vec.to_string value))
+        table.Expr.tdata
 
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--list-graphs" :: _ -> list_graphs ()
   | _ :: query :: rest ->
       let graph_name = match rest with g :: _ -> g | [] -> "petersen" in
-      let g = graph_of_name graph_name in
-      let e =
-        try Parser.parse query with
-        | Parser.Parse_error msg ->
-            Printf.eprintf "parse error: %s\n" msg;
-            exit 1
-        | Expr.Type_error msg ->
-            Printf.eprintf "type error: %s\n" msg;
-            exit 1
-      in
-      Printf.printf "query    : %s\n" (Expr.to_string e);
-      Printf.printf "fragment : %s | dimension %d | free variables [%s]\n"
-        (Expr.fragment_name (Expr.fragment e))
-        (Expr.dim e)
-        (String.concat "; " (List.map (Printf.sprintf "x%d") (Expr.free_vars e)));
-      Printf.printf "graph    : %s (%d vertices, %d edges)\n\n" graph_name (Graph.n_vertices g)
-        (Graph.n_edges g);
-      let table = Expr.eval g e in
-      (match table.Expr.tvars with
-      | [] -> Printf.printf "value = %s\n" (Vec.to_string table.Expr.tdata.(0))
-      | [ _ ] ->
-          Array.iteri
-            (fun v value -> Printf.printf "v%-3d -> %s\n" v (Vec.to_string value))
-            table.Expr.tdata
-      | vars ->
-          let n = Graph.n_vertices g in
-          Array.iteri
-            (fun idx value ->
-              let tuple = ref [] in
-              let rest = ref idx in
-              for _ = 1 to List.length vars do
-                tuple := (!rest mod n) :: !tuple;
-                rest := !rest / n
-              done;
-              (* Print only nonzero entries for readability on big tables. *)
-              if Array.exists (fun x -> x <> 0.0) value then
-                Printf.printf "(%s) -> %s\n"
-                  (String.concat ", " (List.map string_of_int !tuple))
-                  (Vec.to_string value))
-            table.Expr.tdata)
+      run query graph_name
   | _ ->
       prerr_endline "usage: gelq '<expression>' [graph]";
       prerr_endline "  e.g. gelq 'agg_sum{x2}([1] | E(x1,x2))' petersen";
+      prerr_endline "  gelq --list-graphs lists the known graph specs";
       exit 1

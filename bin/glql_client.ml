@@ -1,0 +1,100 @@
+(* glql_client — send requests to a running glqld.
+
+     glql_client [--socket PATH | --tcp HOST:PORT] <request words...>
+     glql_client [--socket PATH | --tcp HOST:PORT]        # REPL on stdin
+
+   With request words, sends one request (words containing blanks are
+   re-quoted, so a shell-quoted GEL expression survives) and prints the
+   reply; exits 0 on an OK reply, 1 otherwise. Without words, reads
+   requests line by line from stdin until EOF. *)
+
+module P = Glql_server.Protocol
+
+let connect ~socket ~tcp =
+  match tcp with
+  | Some (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith ("unknown host " ^ host)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+  | None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+
+let quote_word w =
+  if w = "" then "''"
+  else if String.exists (fun c -> c = ' ' || c = '\t' || c = '\'' || c = '"') w then
+    (* Prefer single quotes; fall back to double when the word has one. *)
+    if String.contains w '\'' then "\"" ^ w ^ "\"" else "'" ^ w ^ "'"
+  else w
+
+let () =
+  let socket = ref "glqld.sock" in
+  let tcp = ref "" in
+  let words = ref [] in
+  let spec =
+    [
+      ("--socket", Arg.Set_string socket, "PATH Unix-domain socket of glqld (default glqld.sock)");
+      ("--tcp", Arg.Set_string tcp, "HOST:PORT connect over TCP instead");
+    ]
+  in
+  let usage = "glql_client: talk to a glqld server.\nusage: glql_client [options] [request words]" in
+  Arg.parse spec (fun w -> words := w :: !words) usage;
+  let words = List.rev !words in
+  let tcp_target =
+    if !tcp = "" then None
+    else
+      match String.rindex_opt !tcp ':' with
+      | Some i -> (
+          let host = String.sub !tcp 0 i in
+          match int_of_string_opt (String.sub !tcp (i + 1) (String.length !tcp - i - 1)) with
+          | Some port -> Some ((if host = "" then "127.0.0.1" else host), port)
+          | None ->
+              prerr_endline "glql_client: --tcp expects HOST:PORT";
+              exit 1)
+      | None ->
+          prerr_endline "glql_client: --tcp expects HOST:PORT";
+          exit 1
+  in
+  match connect ~socket:!socket ~tcp:tcp_target with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "glql_client: cannot connect (%s)\n" (Unix.error_message e);
+      exit 1
+  | exception Failure msg ->
+      Printf.eprintf "glql_client: %s\n" msg;
+      exit 1
+  | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let roundtrip line =
+        output_string oc (line ^ "\n");
+        flush oc;
+        match input_line ic with
+        | reply ->
+            print_endline reply;
+            P.is_ok reply
+        | exception End_of_file ->
+            prerr_endline "glql_client: server closed the connection";
+            false
+      in
+      match words with
+      | [] ->
+          (* REPL: one request per stdin line until EOF. *)
+          let ok = ref true in
+          (try
+             while true do
+               let line = input_line stdin in
+               if String.trim line <> "" then ok := roundtrip line && !ok
+             done
+           with End_of_file -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          exit (if !ok then 0 else 1)
+      | words ->
+          let line = String.concat " " (List.map quote_word words) in
+          let ok = roundtrip line in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          exit (if ok then 0 else 1))

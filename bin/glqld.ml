@@ -1,0 +1,59 @@
+(* glqld — the persistent GEL query server.
+
+     dune exec bin/glqld.exe -- [--socket PATH] [--tcp PORT] [options]
+
+   Speaks the newline-delimited protocol of Glql_server.Protocol over a
+   Unix-domain socket (and optionally TCP on localhost). See README.md
+   "Serving" for the protocol grammar and an example session. *)
+
+module Server = Glql_server.Server
+
+let () =
+  let socket = ref "glqld.sock" in
+  let no_socket = ref false in
+  let tcp = ref 0 in
+  let plan_cache = ref Server.default_config.Server.plan_cache_capacity in
+  let coloring_cache = ref Server.default_config.Server.coloring_cache_capacity in
+  let timeout = ref Server.default_config.Server.request_timeout_s in
+  let max_cells = ref Server.default_config.Server.max_table_cells in
+  let metrics_file = ref "" in
+  let verbose = ref false in
+  let spec =
+    [
+      ("--socket", Arg.Set_string socket, "PATH Unix-domain socket path (default glqld.sock)");
+      ("--no-socket", Arg.Set no_socket, " do not listen on a Unix socket (TCP only)");
+      ("--tcp", Arg.Set_int tcp, "PORT also listen on localhost TCP PORT");
+      ("--plan-cache", Arg.Set_int plan_cache, "N compiled-plan LRU capacity (default 128)");
+      ( "--coloring-cache",
+        Arg.Set_int coloring_cache,
+        "N per-graph colouring LRU capacity (default 64)" );
+      ( "--timeout",
+        Arg.Set_float timeout,
+        "SECONDS cooperative per-request deadline, 0 disables (default 30)" );
+      ("--max-cells", Arg.Set_int max_cells, "N reject queries materialising more table cells");
+      ("--metrics-file", Arg.Set_string metrics_file, "PATH dump metrics JSON here on shutdown");
+      ("--verbose", Arg.Set verbose, " log connections and lifecycle events to stderr");
+    ]
+  in
+  let usage = "glqld: GEL query server.\nusage: glqld [options]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let config =
+    {
+      Server.socket_path = (if !no_socket then None else Some !socket);
+      tcp_port = (if !tcp > 0 then Some !tcp else None);
+      plan_cache_capacity = max 1 !plan_cache;
+      coloring_cache_capacity = max 1 !coloring_cache;
+      request_timeout_s = !timeout;
+      max_table_cells = max 1 !max_cells;
+      metrics_file = (if !metrics_file = "" then None else Some !metrics_file);
+      verbose = !verbose;
+    }
+  in
+  match Server.serve (Server.create config) with
+  | _served -> exit 0
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "glqld: %s(%s): %s\n" fn arg (Unix.error_message e);
+      exit 1
+  | exception Invalid_argument msg ->
+      Printf.eprintf "glqld: %s\n" msg;
+      exit 1

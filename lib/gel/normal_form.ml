@@ -336,3 +336,177 @@ let max_deviation nf e g =
   let d = ref 0.0 in
   Array.iteri (fun v ov -> d := Float.max !d (Vec.linf_dist ov normalised.(v))) original;
   !d
+
+(* --- canonical cache keys ------------------------------------------------ *)
+
+(* The query server caches compiled plans keyed by a canonical rendering of
+   the expression: variables are renamed to dense ids (free variables by
+   sorted order, bound variables by first structural occurrence under their
+   binder), the symmetric atoms E and 1[.=.] / 1[.!=.] print their
+   endpoints in canonical-id order, and binder lists print sorted — so
+   alpha-equivalent and reordered queries key identically while distinct
+   queries cannot collide (the rendering is injective on the canonalised
+   term). *)
+
+module Sig_hash = Glql_util.Sig_hash
+
+(* Functions whose parameters we cannot fingerprint (MLPs, opaque customs)
+   fall back to a process-wide physical-identity id: sound — two distinct
+   opaque functions never share a key — at the price of no cross-query
+   sharing unless the nodes are physically shared. Parser-produced
+   functions all have structural kinds and never take this path. *)
+module Func_tbl = Hashtbl.Make (struct
+  type t = Func.t
+
+  let equal = ( == )
+  let hash (f : Func.t) = Hashtbl.hash (f.Func.name, f.Func.in_dims, f.Func.out_dim)
+end)
+
+let opaque_mutex = Mutex.create ()
+
+let opaque_ids : int Func_tbl.t = Func_tbl.create 16
+
+let opaque_next = ref 0
+
+let opaque_id f =
+  Mutex.lock opaque_mutex;
+  let id =
+    match Func_tbl.find_opt opaque_ids f with
+    | Some id -> id
+    | None ->
+        let id = !opaque_next in
+        incr opaque_next;
+        Func_tbl.add opaque_ids f id;
+        id
+  in
+  Mutex.unlock opaque_mutex;
+  id
+
+let mat_fingerprint m =
+  let open Func in
+  Sig_hash.of_string_list
+    (List.init (Mat.rows m) (fun i -> Sig_hash.of_float_vector ~decimals:12 (Mat.row m i)))
+
+let func_token f =
+  let open Func in
+  let dims =
+    Printf.sprintf "%s>%d"
+      (String.concat ";" (List.map string_of_int f.in_dims))
+      f.out_dim
+  in
+  match f.kind with
+  | K_concat -> "cat:" ^ dims
+  | K_add -> "add:" ^ dims
+  | K_product -> "mul:" ^ dims
+  | K_scale_by -> "sby:" ^ dims
+  | K_scale c -> Printf.sprintf "sc[%.17g]:%s" c dims
+  | K_proj j -> Printf.sprintf "pr[%d]:%s" j dims
+  | K_activation a -> Printf.sprintf "act[%s]:%s" (Activation.name a) dims
+  | K_linear (w, b) ->
+      Printf.sprintf "lin[%s;%s]:%s" (mat_fingerprint w) (Sig_hash.of_float_vector ~decimals:12 b)
+        dims
+  | K_linear_multi (ws, b) ->
+      Printf.sprintf "linm[%s;%s]:%s"
+        (String.concat ";" (List.map mat_fingerprint ws))
+        (Sig_hash.of_float_vector ~decimals:12 b)
+        dims
+  | K_mlp _ | K_opaque -> Printf.sprintf "opq[%s#%d]:%s" f.name (opaque_id f) dims
+
+let cache_key e =
+  let buf = Buffer.create 256 in
+  let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Variable environment: a stack of canonical ids per source variable,
+     the head being the innermost binding. *)
+  let env : (Expr.var, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let next_id () =
+    let id = !fresh in
+    incr fresh;
+    id
+  in
+  let push v id =
+    let stack =
+      match Hashtbl.find_opt env v with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.replace env v s;
+          s
+    in
+    stack := id :: !stack
+  in
+  let pop v =
+    match Hashtbl.find_opt env v with
+    | Some ({ contents = _ :: rest } as s) -> s := rest
+    | _ -> ()
+  in
+  let lookup v =
+    match Hashtbl.find_opt env v with
+    | Some { contents = id :: _ } -> id
+    | _ -> assert false (* every variable is free (pre-pushed) or bound *)
+  in
+  (* First structural occurrence order of [ys] under this binder, walking
+     guard before value and respecting shadowing by inner binders; bound
+     variables that never occur are appended in source order (they never
+     print, so their relative ids are irrelevant). *)
+  let discover ys value guard =
+    let seen = ref [] in
+    let rec walk shadowed e =
+      match e with
+      | Expr.Lab (_, x) -> visit shadowed x
+      | Expr.Edge (a, b) | Expr.Cmp (_, a, b) ->
+          visit shadowed a;
+          visit shadowed b
+      | Expr.Const _ -> ()
+      | Expr.Apply (_, args) -> List.iter (walk shadowed) args
+      | Expr.Agg (_, ys', v, g) ->
+          let shadowed' = ys' @ shadowed in
+          walk shadowed' g;
+          walk shadowed' v
+    and visit shadowed x =
+      if List.mem x ys && (not (List.mem x shadowed)) && not (List.mem x !seen) then
+        seen := !seen @ [ x ]
+    in
+    walk [] guard;
+    walk [] value;
+    !seen @ List.filter (fun v -> not (List.mem v !seen)) ys
+  in
+  let rec render e =
+    match e with
+    | Expr.Lab (j, x) -> bpr "l%d(v%d)" j (lookup x)
+    | Expr.Edge (a, b) ->
+        let i = lookup a and j = lookup b in
+        bpr "E(v%d,v%d)" (min i j) (max i j)
+    | Expr.Cmp (op, a, b) ->
+        let i = lookup a and j = lookup b in
+        bpr "%s(v%d,v%d)" (match op with Expr.Ceq -> "eq" | Expr.Cneq -> "ne") (min i j) (max i j)
+    | Expr.Const v ->
+        Buffer.add_string buf "c[";
+        Array.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            bpr "%.17g" x)
+          v;
+        Buffer.add_char buf ']'
+    | Expr.Apply (f, args) ->
+        bpr "%s(" (func_token f);
+        List.iteri
+          (fun i a ->
+            if i > 0 then Buffer.add_char buf ',';
+            render a)
+          args;
+        Buffer.add_char buf ')'
+    | Expr.Agg (th, ys, value, guard) ->
+        let order = discover ys value guard in
+        let ids = List.map (fun v -> let id = next_id () in push v id; id) order in
+        bpr "agg_%s/%d{%s}(" th.Agg.name th.Agg.in_dim
+          (String.concat "," (List.map (Printf.sprintf "v%d") (List.sort compare ids)));
+        render value;
+        Buffer.add_char buf '|';
+        render guard;
+        Buffer.add_char buf ')';
+        List.iter pop order
+  in
+  List.iter (fun v -> push v (next_id ())) (Expr.free_vars e);
+  render e;
+  Buffer.contents buf

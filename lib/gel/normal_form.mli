@@ -42,3 +42,14 @@ val eval : t -> Graph.t -> Vec.t array
 
 (** Max |original - normalised| over all vertices of [g]. *)
 val max_deviation : t -> Expr.t -> Graph.t -> float
+
+(** Canonical cache key of an arbitrary GEL expression, used by the query
+    server's compiled-plan cache. The key is invariant under renaming of
+    bound variables (and order-preserving renaming of free variables),
+    reordering of binder lists, and the argument order of the symmetric
+    atoms [E] and [1\[.=.\]] / [1\[.!=.\]]; structurally different queries
+    render to different keys. Weight-carrying functions are fingerprinted
+    by their parameters (linear maps) or by physical identity (MLPs,
+    opaque customs) — the latter never collide but only share across
+    physically shared nodes. Never raises. *)
+val cache_key : Expr.t -> string

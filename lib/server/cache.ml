@@ -1,0 +1,107 @@
+(* Plan and colouring caches. Misses compute under the cache lock: plan
+   compilation is microseconds, colourings are bounded by the registered
+   graphs, and computing inside the lock means one compute per key even
+   under concurrent identical requests — which also makes cache-hit
+   accounting deterministic for the end-to-end tests. *)
+
+module Expr = Glql_gel.Expr
+module Parser = Glql_gel.Parser
+module Optimize = Glql_gel.Optimize
+module Normal_form = Glql_gel.Normal_form
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+module Lru = Glql_util.Lru
+
+type plan = {
+  key : string;
+  expr : Expr.t;
+  layered : Normal_form.t option;
+}
+
+type coloring = C_cr of Cr.result | C_kwl of Kwl.result
+
+type t = {
+  plans : (string, plan) Lru.t;
+  colorings : (string, coloring) Lru.t;
+  mutex : Mutex.t;
+}
+
+let create ~plan_capacity ~coloring_capacity =
+  {
+    plans = Lru.create ~capacity:plan_capacity;
+    colorings = Lru.create ~capacity:coloring_capacity;
+    mutex = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let compile key e =
+  let expr = Optimize.optimize e in
+  let layered =
+    match Expr.free_vars expr with
+    | [ _ ] -> ( try Some (Normal_form.of_vertex_expr expr) with _ -> None)
+    | _ -> None
+  in
+  { key; expr; layered }
+
+let plan t src =
+  match Parser.parse src with
+  | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+  | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
+  | e -> (
+      let key = Normal_form.cache_key e in
+      with_lock t (fun () ->
+          match Lru.get t.plans key with
+          | Some p -> Ok (p, `Hit)
+          | None -> (
+              match compile key e with
+              | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
+              | p ->
+                  Lru.put t.plans key p;
+                  Ok (p, `Miss))))
+
+let coloring_entry t key compute =
+  with_lock t (fun () ->
+      match Lru.get t.colorings key with
+      | Some c -> (c, `Hit)
+      | None ->
+          let c = compute () in
+          Lru.put t.colorings key c;
+          (c, `Miss))
+
+let cr t ~graph_name g =
+  match coloring_entry t ("cr:" ^ graph_name) (fun () -> C_cr (Cr.run g)) with
+  | C_cr r, hit -> (r, hit)
+  | C_kwl _, _ -> assert false (* "cr:" keys only ever hold C_cr *)
+
+let kwl t ~graph_name ~k g =
+  match
+    coloring_entry t
+      (Printf.sprintf "kwl:%d:%s" k graph_name)
+      (fun () -> C_kwl (Kwl.run_joint ~k ~variant:Kwl.Folklore [ g ]))
+  with
+  | C_kwl r, hit -> (r, hit)
+  | C_cr _, _ -> assert false
+
+let stats t =
+  with_lock t (fun () ->
+      [
+        ("plan_entries", Lru.length t.plans);
+        ("plan_capacity", Lru.capacity t.plans);
+        ("plan_hits", Lru.hits t.plans);
+        ("plan_misses", Lru.misses t.plans);
+        ("plan_evictions", Lru.evictions t.plans);
+        ("coloring_entries", Lru.length t.colorings);
+        ("coloring_capacity", Lru.capacity t.colorings);
+        ("coloring_hits", Lru.hits t.colorings);
+        ("coloring_misses", Lru.misses t.colorings);
+        ("coloring_evictions", Lru.evictions t.colorings);
+      ])
+
+let clear t =
+  with_lock t (fun () ->
+      Lru.clear t.plans;
+      Lru.clear t.colorings)

@@ -1,0 +1,48 @@
+(** The server's two operator caches.
+
+    {b Compiled-plan cache}: LRU from {!Glql_gel.Normal_form.cache_key}
+    of the parsed query — so alpha-equivalent / reordered sources share
+    one entry — to a compiled plan (optimised expression plus, for
+    single-variable MPNN-sum queries, the layered normal form used by the
+    fast evaluator).
+
+    {b Colouring cache}: LRU from graph name to stable colour-refinement /
+    k-WL results, reused across requests and across round counts (a stable
+    run answers every smaller-round request from its history).
+
+    All entry points are thread-safe; lookups that miss compute the value
+    while holding the cache lock, so concurrent requests for the same key
+    compute it once and the second request is an observable hit. *)
+
+module Expr = Glql_gel.Expr
+module Normal_form = Glql_gel.Normal_form
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+
+type plan = {
+  key : string;  (** canonical cache key of the source expression *)
+  expr : Expr.t;  (** optimised expression (constant-folded, shared) *)
+  layered : Normal_form.t option;
+      (** layered fast path when the query is single-variable MPNN-sum *)
+}
+
+type t
+
+val create : plan_capacity:int -> coloring_capacity:int -> t
+
+(** Parse, key, and compile (or fetch) the plan for a GEL source string.
+    [`Hit] means the plan cache already held the canonical key. *)
+val plan : t -> string -> (plan * [ `Hit | `Miss ], string) result
+
+(** Stable colour refinement of the named graph, cached per name. *)
+val cr : t -> graph_name:string -> Graph.t -> Cr.result * [ `Hit | `Miss ]
+
+(** Stable [k]-WL (folklore) of the named graph, cached per (name, k). *)
+val kwl : t -> graph_name:string -> k:int -> Graph.t -> Kwl.result * [ `Hit | `Miss ]
+
+(** Counter snapshot: plan/coloring hits, misses, evictions, sizes. *)
+val stats : t -> (string * int) list
+
+(** Empty both caches (counters survive); used by the cold-cache bench. *)
+val clear : t -> unit

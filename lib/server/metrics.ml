@@ -1,0 +1,95 @@
+(* Server metrics. Latencies go into a fixed ring of the most recent
+   requests — quantiles are over that window, which keeps memory bounded
+   on long-lived daemons while still answering "what is p99 right now". *)
+
+module Clock = Glql_util.Clock
+
+let window = 65536
+
+type t = {
+  started_ns : int64;
+  mutable requests : int;
+  mutable errors : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  by_command : (string, int) Hashtbl.t;
+  ring : int array;  (* latencies in ns; valid up to [min requests window] *)
+  mutable ring_next : int;
+  mutex : Mutex.t;
+}
+
+let create () =
+  {
+    started_ns = Clock.now_ns ();
+    requests = 0;
+    errors = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    by_command = Hashtbl.create 16;
+    ring = Array.make window 0;
+    ring_next = 0;
+    mutex = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t ~command ~ok ~latency_ns =
+  with_lock t (fun () ->
+      t.requests <- t.requests + 1;
+      if not ok then t.errors <- t.errors + 1;
+      Hashtbl.replace t.by_command command
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_command command));
+      t.ring.(t.ring_next) <- Int64.to_int latency_ns;
+      t.ring_next <- (t.ring_next + 1) mod window)
+
+let add_io t ~bytes_in ~bytes_out =
+  with_lock t (fun () ->
+      t.bytes_in <- t.bytes_in + bytes_in;
+      t.bytes_out <- t.bytes_out + bytes_out)
+
+let requests t = with_lock t (fun () -> t.requests)
+
+let errors t = with_lock t (fun () -> t.errors)
+
+let percentile_ns_locked t p =
+  let n = min t.requests window in
+  if n = 0 then Float.nan
+  else begin
+    let sorted = Array.sub t.ring 0 n in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    float_of_int sorted.(idx)
+  end
+
+let percentile_ms t p = with_lock t (fun () -> percentile_ns_locked t p /. 1e6)
+
+let to_json t ~extra =
+  let open Protocol in
+  let fields =
+    with_lock t (fun () ->
+        let p50 = percentile_ns_locked t 50.0 /. 1e6 in
+        let p99 = percentile_ns_locked t 99.0 /. 1e6 in
+        [
+          ("uptime_s", Float (Clock.ns_to_s (Clock.elapsed_ns t.started_ns)));
+          ("requests", Int t.requests);
+          ("errors", Int t.errors);
+          ("bytes_in", Int t.bytes_in);
+          ("bytes_out", Int t.bytes_out);
+          ("latency_p50_ms", Float p50);
+          ("latency_p99_ms", Float p99);
+          ( "by_command",
+            Obj
+              (Hashtbl.fold (fun k v acc -> (k, Int v) :: acc) t.by_command []
+              |> List.sort compare) );
+        ])
+  in
+  Obj (fields @ extra)
+
+let write_file t ~extra path =
+  let oc = open_out path in
+  output_string oc (Protocol.json_to_string (to_json t ~extra));
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,30 @@
+(** Request counters and latency quantiles of the server: requests served
+    (per command and total), errors, bytes in/out, p50/p99 latency over a
+    sliding window, uptime. Thread-safe; sampled by the [STATS] command
+    and dumped to [--metrics-file] on shutdown. *)
+
+type t
+
+val create : unit -> t
+
+(** Count one finished request. *)
+val record : t -> command:string -> ok:bool -> latency_ns:int64 -> unit
+
+(** Count raw socket traffic. *)
+val add_io : t -> bytes_in:int -> bytes_out:int -> unit
+
+val requests : t -> int
+
+val errors : t -> int
+
+(** Latency percentile in milliseconds over the recent-request window
+    ([p] in [0..100]; [nan] before the first request). *)
+val percentile_ms : t -> float -> float
+
+(** Snapshot as JSON fields (uptime, totals, quantiles, per-command
+    counts); [extra] fields are appended — the server passes cache and
+    registry gauges. *)
+val to_json : t -> extra:(string * Protocol.json) list -> Protocol.json
+
+(** Write the JSON snapshot (plus [extra]) to a file, one object. *)
+val write_file : t -> extra:(string * Protocol.json) list -> string -> unit

@@ -1,0 +1,170 @@
+(* Text protocol of glqld. Requests are one line each; the tokenizer
+   honours single and double quotes so GEL expressions (which contain
+   blanks and parentheses) travel as one argument. Replies are one line:
+   "OK <json>" or "ERR <json-string>". Keeping the framing line-based
+   makes the protocol usable from netcat and trivial to parse in tests. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_to_string j =
+  let buf = Buffer.create 128 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_nan f then Buffer.add_string buf "null"
+        else if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.0f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | Str s -> escape_to buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go j;
+  Buffer.contents buf
+
+let ok j = "OK " ^ json_to_string j
+
+let err msg = "ERR " ^ json_to_string (Str msg)
+
+let is_ok line = String.length line >= 2 && String.sub line 0 2 = "OK"
+
+type request =
+  | Hello
+  | Ping
+  | Load of string * string
+  | Graphs
+  | Generators
+  | Query of string * string
+  | Wl of string * int option
+  | Kwl of string * int
+  | Hom of string * int
+  | Stats
+  | Quit
+  | Shutdown
+
+let tokenize line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let buf = Buffer.create 32 in
+  let in_token = ref false in
+  let flush_token () =
+    if !in_token then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf;
+      in_token := false
+    end
+  in
+  let rec go i =
+    if i >= n then begin
+      flush_token ();
+      Ok (List.rev !tokens)
+    end
+    else
+      match line.[i] with
+      | ' ' | '\t' | '\r' ->
+          flush_token ();
+          go (i + 1)
+      | ('\'' | '"') as q -> in_quote q (i + 1)
+      | c ->
+          in_token := true;
+          Buffer.add_char buf c;
+          go (i + 1)
+  and in_quote q i =
+    if i >= n then Error "unbalanced quote"
+    else if line.[i] = q then begin
+      (* A quoted span always yields a token, even when empty. *)
+      in_token := true;
+      go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      in_quote q (i + 1)
+    end
+  in
+  go 0
+
+let int_arg name s =
+  match int_of_string_opt s with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let parse_request line =
+  match tokenize line with
+  | Error e -> Error e
+  | Ok [] -> Error "empty request"
+  | Ok (cmd :: args) -> (
+      match (String.uppercase_ascii cmd, args) with
+      | "HELLO", [] -> Ok Hello
+      | "PING", [] -> Ok Ping
+      | "LOAD", [ name; spec ] -> Ok (Load (name, spec))
+      | "LOAD", _ -> Error "usage: LOAD <name> <graph-spec>"
+      | "GRAPHS", [] -> Ok Graphs
+      | "GENERATORS", [] -> Ok Generators
+      | "QUERY", [ graph; src ] -> Ok (Query (graph, src))
+      | "QUERY", _ -> Error "usage: QUERY <graph> '<gel-expression>'"
+      | "WL", [ graph ] -> Ok (Wl (graph, None))
+      | "WL", [ graph; rounds ] ->
+          Result.map (fun r -> Wl (graph, Some r)) (int_arg "rounds" rounds)
+      | "WL", _ -> Error "usage: WL <graph> [rounds]"
+      | "KWL", [ graph; k ] -> Result.map (fun k -> Kwl (graph, k)) (int_arg "k" k)
+      | "KWL", _ -> Error "usage: KWL <graph> <k>"
+      | "HOM", [ graph; size ] -> Result.map (fun s -> Hom (graph, s)) (int_arg "max-tree-size" size)
+      | "HOM", _ -> Error "usage: HOM <graph> <max-tree-size>"
+      | "STATS", [] -> Ok Stats
+      | "QUIT", [] -> Ok Quit
+      | "SHUTDOWN", [] -> Ok Shutdown
+      | c, _ -> Error (Printf.sprintf "unknown command %S" c))
+
+let command_name = function
+  | Hello -> "HELLO"
+  | Ping -> "PING"
+  | Load _ -> "LOAD"
+  | Graphs -> "GRAPHS"
+  | Generators -> "GENERATORS"
+  | Query _ -> "QUERY"
+  | Wl _ -> "WL"
+  | Kwl _ -> "KWL"
+  | Hom _ -> "HOM"
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+  | Shutdown -> "SHUTDOWN"

@@ -1,0 +1,68 @@
+(** Wire protocol of [glqld]: newline-delimited text requests, one-line
+    JSON-tagged replies.
+
+    Request grammar (tokens split on blanks; single or double quotes group
+    a token containing blanks, so GEL expressions travel quoted):
+
+    {v
+    HELLO
+    PING
+    LOAD <name> <graph-spec>
+    GRAPHS
+    GENERATORS
+    QUERY <graph> '<gel-expression>'
+    WL <graph> [rounds]
+    KWL <graph> <k>
+    HOM <graph> <max-tree-size>
+    STATS
+    QUIT
+    SHUTDOWN
+    v}
+
+    Command words are case-insensitive. Replies are a single line: either
+    [OK <json>] or [ERR "<message>"]. *)
+
+(** Minimal JSON tree, rendered on one line. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+
+(** [OK <json>] reply line (no trailing newline). *)
+val ok : json -> string
+
+(** [ERR "<message>"] reply line (no trailing newline). *)
+val err : string -> string
+
+(** Is this reply line an [OK]? *)
+val is_ok : string -> bool
+
+type request =
+  | Hello
+  | Ping
+  | Load of string * string  (** name, graph spec *)
+  | Graphs
+  | Generators
+  | Query of string * string  (** graph name, GEL source *)
+  | Wl of string * int option  (** graph name, max rounds *)
+  | Kwl of string * int  (** graph name, k *)
+  | Hom of string * int  (** graph name, max tree size *)
+  | Stats
+  | Quit
+  | Shutdown
+
+(** Split a raw line into tokens, honouring quotes. [Error] on unbalanced
+    quotes. *)
+val tokenize : string -> (string list, string) result
+
+(** Parse one request line; never raises. *)
+val parse_request : string -> (request, string) result
+
+(** The command word of a request, for metrics labels. *)
+val command_name : request -> string

@@ -1,0 +1,141 @@
+(* The server's graph registry and the generator-name table shared with
+   bin/gelq. Specs are deterministic by construction (no random families),
+   so a spec names the same graph in every process — which is what makes
+   the per-graph colouring cache and cross-client sharing sound. *)
+
+module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+
+let fixed : (string * (unit -> Graph.t)) list =
+  [
+    ("petersen", Generators.petersen);
+    ("rook", Generators.rook_4x4);
+    ("shrikhande", Generators.shrikhande);
+    ("decalin", Generators.decalin);
+    ("bicyclopentyl", Generators.bicyclopentyl);
+    ("two-triangles", fun () -> Graph.disjoint_union (Generators.cycle 3) (Generators.cycle 3));
+    ("hexagon", fun () -> Generators.cycle 6);
+  ]
+
+let generator_names = List.map fst fixed
+
+let generator_patterns =
+  [ "cycle<N>"; "path<N>"; "complete<N>"; "star<N>"; "grid<R>x<C>"; "circulant<N>c<S>c<S>..." ]
+
+let sized name ~prefix =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    int_of_string_opt (String.sub name pl (String.length name - pl))
+  else None
+
+let atom_of_name name =
+  match List.assoc_opt name fixed with
+  | Some make -> Ok (make ())
+  | None -> (
+      match
+        ( sized name ~prefix:"cycle",
+          sized name ~prefix:"path",
+          sized name ~prefix:"complete",
+          sized name ~prefix:"star" )
+      with
+      | Some n, _, _, _ when n >= 3 -> Ok (Generators.cycle n)
+      | Some n, _, _, _ -> Error (Printf.sprintf "cycle%d: cycles need at least 3 vertices" n)
+      | _, Some n, _, _ when n >= 1 -> Ok (Generators.path n)
+      | _, _, Some n, _ when n >= 1 -> Ok (Generators.complete n)
+      | _, _, _, Some n when n >= 1 ->
+          (* Star labels mark every vertex so degree queries see leaves. *)
+          let g = Generators.star n in
+          Ok (Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |]))
+      | _ -> (
+          let grid_spec =
+            if String.length name > 4 && String.sub name 0 4 = "grid" then
+              match String.index_opt name 'x' with
+              | Some i -> (
+                  match
+                    ( int_of_string_opt (String.sub name 4 (i - 4)),
+                      int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) )
+                  with
+                  | Some r, Some c when r >= 1 && c >= 1 -> Some (r, c)
+                  | _ -> None)
+              | None -> None
+            else None
+          in
+          match grid_spec with
+          | Some (r, c) -> Ok (Generators.grid r c)
+          | None -> (
+              if String.length name > 9 && String.sub name 0 9 = "circulant" then
+                match String.split_on_char 'c' (String.sub name 9 (String.length name - 9)) with
+                | n_str :: offsets when offsets <> [] -> (
+                    match
+                      ( int_of_string_opt n_str,
+                        List.map int_of_string_opt offsets )
+                    with
+                    | Some n, offs when n >= 3 && List.for_all Option.is_some offs ->
+                        Ok (Generators.circulant n (List.map Option.get offs))
+                    | _ -> Error (Printf.sprintf "bad circulant spec %S" name)
+                  )
+                | _ -> Error (Printf.sprintf "bad circulant spec %S" name)
+              else
+                Error
+                  (Printf.sprintf
+                     "unknown graph %S (known: %s; patterns: %s; combine with '+')" name
+                     (String.concat ", " generator_names)
+                     (String.concat ", " generator_patterns)))))
+
+let graph_of_spec spec =
+  match String.split_on_char '+' (String.trim spec) with
+  | [] | [ "" ] -> Error "empty graph spec"
+  | atoms ->
+      let rec build acc = function
+        | [] -> Ok acc
+        | a :: rest -> (
+            match atom_of_name (String.trim a) with
+            | Error _ as e -> e
+            | Ok g -> build (Graph.disjoint_union acc g) rest)
+      in
+      (match atoms with
+      | first :: rest -> (
+          match atom_of_name (String.trim first) with
+          | Error _ as e -> e
+          | Ok g -> build g rest)
+      | [] -> assert false)
+
+type t = {
+  tbl : (string, Graph.t) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let create () = { tbl = Hashtbl.create 16; mutex = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let register t ~name ~spec =
+  match graph_of_spec spec with
+  | Error _ as e -> e
+  | Ok g ->
+      with_lock t (fun () -> Hashtbl.replace t.tbl name g);
+      Ok g
+
+let find t name =
+  match with_lock t (fun () -> Hashtbl.find_opt t.tbl name) with
+  | Some g -> Ok g
+  | None -> (
+      (* Fall back to reading the name itself as a spec, caching the
+         result so repeated queries share one graph (and its colouring
+         cache entries). *)
+      match graph_of_spec name with
+      | Error _ ->
+          Error
+            (Printf.sprintf "no graph named %S (LOAD one, or use a generator spec)" name)
+      | Ok g ->
+          with_lock t (fun () -> Hashtbl.replace t.tbl name g);
+          Ok g)
+
+let list t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name g acc -> (name, Graph.n_vertices g, Graph.n_edges g) :: acc) t.tbl [])
+  |> List.sort compare
+
+let n_graphs t = with_lock t (fun () -> Hashtbl.length t.tbl)

@@ -1,0 +1,39 @@
+(** Named-graph registry of the query server, and the generator-name table
+    it shares with [bin/gelq].
+
+    A {e graph spec} is a ['+']-separated list of atoms, each atom either a
+    fixed generator name ([petersen], [rook], ...) or a sized pattern
+    ([cycle<N>], [path<N>], [complete<N>], [star<N>], [grid<R>x<C>],
+    [circulant<N>c<S1>c<S2>...]); the graphs of a multi-atom spec are
+    combined by disjoint union ([cycle3+cycle3]). *)
+
+module Graph = Glql_graph.Graph
+
+(** Fixed generator names accepted in specs. *)
+val generator_names : string list
+
+(** Human-readable sized-pattern forms accepted in specs. *)
+val generator_patterns : string list
+
+(** Build the graph a spec describes; [Error] explains what was wrong.
+    Never raises. *)
+val graph_of_spec : string -> (Graph.t, string) result
+
+(** Thread-safe name → graph registry. *)
+type t
+
+val create : unit -> t
+
+(** Build [spec] and bind it to [name] (replacing any previous binding).
+    Returns the graph. *)
+val register : t -> name:string -> spec:string -> (Graph.t, string) result
+
+(** [find t name] is the registered graph, falling back to interpreting
+    [name] itself as a spec (and caching the result under it) — so
+    clients can say [QUERY petersen ...] without a LOAD. *)
+val find : t -> string -> (Graph.t, string) result
+
+(** Registered names with vertex/edge counts, sorted by name. *)
+val list : t -> (string * int * int) list
+
+val n_graphs : t -> int

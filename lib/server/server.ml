@@ -1,0 +1,488 @@
+(* The glqld request loop.
+
+   Concurrency model: the main domain owns all sockets and runs a select
+   loop; each iteration reads whatever complete request lines arrived on
+   any connection and dispatches the whole batch through
+   Pool.parallel_map_array, so requests from concurrent clients run on
+   the domain pool in parallel while replies are written back in arrival
+   order per connection. Handlers are pure apart from the mutex-guarded
+   caches/metrics/registry, and any Pool entry point a kernel reaches from
+   a worker domain degrades to its sequential fallback (the pool's nesting
+   rule), so batch dispatch is safe for every pool size.
+
+   Timeouts are cooperative: the deadline is checked between pipeline
+   stages (after plan lookup, before evaluation), not preemptively — a
+   single stage that overruns still completes. The [max_table_cells]
+   guard rejects queries whose materialisation is hopeless upfront.
+
+   Shutdown: SIGINT/SIGTERM (or the SHUTDOWN command) set a flag; the
+   loop stops accepting, drains request lines already buffered, writes
+   every pending reply, dumps the metrics file, and exits cleanly. *)
+
+module Graph = Glql_graph.Graph
+module Expr = Glql_gel.Expr
+module Normal_form = Glql_gel.Normal_form
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+module Tree = Glql_hom.Tree
+module Count = Glql_hom.Count
+module Pool = Glql_util.Pool
+module Clock = Glql_util.Clock
+module P = Protocol
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  plan_cache_capacity : int;
+  coloring_cache_capacity : int;
+  request_timeout_s : float;
+  max_table_cells : int;
+  metrics_file : string option;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket_path = Some "glqld.sock";
+    tcp_port = None;
+    plan_cache_capacity = 128;
+    coloring_cache_capacity = 64;
+    request_timeout_s = 30.0;
+    max_table_cells = 4_000_000;
+    metrics_file = None;
+    verbose = false;
+  }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  stop_flag : bool Atomic.t;
+}
+
+let create config =
+  {
+    config;
+    registry = Registry.create ();
+    cache =
+      Cache.create ~plan_capacity:config.plan_cache_capacity
+        ~coloring_capacity:config.coloring_cache_capacity;
+    metrics = Metrics.create ();
+    stop_flag = Atomic.make false;
+  }
+
+let caches t = t.cache
+
+let metrics t = t.metrics
+
+let stop t = Atomic.set t.stop_flag true
+
+let version = "0.2"
+
+(* --- request handlers --------------------------------------------------- *)
+
+let hit_tag = function `Hit -> P.Str "hit" | `Miss -> P.Str "miss"
+
+let vec_json v = P.List (Array.to_list (Array.map (fun x -> P.Float x) v))
+
+let check_deadline deadline stage =
+  if Clock.expired deadline then
+    Error (Printf.sprintf "deadline exceeded before %s (request timeout)" stage)
+  else Ok ()
+
+let ( let* ) r f = Result.bind r f
+
+let max_listed_cells = 4096
+
+let query_result t deadline graph_name src =
+  let* g = Registry.find t.registry graph_name in
+  let* plan, hit = Cache.plan t.cache src in
+  let n = Graph.n_vertices g in
+  let fv = Expr.free_vars plan.Cache.expr in
+  let p = List.length fv in
+  let cells = int_of_float (float_of_int n ** float_of_int p) in
+  let* () =
+    if p > 0 && cells > t.config.max_table_cells then
+      Error
+        (Printf.sprintf "query would materialise %d cells (limit %d)" cells
+           t.config.max_table_cells)
+    else Ok ()
+  in
+  let* () = check_deadline deadline "evaluation" in
+  let plan_kind, values =
+    match plan.Cache.layered with
+    | Some nf ->
+        let rows = Normal_form.eval nf g in
+        ("layered", P.List (Array.to_list (Array.map vec_json rows)))
+    | None -> (
+        let table = Expr.eval g plan.Cache.expr in
+        match table.Expr.tvars with
+        | [] -> ("direct", vec_json table.Expr.tdata.(0))
+        | [ _ ] -> ("direct", P.List (Array.to_list (Array.map vec_json table.Expr.tdata)))
+        | vars ->
+            (* Multi-variable tables list nonzero entries only, capped. *)
+            let width = List.length vars in
+            let entries = ref [] in
+            let listed = ref 0 in
+            let truncated = ref false in
+            Array.iteri
+              (fun idx v ->
+                if Array.exists (fun x -> x <> 0.0) v then begin
+                  if !listed >= max_listed_cells then truncated := true
+                  else begin
+                    incr listed;
+                    let tuple = Array.make width 0 in
+                    let rest = ref idx in
+                    for pos = width - 1 downto 0 do
+                      tuple.(pos) <- !rest mod table.Expr.tn;
+                      rest := !rest / table.Expr.tn
+                    done;
+                    entries :=
+                      P.Obj
+                        [
+                          ("t", P.List (Array.to_list (Array.map (fun i -> P.Int i) tuple)));
+                          ("v", vec_json v);
+                        ]
+                      :: !entries
+                  end
+                end)
+              table.Expr.tdata;
+            ( "direct",
+              P.Obj
+                [
+                  ("nonzero", P.List (List.rev !entries));
+                  ("truncated", P.Bool !truncated);
+                ] ))
+  in
+  Ok
+    (P.Obj
+       [
+         ("graph", P.Str graph_name);
+         ("n", P.Int n);
+         ("fragment", P.Str (Expr.fragment_name (Expr.fragment plan.Cache.expr)));
+         ("dim", P.Int (Expr.dim plan.Cache.expr));
+         ("free_vars", P.List (List.map (fun v -> P.Int v) fv));
+         ("plan", P.Str plan_kind);
+         ("plan_cache", hit_tag hit);
+         ("values", values);
+       ])
+
+let wl_result t graph_name rounds =
+  let* g = Registry.find t.registry graph_name in
+  let result, hit = Cache.cr t.cache ~graph_name g in
+  let stable_rounds = Cr.rounds result in
+  let colors =
+    match rounds with
+    | None -> List.hd (Cr.stable_colors result)
+    | Some r -> List.hd (Cr.colors_at_round result r)
+  in
+  let distinct =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun c -> Hashtbl.replace seen c ()) colors;
+    Hashtbl.length seen
+  in
+  Ok
+    (P.Obj
+       [
+         ("graph", P.Str graph_name);
+         ("n", P.Int (Graph.n_vertices g));
+         ("rounds_to_stable", P.Int stable_rounds);
+         ("rounds_used", P.Int (match rounds with None -> stable_rounds | Some r -> min (max 0 r) stable_rounds));
+         ("classes", P.Int distinct);
+         ("signature", P.Str (Digest.to_hex (Digest.string (Cr.graph_signature colors))));
+         ( "colors",
+           if Array.length colors <= max_listed_cells then
+             P.List (Array.to_list (Array.map (fun c -> P.Int c) colors))
+           else P.Null );
+         ("coloring_cache", hit_tag hit);
+       ])
+
+let kwl_result t deadline graph_name k =
+  let* g = Registry.find t.registry graph_name in
+  let* () =
+    if k < 1 || k > 3 then Error "KWL: k must be between 1 and 3" else Ok ()
+  in
+  let n = Graph.n_vertices g in
+  let tuples = Kwl.tuple_count n k in
+  let* () =
+    if tuples > t.config.max_table_cells then
+      Error (Printf.sprintf "KWL: %d^%d tuples exceed the cell limit" n k)
+    else Ok ()
+  in
+  let* () = check_deadline deadline "k-WL refinement" in
+  let result, hit = Cache.kwl t.cache ~graph_name ~k g in
+  let colors = List.hd (Kwl.stable_colors result) in
+  let distinct =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun c -> Hashtbl.replace seen c ()) colors;
+    Hashtbl.length seen
+  in
+  Ok
+    (P.Obj
+       [
+         ("graph", P.Str graph_name);
+         ("k", P.Int k);
+         ("variant", P.Str "folklore");
+         ("rounds", P.Int (Kwl.rounds result));
+         ("tuple_classes", P.Int distinct);
+         ("signature", P.Str (Digest.to_hex (Digest.string (Kwl.graph_signature colors))));
+         ("coloring_cache", hit_tag hit);
+       ])
+
+let hom_result t deadline graph_name max_size =
+  let* g = Registry.find t.registry graph_name in
+  let* () =
+    if max_size < 1 || max_size > 9 then Error "HOM: max tree size must be between 1 and 9"
+    else Ok ()
+  in
+  let* () = check_deadline deadline "hom-profile computation" in
+  let patterns = Tree.all_free_trees_up_to max_size in
+  let profile = Count.profile patterns g in
+  Ok
+    (P.Obj
+       [
+         ("graph", P.Str graph_name);
+         ("max_tree_size", P.Int max_size);
+         ("patterns", P.Int (List.length patterns));
+         ("profile", vec_json profile);
+       ])
+
+let stats_json t =
+  let cache_fields = List.map (fun (k, v) -> (k, P.Int v)) (Cache.stats t.cache) in
+  Metrics.to_json t.metrics
+    ~extra:
+      (cache_fields
+      @ [
+          ("graphs_registered", P.Int (Registry.n_graphs t.registry));
+          ("pool_domains", P.Int (Pool.size ()));
+        ])
+
+let dispatch t deadline req =
+  match req with
+  | P.Hello ->
+      Ok
+        (P.Obj
+           [
+             ("server", P.Str "glqld");
+             ("version", P.Str version);
+             ("protocol", P.Int 1);
+             ("pool_domains", P.Int (Pool.size ()));
+           ])
+  | P.Ping -> Ok (P.Str "pong")
+  | P.Load (name, spec) ->
+      let* g = Registry.register t.registry ~name ~spec in
+      Ok
+        (P.Obj
+           [
+             ("name", P.Str name);
+             ("spec", P.Str spec);
+             ("vertices", P.Int (Graph.n_vertices g));
+             ("edges", P.Int (Graph.n_edges g));
+           ])
+  | P.Graphs ->
+      Ok
+        (P.List
+           (List.map
+              (fun (name, nv, ne) ->
+                P.Obj [ ("name", P.Str name); ("vertices", P.Int nv); ("edges", P.Int ne) ])
+              (Registry.list t.registry)))
+  | P.Generators ->
+      Ok
+        (P.Obj
+           [
+             ("names", P.List (List.map (fun s -> P.Str s) Registry.generator_names));
+             ("patterns", P.List (List.map (fun s -> P.Str s) Registry.generator_patterns));
+             ("union", P.Str "join atoms with '+' for disjoint unions");
+           ])
+  | P.Query (graph, src) -> query_result t deadline graph src
+  | P.Wl (graph, rounds) -> wl_result t graph rounds
+  | P.Kwl (graph, k) -> kwl_result t deadline graph k
+  | P.Hom (graph, size) -> hom_result t deadline graph size
+  | P.Stats -> Ok (stats_json t)
+  | P.Quit -> Ok (P.Str "bye")
+  | P.Shutdown ->
+      stop t;
+      Ok (P.Str "shutting down")
+
+let handle_line t line =
+  let t0 = Clock.now_ns () in
+  let deadline = Clock.deadline_after t.config.request_timeout_s in
+  let reply, command, ok =
+    match P.parse_request line with
+    | Error e -> (P.err e, "INVALID", false)
+    | Ok req -> (
+        let command = P.command_name req in
+        match dispatch t deadline req with
+        | Ok j -> (P.ok j, command, true)
+        | Error e -> (P.err e, command, false)
+        | exception e ->
+            (P.err ("internal error: " ^ Printexc.to_string e), command, false))
+  in
+  Metrics.record t.metrics ~command ~ok ~latency_ns:(Clock.elapsed_ns t0);
+  reply
+
+(* --- socket loop --------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable closing : bool;
+}
+
+(* Consume complete lines from a connection buffer, leaving a partial
+   trailing line in place. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
+      String.split_on_char '\n' (String.sub s 0 last)
+      |> List.map (fun l ->
+             (* Tolerate CRLF clients. *)
+             if l <> "" && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l)
+      |> List.filter (fun l -> String.trim l <> "")
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off := !off + Unix.write fd b !off (len - !off)
+     done
+   with Unix.Unix_error _ -> ());
+  !off
+
+let log t fmt =
+  Printf.ksprintf (fun s -> if t.config.verbose then Printf.eprintf "glqld: %s\n%!" s) fmt
+
+let serve t =
+  let listeners = ref [] in
+  (match t.config.socket_path with
+  | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      listeners := fd :: !listeners;
+      log t "listening on unix socket %s" path
+  | None -> ());
+  (match t.config.tcp_port with
+  | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      listeners := fd :: !listeners;
+      log t "listening on tcp port %d" port
+  | None -> ());
+  if !listeners = [] then invalid_arg "Server.serve: no socket_path and no tcp_port";
+  (* Graceful shutdown on SIGINT/SIGTERM; ignore SIGPIPE so writes to a
+     vanished client surface as EPIPE (swallowed by write_all). *)
+  let prev_handlers =
+    List.map
+      (fun signal ->
+        (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> Atomic.set t.stop_flag true))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let chunk = Bytes.create 65536 in
+  (* Run one batch of request lines through the pool and write replies in
+     order; returns the connections that asked to QUIT. *)
+  let process_batch pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+        let batch = Array.of_list pending in
+        let replies =
+          Pool.parallel_map_array (fun (conn, line) -> (conn, line, handle_line t line)) batch
+        in
+        Array.iter
+          (fun (conn, line, reply) ->
+            let written = write_all conn.fd (reply ^ "\n") in
+            Metrics.add_io t.metrics ~bytes_in:0 ~bytes_out:written;
+            match P.parse_request line with
+            | Ok P.Quit -> conn.closing <- true
+            | Ok P.Shutdown -> Atomic.set t.stop_flag true
+            | _ -> ())
+          replies
+  in
+  let drain_and_close () =
+    (* Handle request lines already buffered before the stop arrived. *)
+    let pending =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          List.fold_left (fun acc line -> (conn, line) :: acc) acc (take_lines conn.inbuf))
+        conns []
+      |> List.rev
+    in
+    process_batch pending;
+    Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+    (match t.config.socket_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ())
+  in
+  while not (Atomic.get t.stop_flag) do
+    let watched =
+      !listeners @ Hashtbl.fold (fun fd conn acc -> if conn.closing then acc else fd :: acc) conns []
+    in
+    let readable =
+      match Unix.select watched [] [] 0.25 with
+      | readable, _, _ -> readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    let pending = ref [] in
+    List.iter
+      (fun fd ->
+        if List.mem fd !listeners then begin
+          match Unix.accept fd with
+          | client, _ ->
+              Hashtbl.replace conns client
+                { fd = client; inbuf = Buffer.create 256; closing = false };
+              log t "client connected (%d live)" (Hashtbl.length conns)
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some conn -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> conn.closing <- true
+              | nread ->
+                  Metrics.add_io t.metrics ~bytes_in:nread ~bytes_out:0;
+                  Buffer.add_subbytes conn.inbuf chunk 0 nread;
+                  List.iter
+                    (fun line -> pending := (conn, line) :: !pending)
+                    (take_lines conn.inbuf)
+              | exception Unix.Unix_error _ -> conn.closing <- true))
+      readable;
+    process_batch (List.rev !pending);
+    (* Close connections that hit EOF, errored, or sent QUIT. *)
+    let dead = Hashtbl.fold (fun fd conn acc -> if conn.closing then (fd, conn) :: acc else acc) conns [] in
+    List.iter
+      (fun (fd, conn) ->
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove conns fd)
+      dead
+  done;
+  drain_and_close ();
+  List.iter (fun (signal, h) -> try Sys.set_signal signal h with Invalid_argument _ -> ()) prev_handlers;
+  let served = Metrics.requests t.metrics in
+  (match t.config.metrics_file with
+  | Some path ->
+      Metrics.write_file t.metrics path
+        ~extra:
+          (List.map (fun (k, v) -> (k, P.Int v)) (Cache.stats t.cache)
+          @ [ ("graphs_registered", P.Int (Registry.n_graphs t.registry)) ]);
+      log t "metrics written to %s" path
+  | None -> ());
+  Printf.eprintf "glqld: served %d requests (%d errors), shutting down cleanly\n%!" served
+    (Metrics.errors t.metrics);
+  served

@@ -1,0 +1,42 @@
+(** The [glqld] request loop: a long-lived daemon serving the
+    {!Protocol} commands over a Unix-domain socket (and optionally TCP),
+    with an LRU compiled-plan cache, a per-graph colouring cache, and
+    request batches dispatched onto the {!Glql_util.Pool} domain pool so
+    concurrent clients are served in parallel.
+
+    [handle_line] is the full request pipeline without any socket — the
+    unit tests and the bench drive it directly. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listening socket *)
+  tcp_port : int option;  (** optional TCP listener on localhost *)
+  plan_cache_capacity : int;
+  coloring_cache_capacity : int;
+  request_timeout_s : float;  (** cooperative per-request deadline; 0 = none *)
+  max_table_cells : int;  (** reject queries materialising more cells *)
+  metrics_file : string option;  (** metrics JSON dumped here on shutdown *)
+  verbose : bool;
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+(** Handle one request line (no trailing newline) and return the reply
+    line; never raises, always records metrics. *)
+val handle_line : t -> string -> string
+
+(** The server's caches (for stats inspection and bench cache-clearing). *)
+val caches : t -> Cache.t
+
+val metrics : t -> Metrics.t
+
+(** Ask a running [serve] loop to stop after draining in-flight work. *)
+val stop : t -> unit
+
+(** Run the socket loop until [stop], [SHUTDOWN], SIGINT, or SIGTERM; then
+    drain buffered requests, write the metrics file (if configured), close
+    sockets, and return the number of requests served. *)
+val serve : t -> int

@@ -1,0 +1,19 @@
+(* Monotonic time. Bechamel's monotonic_clock sub-library is a single
+   dependency-free C stub over clock_gettime(CLOCK_MONOTONIC); reusing it
+   avoids hand-rolling stubs while keeping glql_util light. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let deadline_after timeout_s =
+  if timeout_s <= 0.0 then None
+  else Some (Int64.add (now_ns ()) (Int64.of_float (timeout_s *. 1e9)))
+
+let expired = function
+  | None -> false
+  | Some d -> Int64.compare (now_ns ()) d > 0

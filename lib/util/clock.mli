@@ -1,0 +1,21 @@
+(** Monotonic-clock helpers for latency measurement (server metrics,
+    per-request deadlines). Backed by [CLOCK_MONOTONIC] via bechamel's
+    dependency-free stub, so readings never jump with wall-clock
+    adjustments. *)
+
+(** Nanoseconds from an arbitrary fixed origin. *)
+val now_ns : unit -> int64
+
+(** Nanoseconds elapsed since an earlier [now_ns] reading. *)
+val elapsed_ns : int64 -> int64
+
+val ns_to_ms : int64 -> float
+
+val ns_to_s : int64 -> float
+
+(** Deadline [timeout_s] seconds from now ([None] when [timeout_s <= 0],
+    meaning no deadline). *)
+val deadline_after : float -> int64 option
+
+(** Has the deadline passed? [None] never expires. *)
+val expired : int64 option -> bool

@@ -1,0 +1,111 @@
+(* Bounded LRU map: a hash table from keys to nodes of a doubly-linked
+   recency list, [first] being most- and [last] least-recently used. All
+   operations are O(1) expected. *)
+
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable nvalue : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards [first] (more recent) *)
+  mutable next : ('k, 'v) node option;  (* towards [last] (less recent) *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be at least 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  n.prev <- None;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let touch t n =
+  if t.first != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let get t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      touch t n;
+      Some n.nvalue
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_last t =
+  match t.last with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.evictions <- t.evictions + 1
+
+let put t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.nvalue <- v;
+      touch t n
+  | None ->
+      let n = { nkey = k; nvalue = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_front t n;
+      if Hashtbl.length t.tbl > t.cap then evict_last t
+
+let find_or_add t k ~compute =
+  match get t k with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      put t k v;
+      v
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None
+
+let keys_mru_first t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk (n.nkey :: acc) n.next
+  in
+  walk [] t.first

@@ -1,0 +1,48 @@
+(** A small bounded LRU map with hit/miss/eviction counters, shared by the
+    query server's compiled-plan cache and per-graph colouring cache.
+
+    Not thread-safe: callers that share one cache across domains (the
+    server's request handlers) must bring their own lock. Keys are compared
+    with structural equality and hashed with [Hashtbl.hash]. *)
+
+type ('k, 'v) t
+
+(** [create ~capacity] is an empty cache holding at most [capacity]
+    bindings; raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+
+(** Number of live bindings. *)
+val length : ('k, 'v) t -> int
+
+(** [get t k] is the value bound to [k], marking it most-recently used and
+    counting a hit; [None] counts a miss. *)
+val get : ('k, 'v) t -> 'k -> 'v option
+
+(** Membership test that touches neither recency nor the counters. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [put t k v] binds [k] to [v] as the most-recently-used entry,
+    replacing any previous binding and evicting the least-recently-used
+    entry when over capacity. *)
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t k ~compute] is [get] with [compute ()] inserted (and
+    returned) on a miss. *)
+val find_or_add : ('k, 'v) t -> 'k -> compute:(unit -> 'v) -> 'v
+
+(** Successful [get]s (and [find_or_add] hits) since creation. *)
+val hits : ('k, 'v) t -> int
+
+(** Failed lookups since creation. *)
+val misses : ('k, 'v) t -> int
+
+(** Entries dropped by capacity eviction since creation. *)
+val evictions : ('k, 'v) t -> int
+
+(** Drop all bindings; counters are kept. *)
+val clear : ('k, 'v) t -> unit
+
+(** Keys from most- to least-recently used (for tests and introspection). *)
+val keys_mru_first : ('k, 'v) t -> 'k list

@@ -126,3 +126,11 @@ let vertex_partition graphs =
 
 (* Number of refinement rounds needed to stabilise one graph. *)
 let stable_round g = (run g).rounds
+
+(* Reusable-handle accessors: a cached [result] can answer any
+   smaller-round request from its history without recomputation. *)
+let n_classes result = joint_color_count result.stable
+
+let colors_at_round result round =
+  let r = max 0 (min round result.rounds) in
+  List.nth result.history r

@@ -45,3 +45,12 @@ val vertex_partition : Graph.t list -> Partition.t
 
 (** Rounds to stabilise a single graph. *)
 val stable_round : Graph.t -> int
+
+(** Number of colour classes in the stable joint partition. *)
+val n_classes : result -> int
+
+(** Joint colouring after the given number of rounds, clamped to
+    [\[0, rounds\]] — so one cached stable run answers every
+    smaller-round request (the query server's colouring cache relies on
+    this). *)
+val colors_at_round : result -> int -> int array list

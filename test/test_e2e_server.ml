@@ -1,0 +1,175 @@
+(* End-to-end test of the glqld daemon and glql_client, driven through
+   real processes and a real Unix-domain socket:
+
+     test_e2e_server <glqld.exe> <glql_client.exe>
+
+   Starts the daemon, registers a graph, runs the same GEL query from two
+   CONCURRENT client processes, and asserts: both replies are identical
+   and match direct Glql_gel evaluation, STATS shows a plan-cache hit
+   (the second of the two concurrent identical queries), and SIGTERM
+   produces a clean exit with a metrics dump. *)
+
+module Expr = Glql_gel.Expr
+module Parser = Glql_gel.Parser
+module Registry = Glql_server.Registry
+module P = Glql_server.Protocol
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok - %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL - %s\n%!" name
+  end
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* First integer following "<field>": in a one-line JSON dump. *)
+let json_int_field text field =
+  let tag = "\"" ^ field ^ "\":" in
+  let tl = String.length tag and n = String.length text in
+  let rec find i = if i + tl > n then None else if String.sub text i tl = tag then Some (i + tl) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while !stop < n && (text.[!stop] = '-' || (text.[!stop] >= '0' && text.[!stop] <= '9')) do
+        incr stop
+      done;
+      int_of_string_opt (String.sub text start (!stop - start))
+
+let spawn exe args ~stdout_file =
+  let out_fd =
+    Unix.openfile stdout_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid = Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin out_fd Unix.stderr in
+  Unix.close out_fd;
+  pid
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> Some code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> None
+
+let () =
+  let glqld, client =
+    match Sys.argv with
+    | [| _; d; c |] -> (d, c)
+    | _ ->
+        prerr_endline "usage: test_e2e_server <glqld.exe> <glql_client.exe>";
+        exit 2
+  in
+  let dir = Filename.temp_file "glqld_e2e" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "glqld.sock" in
+  let metrics_file = Filename.concat dir "metrics.json" in
+  let out i = Filename.concat dir (Printf.sprintf "out%d.txt" i) in
+
+  (* Start the daemon and wait for its socket to appear. *)
+  let daemon =
+    spawn glqld
+      [ "--socket"; sock; "--metrics-file"; metrics_file ]
+      ~stdout_file:(Filename.concat dir "daemon.out")
+  in
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.05)
+  done;
+  check "daemon socket appears" (Sys.file_exists sock);
+
+  let run_client ?(n = 0) args =
+    let pid = spawn client ([ "--socket"; sock ] @ args) ~stdout_file:(out n) in
+    let code = wait_exit pid in
+    (code, read_file (out n))
+  in
+
+  (* Register a graph. *)
+  let code, reply = run_client [ "LOAD"; "g"; "petersen" ] in
+  check "LOAD exits 0" (code = Some 0);
+  check "LOAD reply ok" (contains ~needle:"\"vertices\":10" reply);
+
+  (* The same query from two concurrent client processes. *)
+  let src = "agg_sum{x2}([1] | E(x1,x2))" in
+  let query_args = [ "QUERY"; "g"; src ] in
+  let pid1 = spawn client ([ "--socket"; sock ] @ query_args) ~stdout_file:(out 1) in
+  let pid2 = spawn client ([ "--socket"; sock ] @ query_args) ~stdout_file:(out 2) in
+  let code1 = wait_exit pid1 and code2 = wait_exit pid2 in
+  check "concurrent client 1 exits 0" (code1 = Some 0);
+  check "concurrent client 2 exits 0" (code2 = Some 0);
+  let reply1 = read_file (out 1) and reply2 = read_file (out 2) in
+  (* The cache tag legitimately differs between the two (one miss, one
+     hit); everything else — in particular the values — must be equal. *)
+  let normalize s =
+    let needle = "\"plan_cache\":\"hit\"" and repl = "\"plan_cache\":\"miss\"" in
+    let nl = String.length needle and sl = String.length s in
+    let buf = Buffer.create sl in
+    let i = ref 0 in
+    while !i < sl do
+      if !i + nl <= sl && String.sub s !i nl = needle then begin
+        Buffer.add_string buf repl;
+        i := !i + nl
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  check "concurrent replies identical" (normalize reply1 = normalize reply2 && String.length reply1 > 0);
+  check "one of the two concurrent queries hit the plan cache"
+    (contains ~needle:"\"plan_cache\":\"hit\"" (reply1 ^ reply2)
+    && contains ~needle:"\"plan_cache\":\"miss\"" (reply1 ^ reply2));
+
+  (* Replies match direct in-process Glql_gel evaluation. *)
+  let g = match Registry.graph_of_spec "petersen" with Ok g -> g | Error e -> failwith e in
+  let table = Expr.eval g (Parser.parse src) in
+  let expected =
+    P.json_to_string
+      (P.List
+         (Array.to_list
+            (Array.map
+               (fun v -> P.List (Array.to_list (Array.map (fun x -> P.Float x) v)))
+               table.Expr.tdata)))
+  in
+  check "replies match direct evaluation" (contains ~needle:("\"values\":" ^ expected) reply1);
+
+  (* The second identical query must have been a plan-cache hit. *)
+  let _, stats = run_client ~n:3 [ "STATS" ] in
+  check "STATS replies ok" (P.is_ok (String.trim stats));
+  check "plan cache saw a hit"
+    (match json_int_field stats "plan_hits" with Some h -> h >= 1 | None -> false);
+  check "exactly one plan compiled"
+    (match json_int_field stats "plan_misses" with Some m -> m = 1 | None -> false);
+
+  (* SIGTERM: clean exit, socket unlinked, metrics dumped. *)
+  Unix.kill daemon Sys.sigterm;
+  let daemon_code = wait_exit daemon in
+  check "SIGTERM exits cleanly" (daemon_code = Some 0);
+  check "socket unlinked on shutdown" (not (Sys.file_exists sock));
+  check "metrics file written" (Sys.file_exists metrics_file);
+  let metrics = if Sys.file_exists metrics_file then read_file metrics_file else "" in
+  check "metrics count the requests"
+    (match json_int_field metrics "requests" with Some r -> r >= 4 | None -> false);
+  check "metrics include cache stats" (contains ~needle:"\"plan_hits\"" metrics);
+
+  (* Tidy up the scratch directory. *)
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d end-to-end check(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "all end-to-end checks passed"

@@ -18,4 +18,5 @@ let () =
       Test_relational.suite;
       Test_properties.suite;
       Test_parser.suite;
+      Test_server.suite;
     ]

@@ -1,0 +1,255 @@
+(* Tests for the glqld server stack: canonical plan-cache keys, the wire
+   protocol parser (including malformed input), the graph registry, and
+   the full request pipeline via Server.handle_line. *)
+
+open Helpers
+module P = Glql_server.Protocol
+module Registry = Glql_server.Registry
+module Cache = Glql_server.Cache
+module Server = Glql_server.Server
+module Parser = Glql_gel.Parser
+module Expr = Glql_gel.Expr
+module Normal_form = Glql_gel.Normal_form
+module Graph = Glql_graph.Graph
+
+let key src = Normal_form.cache_key (Parser.parse src)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- cache keys ---------------------------------------------------------- *)
+
+let test_key_alpha_equivalent () =
+  Alcotest.(check string)
+    "renamed binder" (key "agg_sum{x2}([1] | E(x1,x2))")
+    (key "agg_sum{x9}([1] | E(x1,x9))");
+  Alcotest.(check string)
+    "nested binders renamed"
+    (key "agg_sum{x2}(agg_count{x3}([1] | E(x2,x3)) | E(x1,x2))")
+    (key "agg_sum{x5}(agg_count{x4}([1] | E(x5,x4)) | E(x1,x5))")
+
+let test_key_free_var_renaming () =
+  (* Renaming free variables while preserving their order is invisible. *)
+  Alcotest.(check string)
+    "free var renamed" (key "agg_sum{x2}([1] | E(x1,x2))")
+    (key "agg_sum{x2}([1] | E(x7,x2))")
+
+let test_key_symmetric_edge () =
+  Alcotest.(check string)
+    "edge arg order" (key "agg_sum{x2}([1] | E(x1,x2))")
+    (key "agg_sum{x2}([1] | E(x2,x1))")
+
+let test_key_binder_reordering () =
+  Alcotest.(check string)
+    "binder list order"
+    (key "agg_sum{x2,x3}([1] | product(E(x1,x2), E(x2,x3)))")
+    (key "agg_sum{x3,x2}([1] | product(E(x1,x3), E(x3,x2)))")
+
+let test_key_distinct_queries () =
+  let keys =
+    List.map key
+      [
+        "agg_sum{x2}([1] | E(x1,x2))";
+        "agg_max{x2}([1] | E(x1,x2))";
+        "agg_sum{x2}([2] | E(x1,x2))";
+        "agg_sum{x2}(agg_count{x3}([1] | E(x2,x3)) | E(x1,x2))";
+        "agg_sum{x1,x2}([1] | E(x1,x2))";
+      ]
+  in
+  check_int "all distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let test_tokenize () =
+  (match P.tokenize "QUERY g 'a b' tail" with
+  | Ok toks -> Alcotest.(check (list string)) "quoted token" [ "QUERY"; "g"; "a b"; "tail" ] toks
+  | Error e -> Alcotest.failf "tokenize failed: %s" e);
+  (match P.tokenize "say \"it's fine\"" with
+  | Ok toks -> Alcotest.(check (list string)) "double quotes" [ "say"; "it's fine" ] toks
+  | Error e -> Alcotest.failf "tokenize failed: %s" e);
+  check_bool "unbalanced quote rejected" true
+    (match P.tokenize "QUERY g 'unclosed" with Error _ -> true | Ok _ -> false)
+
+let test_parse_request_ok () =
+  check_bool "ping case-insensitive" true (P.parse_request "ping" = Ok P.Ping);
+  check_bool "query parsed" true
+    (P.parse_request "QUERY g 'agg_sum{x2}([1] | E(x1,x2))'"
+    = Ok (P.Query ("g", "agg_sum{x2}([1] | E(x1,x2))")));
+  check_bool "load parsed" true (P.parse_request "LOAD g cycle3+cycle3" = Ok (P.Load ("g", "cycle3+cycle3")));
+  check_bool "wl default rounds" true (P.parse_request "WL g" = Ok (P.Wl ("g", None)));
+  check_bool "wl explicit rounds" true (P.parse_request "wl g 2" = Ok (P.Wl ("g", Some 2)))
+
+let test_parse_request_malformed () =
+  let malformed =
+    [
+      "";
+      "   ";
+      "FROBNICATE x";
+      "LOAD missing-spec";
+      "QUERY g";
+      "QUERY g 'unclosed";
+      "WL g notanumber";
+      "KWL g";
+      "HOM g too many args here";
+      "PING extra";
+    ]
+  in
+  List.iter
+    (fun line ->
+      check_bool (Printf.sprintf "rejects %S" line) true
+        (match P.parse_request line with Error _ -> true | Ok _ -> false))
+    malformed
+
+let test_json_rendering () =
+  Alcotest.(check string) "escaping" "\"a\\\"b\\n\"" (P.json_to_string (P.Str "a\"b\n"));
+  Alcotest.(check string)
+    "object" "{\"a\":1,\"b\":[true,null]}"
+    (P.json_to_string (P.Obj [ ("a", P.Int 1); ("b", P.List [ P.Bool true; P.Null ]) ]));
+  Alcotest.(check string) "integer float" "3" (P.json_to_string (P.Float 3.0));
+  check_bool "ok tagged" true (P.is_ok (P.ok P.Null));
+  check_bool "err tagged" false (P.is_ok (P.err "boom"))
+
+(* --- registry ------------------------------------------------------------ *)
+
+let check_spec spec nv ne =
+  match Registry.graph_of_spec spec with
+  | Ok g ->
+      check_int (spec ^ " vertices") nv (Graph.n_vertices g);
+      check_int (spec ^ " edges") ne (Graph.n_edges g)
+  | Error e -> Alcotest.failf "spec %s rejected: %s" spec e
+
+let test_registry_specs () =
+  check_spec "petersen" 10 15;
+  check_spec "cycle5" 5 5;
+  check_spec "path4" 4 3;
+  check_spec "complete4" 4 6;
+  check_spec "grid2x3" 6 7;
+  check_spec "cycle3+cycle3" 6 6;
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "rejects %S" bad) true
+        (match Registry.graph_of_spec bad with Error _ -> true | Ok _ -> false))
+    [ "nosuchgraph"; "cycle"; "cycle3+"; "gridx3"; "" ]
+
+let test_registry_find_caches () =
+  let r = Registry.create () in
+  check_int "starts empty" 0 (Registry.n_graphs r);
+  (match Registry.find r "cycle4" with
+  | Ok g -> check_int "spec fallback" 4 (Graph.n_vertices g)
+  | Error e -> Alcotest.failf "find failed: %s" e);
+  check_int "fallback cached" 1 (Registry.n_graphs r);
+  (match Registry.register r ~name:"two" ~spec:"cycle3+cycle3" with
+  | Ok g -> check_int "registered union" 6 (Graph.n_vertices g)
+  | Error e -> Alcotest.failf "register failed: %s" e);
+  check_bool "listed" true
+    (List.exists (fun (name, nv, ne) -> name = "two" && nv = 6 && ne = 6) (Registry.list r));
+  check_bool "unknown spec reported" true
+    (match Registry.find r "definitely-not-a-graph" with Error _ -> true | Ok _ -> false)
+
+(* --- the in-process request pipeline ------------------------------------- *)
+
+let make_server () =
+  Server.create { Server.default_config with Server.socket_path = None }
+
+let test_handle_line_flow () =
+  let t = make_server () in
+  check_bool "hello ok" true (P.is_ok (Server.handle_line t "HELLO"));
+  check_bool "load ok" true (P.is_ok (Server.handle_line t "LOAD g petersen"));
+  let src = "agg_sum{x2}([1] | E(x1,x2))" in
+  let reply1 = Server.handle_line t (Printf.sprintf "QUERY g '%s'" src) in
+  check_bool "first query ok" true (P.is_ok reply1);
+  check_bool "first is a plan miss" true (contains ~needle:"\"plan_cache\":\"miss\"" reply1);
+  (* Alpha-renamed source must land on the same cached plan. *)
+  let reply2 = Server.handle_line t "QUERY g 'agg_sum{x6}([1] | E(x1,x6))'" in
+  check_bool "second query ok" true (P.is_ok reply2);
+  check_bool "alpha-equivalent query is a plan hit" true
+    (contains ~needle:"\"plan_cache\":\"hit\"" reply2);
+  (* The served values must match direct Glql_gel evaluation. *)
+  let g = match Registry.graph_of_spec "petersen" with Ok g -> g | Error e -> failwith e in
+  let table = Expr.eval g (Parser.parse src) in
+  let expected =
+    P.json_to_string
+      (P.List
+         (Array.to_list
+            (Array.map
+               (fun v -> P.List (Array.to_list (Array.map (fun x -> P.Float x) v)))
+               table.Expr.tdata)))
+  in
+  check_bool "values match direct evaluation" true
+    (contains ~needle:("\"values\":" ^ expected) reply1);
+  check_bool "both replies identical" true
+    (contains ~needle:("\"values\":" ^ expected) reply2)
+
+let test_handle_line_wl_cache () =
+  let t = make_server () in
+  let first = Server.handle_line t "WL petersen" in
+  check_bool "wl ok" true (P.is_ok first);
+  check_bool "first is a coloring miss" true (contains ~needle:"\"coloring_cache\":\"miss\"" first);
+  check_bool "petersen is CR-homogeneous" true (contains ~needle:"\"classes\":1" first);
+  let second = Server.handle_line t "WL petersen 1" in
+  check_bool "smaller-round request hits the same entry" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" second);
+  let kwl = Server.handle_line t "KWL petersen 2" in
+  check_bool "kwl ok" true (P.is_ok kwl);
+  check_bool "kwl rejects bad k" true
+    (not (P.is_ok (Server.handle_line t "KWL petersen 7")))
+
+let test_handle_line_errors () =
+  let t = make_server () in
+  List.iter
+    (fun line ->
+      let reply = Server.handle_line t line in
+      check_bool (Printf.sprintf "ERR reply for %S" line) false (P.is_ok reply);
+      check_bool "starts with ERR" true
+        (String.length reply >= 3 && String.sub reply 0 3 = "ERR"))
+    [
+      "garbage request";
+      "LOAD g nosuchgenerator";
+      "QUERY nosuchgraph 'agg_sum{x2}([1] | E(x1,x2))'";
+      "QUERY petersen 'agg_sum{x2}(['";
+      "QUERY petersen 'unclosed";
+      "HOM petersen 99";
+    ];
+  (* Errors are counted but never crash the pipeline. *)
+  let stats = Server.handle_line t "STATS" in
+  check_bool "stats ok" true (P.is_ok stats);
+  (* STATS reports the requests recorded before it, i.e. the six above. *)
+  check_bool "stats counts requests" true (contains ~needle:"\"requests\":6" stats);
+  check_bool "stats counts errors" true (contains ~needle:"\"errors\":6" stats);
+  check_bool "stats exposes the plan cache" true (contains ~needle:"\"plan_misses\"" stats)
+
+let test_cache_clear_resets_entries () =
+  let t = make_server () in
+  ignore (Server.handle_line t "QUERY petersen 'agg_sum{x2}([1] | E(x1,x2))'");
+  ignore (Server.handle_line t "WL petersen");
+  let before = Cache.stats (Server.caches t) in
+  check_int "one plan cached" 1 (List.assoc "plan_entries" before);
+  check_int "one coloring cached" 1 (List.assoc "coloring_entries" before);
+  Cache.clear (Server.caches t);
+  let after = Cache.stats (Server.caches t) in
+  check_int "plans cleared" 0 (List.assoc "plan_entries" after);
+  check_int "colorings cleared" 0 (List.assoc "coloring_entries" after);
+  check_int "miss counters survive" 1 (List.assoc "plan_misses" after)
+
+let suite =
+  ( "server",
+    [
+      case "cache key: alpha equivalence" test_key_alpha_equivalent;
+      case "cache key: free-var renaming" test_key_free_var_renaming;
+      case "cache key: symmetric edge args" test_key_symmetric_edge;
+      case "cache key: binder reordering" test_key_binder_reordering;
+      case "cache key: distinct queries differ" test_key_distinct_queries;
+      case "protocol tokenizer" test_tokenize;
+      case "protocol requests" test_parse_request_ok;
+      case "protocol malformed lines" test_parse_request_malformed;
+      case "protocol json rendering" test_json_rendering;
+      case "registry specs" test_registry_specs;
+      case "registry find and register" test_registry_find_caches;
+      case "handle_line: query flow and plan cache" test_handle_line_flow;
+      case "handle_line: coloring cache" test_handle_line_wl_cache;
+      case "handle_line: errors and stats" test_handle_line_errors;
+      case "cache clear" test_cache_clear_resets_entries;
+    ] )

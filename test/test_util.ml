@@ -5,6 +5,8 @@ open Helpers
 module Rng = Glql_util.Rng
 module Sig_hash = Glql_util.Sig_hash
 module Tbl = Glql_util.Tbl
+module Lru = Glql_util.Lru
+module Clock = Glql_util.Clock
 
 let test_determinism () =
   let a = Rng.create 7 and b = Rng.create 7 in
@@ -131,6 +133,76 @@ let test_fmt_float () =
   Alcotest.(check string) "integer floats" "3" (Tbl.fmt_float 3.0);
   Alcotest.(check string) "fractional" "0.5000" (Tbl.fmt_float 0.5)
 
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  (* Touch "a" so "b" becomes least-recently used. *)
+  check_bool "a present" true (Lru.get c "a" = Some 1);
+  Lru.put c "d" 4;
+  check_bool "b evicted" false (Lru.mem c "b");
+  check_bool "a survives" true (Lru.mem c "a");
+  check_bool "c survives" true (Lru.mem c "c");
+  check_bool "d inserted" true (Lru.mem c "d");
+  check_int "evictions" 1 (Lru.evictions c);
+  Alcotest.(check (list string)) "mru order" [ "d"; "a"; "c" ] (Lru.keys_mru_first c)
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:2 in
+  check_bool "miss on empty" true (Lru.get c "x" = None);
+  Lru.put c "x" 10;
+  check_bool "hit" true (Lru.get c "x" = Some 10);
+  check_bool "second miss" true (Lru.get c "y" = None);
+  check_int "hits" 1 (Lru.hits c);
+  check_int "misses" 2 (Lru.misses c);
+  (* find_or_add: a miss computes once, a hit does not recompute. *)
+  let computed = ref 0 in
+  let v = Lru.find_or_add c "z" ~compute:(fun () -> incr computed; 42) in
+  check_int "computed value" 42 v;
+  let v' = Lru.find_or_add c "z" ~compute:(fun () -> incr computed; 43) in
+  check_int "cached value" 42 v';
+  check_int "compute ran once" 1 !computed;
+  check_int "hits after find_or_add" 2 (Lru.hits c);
+  check_int "misses after find_or_add" 3 (Lru.misses c)
+
+let test_lru_update_moves_front () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  (* Re-putting "a" refreshes it, so "b" is the one evicted. *)
+  Lru.put c "a" 100;
+  Lru.put c "c" 3;
+  check_bool "b evicted" false (Lru.mem c "b");
+  check_bool "updated value" true (Lru.get c "a" = Some 100);
+  check_int "length at capacity" 2 (Lru.length c)
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.put c 1 "one";
+  Lru.put c 2 "two";
+  check_bool "old gone" false (Lru.mem c 1);
+  check_bool "new present" true (Lru.mem c 2);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be at least 1") (fun () ->
+      ignore (Lru.create ~capacity:0));
+  Lru.clear c;
+  check_int "cleared" 0 (Lru.length c);
+  check_bool "clear keeps counters" true (Lru.misses c >= 0)
+
+let test_clock_monotonic () =
+  let t0 = Clock.now_ns () in
+  let t1 = Clock.now_ns () in
+  check_bool "non-decreasing" true (Int64.compare t1 t0 >= 0);
+  check_bool "elapsed non-negative" true (Int64.compare (Clock.elapsed_ns t0) 0L >= 0);
+  check_float "ns_to_ms" 1.5 (Clock.ns_to_ms 1_500_000L);
+  check_float "ns_to_s" 0.002 (Clock.ns_to_s 2_000_000L);
+  check_bool "no deadline never expires" true (not (Clock.expired None));
+  check_bool "zero timeout means none" true (Clock.deadline_after 0.0 = None);
+  let d = Clock.deadline_after 3600.0 in
+  check_bool "future deadline not expired" true (not (Clock.expired d));
+  check_bool "past deadline expired" true (Clock.expired (Some (Int64.sub (Clock.now_ns ()) 1L)))
+
 let suite =
   ( "util",
     [
@@ -151,4 +223,9 @@ let suite =
       case "interner" test_interner;
       case "table rendering" test_table_rendering;
       case "float formatting" test_fmt_float;
+      case "lru eviction order" test_lru_eviction_order;
+      case "lru counters" test_lru_counters;
+      case "lru update refreshes" test_lru_update_moves_front;
+      case "lru capacity edge cases" test_lru_capacity_one;
+      case "clock helpers" test_clock_monotonic;
     ] )
