@@ -72,15 +72,21 @@ let coloring_entry t key compute =
           Lru.put t.colorings key c;
           (c, `Miss))
 
-let cr t ~graph_name g =
-  match coloring_entry t ("cr:" ^ graph_name) (fun () -> C_cr (Cr.run g)) with
+(* Colouring keys embed the registry generation: a LOAD that replaces a
+   name bumps the generation, so entries computed on the old graph are
+   unreachable (and age out of the LRU) rather than served stale. *)
+
+let cr t ~graph_name ~gen g =
+  match
+    coloring_entry t (Printf.sprintf "cr:%d:%s" gen graph_name) (fun () -> C_cr (Cr.run g))
+  with
   | C_cr r, hit -> (r, hit)
   | C_kwl _, _ -> assert false (* "cr:" keys only ever hold C_cr *)
 
-let kwl t ~graph_name ~k g =
+let kwl t ~graph_name ~gen ~k g =
   match
     coloring_entry t
-      (Printf.sprintf "kwl:%d:%s" k graph_name)
+      (Printf.sprintf "kwl:%d:%d:%s" k gen graph_name)
       (fun () -> C_kwl (Kwl.run_joint ~k ~variant:Kwl.Folklore [ g ]))
   with
   | C_kwl r, hit -> (r, hit)

@@ -6,9 +6,11 @@
     single-variable MPNN-sum queries, the layered normal form used by the
     fast evaluator).
 
-    {b Colouring cache}: LRU from graph name to stable colour-refinement /
-    k-WL results, reused across requests and across round counts (a stable
-    run answers every smaller-round request from its history).
+    {b Colouring cache}: LRU from (graph name, registry generation) to
+    stable colour-refinement / k-WL results, reused across requests and
+    across round counts (a stable run answers every smaller-round request
+    from its history). Keying by generation means a LOAD that replaces a
+    name never has its colourings answered from the old graph's entries.
 
     All entry points are thread-safe; lookups that miss compute the value
     while holding the cache lock, so concurrent requests for the same key
@@ -35,11 +37,14 @@ val create : plan_capacity:int -> coloring_capacity:int -> t
     [`Hit] means the plan cache already held the canonical key. *)
 val plan : t -> string -> (plan * [ `Hit | `Miss ], string) result
 
-(** Stable colour refinement of the named graph, cached per name. *)
-val cr : t -> graph_name:string -> Graph.t -> Cr.result * [ `Hit | `Miss ]
+(** Stable colour refinement of the named graph, cached per
+    (name, registry generation) — see {!Registry.find_entry}. *)
+val cr : t -> graph_name:string -> gen:int -> Graph.t -> Cr.result * [ `Hit | `Miss ]
 
-(** Stable [k]-WL (folklore) of the named graph, cached per (name, k). *)
-val kwl : t -> graph_name:string -> k:int -> Graph.t -> Kwl.result * [ `Hit | `Miss ]
+(** Stable [k]-WL (folklore) of the named graph, cached per
+    (name, generation, k). *)
+val kwl :
+  t -> graph_name:string -> gen:int -> k:int -> Graph.t -> Kwl.result * [ `Hit | `Miss ]
 
 (** Counter snapshot: plan/coloring hits, misses, evictions, sizes. *)
 val stats : t -> (string * int) list

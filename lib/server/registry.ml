@@ -1,7 +1,13 @@
 (* The server's graph registry and the generator-name table shared with
    bin/gelq. Specs are deterministic by construction (no random families),
-   so a spec names the same graph in every process — which is what makes
-   the per-graph colouring cache and cross-client sharing sound. *)
+   so a spec names the same graph in every process. Each registration also
+   gets a monotonically increasing generation number: the colouring cache
+   keys entries by (name, generation), so re-LOADing a name can never
+   serve a colouring computed on the replaced graph.
+
+   Spec sizes are checked *before* construction: a `LOAD g complete20000`
+   is rejected upfront instead of materialising ~2e8 edges and then
+   running unbounded WL on them. *)
 
 module Graph = Glql_graph.Graph
 module Generators = Glql_graph.Generators
@@ -22,13 +28,32 @@ let generator_names = List.map fst fixed
 let generator_patterns =
   [ "cycle<N>"; "path<N>"; "complete<N>"; "star<N>"; "grid<R>x<C>"; "circulant<N>c<S>c<S>..." ]
 
+let default_max_vertices = 100_000
+
+let default_max_edges = 4_000_000
+
+(* Reject oversized specs before building anything. [ne] is a thunk: edge
+   formulas like n*(n-1)/2 can overflow for absurd [n], so they are only
+   evaluated once the vertex bound (which also bounds the formula inputs)
+   has passed. *)
+let sized_guard ~max_vertices ~max_edges name ~nv ~ne make =
+  if nv < 0 || nv > max_vertices then
+    Error
+      (Printf.sprintf "%s: %d vertices exceed the %d-vertex spec limit" name nv max_vertices)
+  else
+    let ne = ne () in
+    if ne > max_edges then
+      Error (Printf.sprintf "%s: %d edges exceed the %d-edge spec limit" name ne max_edges)
+    else Ok (make ())
+
 let sized name ~prefix =
   let pl = String.length prefix in
   if String.length name > pl && String.sub name 0 pl = prefix then
     int_of_string_opt (String.sub name pl (String.length name - pl))
   else None
 
-let atom_of_name name =
+let atom_of_name ~max_vertices ~max_edges name =
+  let guard = sized_guard ~max_vertices ~max_edges name in
   match List.assoc_opt name fixed with
   | Some make -> Ok (make ())
   | None -> (
@@ -38,14 +63,18 @@ let atom_of_name name =
           sized name ~prefix:"complete",
           sized name ~prefix:"star" )
       with
-      | Some n, _, _, _ when n >= 3 -> Ok (Generators.cycle n)
+      | Some n, _, _, _ when n >= 3 ->
+          guard ~nv:n ~ne:(fun () -> n) (fun () -> Generators.cycle n)
       | Some n, _, _, _ -> Error (Printf.sprintf "cycle%d: cycles need at least 3 vertices" n)
-      | _, Some n, _, _ when n >= 1 -> Ok (Generators.path n)
-      | _, _, Some n, _ when n >= 1 -> Ok (Generators.complete n)
+      | _, Some n, _, _ when n >= 1 ->
+          guard ~nv:n ~ne:(fun () -> n - 1) (fun () -> Generators.path n)
+      | _, _, Some n, _ when n >= 1 ->
+          guard ~nv:n ~ne:(fun () -> n * (n - 1) / 2) (fun () -> Generators.complete n)
       | _, _, _, Some n when n >= 1 ->
-          (* Star labels mark every vertex so degree queries see leaves. *)
-          let g = Generators.star n in
-          Ok (Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |]))
+          guard ~nv:(n + 1) ~ne:(fun () -> n) (fun () ->
+              (* Star labels mark every vertex so degree queries see leaves. *)
+              let g = Generators.star n in
+              Graph.with_labels g (Array.make (Graph.n_vertices g) [| 1.0 |]))
       | _ -> (
           let grid_spec =
             if String.length name > 4 && String.sub name 0 4 = "grid" then
@@ -61,7 +90,16 @@ let atom_of_name name =
             else None
           in
           match grid_spec with
-          | Some (r, c) -> Ok (Generators.grid r c)
+          | Some (r, c) ->
+              (* Check the sides before multiplying so r*c cannot wrap. *)
+              if r > max_vertices || c > max_vertices then
+                Error
+                  (Printf.sprintf "%s: grid side exceeds the %d-vertex spec limit" name
+                     max_vertices)
+              else
+                guard ~nv:(r * c)
+                  ~ne:(fun () -> (r * (c - 1)) + (c * (r - 1)))
+                  (fun () -> Generators.grid r c)
           | None -> (
               if String.length name > 9 && String.sub name 0 9 = "circulant" then
                 match String.split_on_char 'c' (String.sub name 9 (String.length name - 9)) with
@@ -71,7 +109,9 @@ let atom_of_name name =
                         List.map int_of_string_opt offsets )
                     with
                     | Some n, offs when n >= 3 && List.for_all Option.is_some offs ->
-                        Ok (Generators.circulant n (List.map Option.get offs))
+                        guard ~nv:n
+                          ~ne:(fun () -> n * List.length offs)
+                          (fun () -> Generators.circulant n (List.map Option.get offs))
                     | _ -> Error (Printf.sprintf "bad circulant spec %S" name)
                   )
                 | _ -> Error (Printf.sprintf "bad circulant spec %S" name)
@@ -82,30 +122,41 @@ let atom_of_name name =
                      (String.concat ", " generator_names)
                      (String.concat ", " generator_patterns)))))
 
-let graph_of_spec spec =
+let graph_of_spec ?(max_vertices = default_max_vertices) ?(max_edges = default_max_edges) spec =
   match String.split_on_char '+' (String.trim spec) with
   | [] | [ "" ] -> Error "empty graph spec"
   | atoms ->
+      let union_guard g =
+        if Graph.n_vertices g > max_vertices then
+          Error (Printf.sprintf "union exceeds the %d-vertex spec limit" max_vertices)
+        else if Graph.n_edges g > max_edges then
+          Error (Printf.sprintf "union exceeds the %d-edge spec limit" max_edges)
+        else Ok g
+      in
       let rec build acc = function
         | [] -> Ok acc
         | a :: rest -> (
-            match atom_of_name (String.trim a) with
+            match atom_of_name ~max_vertices ~max_edges (String.trim a) with
             | Error _ as e -> e
-            | Ok g -> build (Graph.disjoint_union acc g) rest)
+            | Ok g -> (
+                match union_guard (Graph.disjoint_union acc g) with
+                | Error _ as e -> e
+                | Ok u -> build u rest))
       in
       (match atoms with
       | first :: rest -> (
-          match atom_of_name (String.trim first) with
+          match atom_of_name ~max_vertices ~max_edges (String.trim first) with
           | Error _ as e -> e
           | Ok g -> build g rest)
       | [] -> assert false)
 
 type t = {
-  tbl : (string, Graph.t) Hashtbl.t;
+  tbl : (string, Graph.t * int) Hashtbl.t;
+  mutable next_gen : int;
   mutex : Mutex.t;
 }
 
-let create () = { tbl = Hashtbl.create 16; mutex = Mutex.create () }
+let create () = { tbl = Hashtbl.create 16; next_gen = 0; mutex = Mutex.create () }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -115,12 +166,15 @@ let register t ~name ~spec =
   match graph_of_spec spec with
   | Error _ as e -> e
   | Ok g ->
-      with_lock t (fun () -> Hashtbl.replace t.tbl name g);
+      with_lock t (fun () ->
+          let gen = t.next_gen in
+          t.next_gen <- gen + 1;
+          Hashtbl.replace t.tbl name (g, gen));
       Ok g
 
-let find t name =
+let find_entry t name =
   match with_lock t (fun () -> Hashtbl.find_opt t.tbl name) with
-  | Some g -> Ok g
+  | Some entry -> Ok entry
   | None -> (
       (* Fall back to reading the name itself as a spec, caching the
          result so repeated queries share one graph (and its colouring
@@ -130,12 +184,25 @@ let find t name =
           Error
             (Printf.sprintf "no graph named %S (LOAD one, or use a generator spec)" name)
       | Ok g ->
-          with_lock t (fun () -> Hashtbl.replace t.tbl name g);
-          Ok g)
+          Ok
+            (with_lock t (fun () ->
+                 (* Another domain may have registered the name meanwhile;
+                    keep its binding so both callers share one generation. *)
+                 match Hashtbl.find_opt t.tbl name with
+                 | Some entry -> entry
+                 | None ->
+                     let gen = t.next_gen in
+                     t.next_gen <- gen + 1;
+                     Hashtbl.replace t.tbl name (g, gen);
+                     (g, gen))))
+
+let find t name = Result.map fst (find_entry t name)
 
 let list t =
   with_lock t (fun () ->
-      Hashtbl.fold (fun name g acc -> (name, Graph.n_vertices g, Graph.n_edges g) :: acc) t.tbl [])
+      Hashtbl.fold
+        (fun name (g, _) acc -> (name, Graph.n_vertices g, Graph.n_edges g) :: acc)
+        t.tbl [])
   |> List.sort compare
 
 let n_graphs t = with_lock t (fun () -> Hashtbl.length t.tbl)

@@ -16,22 +16,32 @@ val generator_names : string list
 val generator_patterns : string list
 
 (** Build the graph a spec describes; [Error] explains what was wrong.
-    Never raises. *)
-val graph_of_spec : string -> (Graph.t, string) result
+    Never raises. Specs whose predicted size exceeds [max_vertices]
+    (default 100k) or [max_edges] (default 4M) are rejected {e before}
+    any construction, so an oversized spec costs nothing. *)
+val graph_of_spec :
+  ?max_vertices:int -> ?max_edges:int -> string -> (Graph.t, string) result
 
 (** Thread-safe name → graph registry. *)
 type t
 
 val create : unit -> t
 
-(** Build [spec] and bind it to [name] (replacing any previous binding).
-    Returns the graph. *)
+(** Build [spec] and bind it to [name] (replacing any previous binding
+    under a fresh generation). Returns the graph. *)
 val register : t -> name:string -> spec:string -> (Graph.t, string) result
 
 (** [find t name] is the registered graph, falling back to interpreting
     [name] itself as a spec (and caching the result under it) — so
     clients can say [QUERY petersen ...] without a LOAD. *)
 val find : t -> string -> (Graph.t, string) result
+
+(** [find_entry t name] is [find] plus the binding's {e generation}: a
+    registry-wide counter bumped on every (re-)registration. Cache keys
+    derived from a graph name must include the generation, so a LOAD that
+    replaces the name can never be answered from entries computed on the
+    old graph. *)
+val find_entry : t -> string -> (Graph.t * int, string) result
 
 (** Registered names with vertex/edge counts, sorted by name. *)
 val list : t -> (string * int * int) list

@@ -5,7 +5,10 @@
    any connection and dispatches the whole batch through
    Pool.parallel_map_array, so requests from concurrent clients run on
    the domain pool in parallel while replies are written back in arrival
-   order per connection. Handlers are pure apart from the mutex-guarded
+   order per connection. Client sockets are nonblocking with a
+   per-connection output buffer flushed via the select write set, so a
+   client that stops reading stalls only itself (and is dropped once its
+   backlog passes [max_conn_outbuf]). Handlers are pure apart from the mutex-guarded
    caches/metrics/registry, and any Pool entry point a kernel reaches from
    a worker domain degrades to its sequential fallback (the pool's nesting
    rule), so batch dispatch is safe for every pool size.
@@ -101,11 +104,14 @@ let query_result t deadline graph_name src =
   let n = Graph.n_vertices g in
   let fv = Expr.free_vars plan.Cache.expr in
   let p = List.length fv in
-  let cells = int_of_float (float_of_int n ** float_of_int p) in
+  (* Compare in float: n^p easily exceeds max_int, and int_of_float of an
+     out-of-range double is unspecified — rounding down to int would let
+     exactly the most hopeless queries slip past the guard. *)
+  let cells = float_of_int n ** float_of_int p in
   let* () =
-    if p > 0 && cells > t.config.max_table_cells then
+    if p > 0 && cells > float_of_int t.config.max_table_cells then
       Error
-        (Printf.sprintf "query would materialise %d cells (limit %d)" cells
+        (Printf.sprintf "query would materialise %.0f cells (limit %d)" cells
            t.config.max_table_cells)
     else Ok ()
   in
@@ -168,9 +174,10 @@ let query_result t deadline graph_name src =
          ("values", values);
        ])
 
-let wl_result t graph_name rounds =
-  let* g = Registry.find t.registry graph_name in
-  let result, hit = Cache.cr t.cache ~graph_name g in
+let wl_result t deadline graph_name rounds =
+  let* g, gen = Registry.find_entry t.registry graph_name in
+  let* () = check_deadline deadline "colour refinement" in
+  let result, hit = Cache.cr t.cache ~graph_name ~gen g in
   let stable_rounds = Cr.rounds result in
   let colors =
     match rounds with
@@ -199,7 +206,7 @@ let wl_result t graph_name rounds =
        ])
 
 let kwl_result t deadline graph_name k =
-  let* g = Registry.find t.registry graph_name in
+  let* g, gen = Registry.find_entry t.registry graph_name in
   let* () =
     if k < 1 || k > 3 then Error "KWL: k must be between 1 and 3" else Ok ()
   in
@@ -211,7 +218,7 @@ let kwl_result t deadline graph_name k =
     else Ok ()
   in
   let* () = check_deadline deadline "k-WL refinement" in
-  let result, hit = Cache.kwl t.cache ~graph_name ~k g in
+  let result, hit = Cache.kwl t.cache ~graph_name ~gen ~k g in
   let colors = List.hd (Kwl.stable_colors result) in
   let distinct =
     let seen = Hashtbl.create 64 in
@@ -296,7 +303,7 @@ let dispatch t deadline req =
              ("union", P.Str "join atoms with '+' for disjoint unions");
            ])
   | P.Query (graph, src) -> query_result t deadline graph src
-  | P.Wl (graph, rounds) -> wl_result t graph rounds
+  | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline graph size
   | P.Stats -> Ok (stats_json t)
@@ -327,6 +334,7 @@ let handle_line t line =
 type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
+  outbuf : Buffer.t;  (* reply bytes the socket has not yet accepted *)
   mutable closing : bool;
 }
 
@@ -347,19 +355,48 @@ let take_lines buf =
              else l)
       |> List.filter (fun l -> String.trim l <> "")
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let len = Bytes.length b in
-  let off = ref 0 in
-  (try
-     while !off < len do
-       off := !off + Unix.write fd b !off (len - !off)
-     done
-   with Unix.Unix_error _ -> ());
-  !off
-
 let log t fmt =
   Printf.ksprintf (fun s -> if t.config.verbose then Printf.eprintf "glqld: %s\n%!" s) fmt
+
+(* Client sockets are nonblocking: push as much of [outbuf] as the socket
+   accepts and keep the rest for the select write set, so one client that
+   stops reading (full send buffer) can never wedge the dispatch loop. *)
+let flush_out t conn =
+  let pending = Buffer.length conn.outbuf in
+  if pending > 0 then begin
+    let s = Buffer.contents conn.outbuf in
+    let written = ref 0 in
+    let failed = ref false in
+    let stop = ref false in
+    while (not !stop) && !written < pending do
+      match Unix.write_substring conn.fd s !written (pending - !written) with
+      | 0 -> stop := true
+      | n -> written := !written + n
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+          stop := true
+      | exception Unix.Unix_error _ ->
+          (* Peer is gone (EPIPE etc.): drop the unsent tail and reap. *)
+          failed := true;
+          stop := true
+    done;
+    if !written > 0 then Metrics.add_io t.metrics ~bytes_in:0 ~bytes_out:!written;
+    Buffer.clear conn.outbuf;
+    if !failed then conn.closing <- true
+    else if !written < pending then
+      Buffer.add_string conn.outbuf (String.sub s !written (pending - !written))
+  end
+
+(* A reader this far behind is not coming back; cap the memory it can pin. *)
+let max_conn_outbuf = 8 * 1024 * 1024
+
+let queue_reply t conn s =
+  Buffer.add_string conn.outbuf s;
+  flush_out t conn;
+  if Buffer.length conn.outbuf > max_conn_outbuf then begin
+    log t "dropping client with %d unsent reply bytes (not reading)" (Buffer.length conn.outbuf);
+    Buffer.clear conn.outbuf;
+    conn.closing <- true
+  end
 
 let serve t =
   let listeners = ref [] in
@@ -383,7 +420,7 @@ let serve t =
   | None -> ());
   if !listeners = [] then invalid_arg "Server.serve: no socket_path and no tcp_port";
   (* Graceful shutdown on SIGINT/SIGTERM; ignore SIGPIPE so writes to a
-     vanished client surface as EPIPE (swallowed by write_all). *)
+     vanished client surface as EPIPE (handled in flush_out). *)
   let prev_handlers =
     List.map
       (fun signal ->
@@ -405,8 +442,7 @@ let serve t =
         in
         Array.iter
           (fun (conn, line, reply) ->
-            let written = write_all conn.fd (reply ^ "\n") in
-            Metrics.add_io t.metrics ~bytes_in:0 ~bytes_out:written;
+            queue_reply t conn (reply ^ "\n");
             match P.parse_request line with
             | Ok P.Quit -> conn.closing <- true
             | Ok P.Shutdown -> Atomic.set t.stop_flag true
@@ -423,6 +459,23 @@ let serve t =
       |> List.rev
     in
     process_batch pending;
+    (* Give queued replies a bounded window to drain before closing. *)
+    let drain_deadline = Clock.deadline_after 2.0 in
+    let rec flush_remaining () =
+      let waiting =
+        Hashtbl.fold
+          (fun fd conn acc -> if Buffer.length conn.outbuf > 0 then (fd, conn) :: acc else acc)
+          conns []
+      in
+      if waiting <> [] && not (Clock.expired drain_deadline) then begin
+        (match Unix.select [] (List.map fst waiting) [] 0.1 with
+        | _, writable, _ ->
+            List.iter (fun (fd, conn) -> if List.mem fd writable then flush_out t conn) waiting
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        flush_remaining ()
+      end
+    in
+    flush_remaining ();
     Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
     (match t.config.socket_path with
@@ -430,22 +483,32 @@ let serve t =
     | None -> ())
   in
   while not (Atomic.get t.stop_flag) do
-    let watched =
+    let watched_read =
       !listeners @ Hashtbl.fold (fun fd conn acc -> if conn.closing then acc else fd :: acc) conns []
     in
-    let readable =
-      match Unix.select watched [] [] 0.25 with
-      | readable, _, _ -> readable
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    let watched_write =
+      Hashtbl.fold
+        (fun fd conn acc -> if Buffer.length conn.outbuf > 0 then fd :: acc else acc)
+        conns []
     in
+    let readable, writable =
+      match Unix.select watched_read watched_write [] 0.25 with
+      | readable, writable, _ -> (readable, writable)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with Some conn -> flush_out t conn | None -> ())
+      writable;
     let pending = ref [] in
     List.iter
       (fun fd ->
         if List.mem fd !listeners then begin
           match Unix.accept fd with
           | client, _ ->
+              Unix.set_nonblock client;
               Hashtbl.replace conns client
-                { fd = client; inbuf = Buffer.create 256; closing = false };
+                { fd = client; inbuf = Buffer.create 256; outbuf = Buffer.create 256; closing = false };
               log t "client connected (%d live)" (Hashtbl.length conns)
           | exception Unix.Unix_error _ -> ()
         end
@@ -461,11 +524,19 @@ let serve t =
                   List.iter
                     (fun line -> pending := (conn, line) :: !pending)
                     (take_lines conn.inbuf)
+              | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+                -> ()
               | exception Unix.Unix_error _ -> conn.closing <- true))
       readable;
     process_batch (List.rev !pending);
-    (* Close connections that hit EOF, errored, or sent QUIT. *)
-    let dead = Hashtbl.fold (fun fd conn acc -> if conn.closing then (fd, conn) :: acc else acc) conns [] in
+    (* Close connections that hit EOF, errored, or sent QUIT — once their
+       queued replies have drained. *)
+    let dead =
+      Hashtbl.fold
+        (fun fd conn acc ->
+          if conn.closing && Buffer.length conn.outbuf = 0 then (fd, conn) :: acc else acc)
+        conns []
+    in
     List.iter
       (fun (fd, conn) ->
         (try Unix.close conn.fd with Unix.Unix_error _ -> ());

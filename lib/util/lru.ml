@@ -48,10 +48,11 @@ let push_front t n =
   t.first <- Some n
 
 let touch t n =
-  if t.first != Some n then begin
-    unlink t n;
-    push_front t n
-  end
+  match t.first with
+  | Some f when f == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
 
 let get t k =
   match Hashtbl.find_opt t.tbl k with

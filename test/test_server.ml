@@ -149,6 +149,43 @@ let test_registry_find_caches () =
   check_bool "unknown spec reported" true
     (match Registry.find r "definitely-not-a-graph" with Error _ -> true | Ok _ -> false)
 
+let test_registry_spec_limits () =
+  (* Oversized specs are rejected before any construction happens. *)
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "rejects oversized %S" bad) true
+        (match Registry.graph_of_spec bad with Error _ -> true | Ok _ -> false))
+    [
+      "complete20000" (* ~2e8 edges *);
+      "grid1000x1000" (* 1e6 vertices *);
+      "cycle200001";
+      "star4611686018427387902" (* n+1 wraps negative *);
+      "cycle50000+cycle60000" (* union over the vertex cap *);
+    ];
+  check_bool "large-but-bounded spec accepted" true
+    (match Registry.graph_of_spec "cycle50000" with Ok _ -> true | Error _ -> false);
+  check_bool "custom limit enforced" true
+    (match Registry.graph_of_spec ~max_vertices:10 "cycle11" with Error _ -> true | Ok _ -> false);
+  check_bool "custom limit boundary accepted" true
+    (match Registry.graph_of_spec ~max_vertices:10 "cycle10" with Ok _ -> true | Error _ -> false)
+
+let test_registry_generations () =
+  let r = Registry.create () in
+  let gen name =
+    match Registry.find_entry r name with
+    | Ok (_, gen) -> gen
+    | Error e -> Alcotest.failf "find_entry %s failed: %s" name e
+  in
+  ignore (Registry.register r ~name:"g" ~spec:"cycle5");
+  let g0 = gen "g" in
+  check_int "stable across lookups" g0 (gen "g");
+  ignore (Registry.register r ~name:"g" ~spec:"petersen");
+  check_bool "re-register bumps the generation" true (gen "g" > g0);
+  (* The spec fallback also gets a generation a later LOAD supersedes. *)
+  let f0 = gen "cycle4" in
+  ignore (Registry.register r ~name:"cycle4" ~spec:"petersen");
+  check_bool "shadowing a spec name bumps the generation" true (gen "cycle4" > f0)
+
 (* --- the in-process request pipeline ------------------------------------- *)
 
 let make_server () =
@@ -196,6 +233,45 @@ let test_handle_line_wl_cache () =
   check_bool "kwl ok" true (P.is_ok kwl);
   check_bool "kwl rejects bad k" true
     (not (P.is_ok (Server.handle_line t "KWL petersen 7")))
+
+let test_reload_serves_fresh_coloring () =
+  let t = make_server () in
+  check_bool "load cycle5" true (P.is_ok (Server.handle_line t "LOAD g cycle5"));
+  let first = Server.handle_line t "WL g" in
+  check_bool "wl on cycle5 ok" true (P.is_ok first);
+  check_bool "cycle5 is CR-homogeneous" true (contains ~needle:"\"classes\":1" first);
+  check_bool "cycle5 size" true (contains ~needle:"\"n\":5" first);
+  (* Re-LOAD the same name: the cached cycle5 colouring must not be served
+     for the replacement graph. *)
+  check_bool "reload g as path4" true (P.is_ok (Server.handle_line t "LOAD g path4"));
+  let second = Server.handle_line t "WL g" in
+  check_bool "wl after reload ok" true (P.is_ok second);
+  check_bool "fresh vertex count" true (contains ~needle:"\"n\":4" second);
+  check_bool "recomputed, not served stale" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" second);
+  check_bool "path4 has end/middle classes" true (contains ~needle:"\"classes\":2" second);
+  (* Same hazard via the spec fallback: WL on a bare spec name, then LOAD
+     shadows that name with a different graph. *)
+  ignore (Server.handle_line t "WL cycle6");
+  check_bool "shadow spec name" true (P.is_ok (Server.handle_line t "LOAD cycle6 petersen"));
+  let shadowed = Server.handle_line t "WL cycle6" in
+  check_bool "shadowed wl ok" true (P.is_ok shadowed);
+  check_bool "serves the shadowing graph" true (contains ~needle:"\"n\":10" shadowed);
+  check_bool "shadowed colouring recomputed" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" shadowed)
+
+let test_cell_guard_overflow () =
+  let t = make_server () in
+  (* Nine free variables on a 150-vertex graph: 150^9 ~ 3.8e19 overflows
+     max_int, so an int-rounded guard would be bypassed and evaluation
+     would attempt an absurd table. The float comparison must reject. *)
+  let src =
+    "agg_sum{x10}([1] | product(E(x1,x2), product(E(x3,x4), product(E(x5,x6), \
+     product(E(x7,x8), E(x9,x10))))))"
+  in
+  let reply = Server.handle_line t (Printf.sprintf "QUERY cycle150 '%s'" src) in
+  check_bool "overflowing query rejected" false (P.is_ok reply);
+  check_bool "rejection names the cell limit" true (contains ~needle:"cells" reply)
 
 let test_handle_line_errors () =
   let t = make_server () in
@@ -248,8 +324,12 @@ let suite =
       case "protocol json rendering" test_json_rendering;
       case "registry specs" test_registry_specs;
       case "registry find and register" test_registry_find_caches;
+      case "registry spec size limits" test_registry_spec_limits;
+      case "registry generations" test_registry_generations;
       case "handle_line: query flow and plan cache" test_handle_line_flow;
       case "handle_line: coloring cache" test_handle_line_wl_cache;
+      case "handle_line: reload serves fresh coloring" test_reload_serves_fresh_coloring;
+      case "handle_line: cell guard overflow" test_cell_guard_overflow;
       case "handle_line: errors and stats" test_handle_line_errors;
       case "cache clear" test_cache_clear_resets_entries;
     ] )
