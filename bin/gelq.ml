@@ -50,7 +50,8 @@ let run query graph_name =
     (String.concat "; " (List.map (Printf.sprintf "x%d") (Expr.free_vars e)));
   Printf.printf "graph    : %s (%d vertices, %d edges)\n\n" graph_name (Graph.n_vertices g)
     (Graph.n_edges g);
-  let table = match Expr.eval g e with
+  let table =
+    match Glql_util.Trace.with_span "execute" (fun () -> Expr.eval g e) with
     | t -> t
     | exception Expr.Type_error msg -> die "type error: %s" msg
   in
@@ -78,6 +79,9 @@ let run query graph_name =
         table.Expr.tdata
 
 let () =
+  (* GLQL_TRACE=<file> dumps parse/compile/execute spans in Chrome trace
+     format, same as glqld. *)
+  Glql_util.Trace.setup_from_env ();
   match Array.to_list Sys.argv with
   | _ :: "--list-graphs" :: _ -> list_graphs ()
   | _ :: query :: rest ->

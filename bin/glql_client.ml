@@ -25,6 +25,26 @@ let connect ~socket ~tcp =
       Unix.connect fd (Unix.ADDR_UNIX socket);
       fd
 
+(* Pull the integer after ["protocol_version":] out of a HELLO reply
+   without a JSON parser (replies are one-line JSON objects). *)
+let scan_protocol_version reply =
+  let needle = "\"protocol_version\":" in
+  let nl = String.length needle in
+  let n = String.length reply in
+  let rec find i =
+    if i + nl > n then None
+    else if String.sub reply i nl = needle then begin
+      let j = ref (i + nl) in
+      let start = !j in
+      while !j < n && reply.[!j] >= '0' && reply.[!j] <= '9' do
+        incr j
+      done;
+      if !j > start then int_of_string_opt (String.sub reply start (!j - start)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
 let quote_word w =
   if w = "" then "''"
   else if String.exists (fun c -> c = ' ' || c = '\t' || c = '\'' || c = '"') w then
@@ -70,6 +90,25 @@ let () =
   | fd -> (
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
+      (* Version handshake: HELLO first, compare the server's
+         protocol_version with ours and warn (stderr only — stdout
+         carries exactly the replies to the user's requests). *)
+      (try
+         output_string oc "HELLO\n";
+         flush oc;
+         let reply = input_line ic in
+         match scan_protocol_version reply with
+         | Some v when v <> P.protocol_version ->
+             Printf.eprintf
+               "glql_client: warning: server speaks protocol v%d, client expects v%d\n%!" v
+               P.protocol_version
+         | Some _ -> ()
+         | None ->
+             Printf.eprintf
+               "glql_client: warning: server did not report a protocol version (expected v%d)\n%!"
+               P.protocol_version
+       with End_of_file | Sys_error _ ->
+         prerr_endline "glql_client: warning: server closed the connection during handshake");
       let roundtrip line =
         output_string oc (line ^ "\n");
         flush oc;

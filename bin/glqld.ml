@@ -37,6 +37,8 @@ let () =
   in
   let usage = "glqld: GEL query server.\nusage: glqld [options]" in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (* GLQL_TRACE=<file> dumps every span to a Chrome-trace JSON file. *)
+  Glql_util.Trace.setup_from_env ();
   let config =
     {
       Server.socket_path = (if !no_socket then None else Some !socket);

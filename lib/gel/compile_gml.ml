@@ -28,7 +28,9 @@ let affine coeffs bias args =
 (* Compile with both variable orientations so Diamond can alternate the
    two variables and stay in the guarded fragment, exactly like GNN layer
    compilation. *)
-let compile phi =
+let rec compile phi = Glql_util.Trace.with_span "compile.gml" (fun () -> compile_untraced phi)
+
+and compile_untraced phi =
   let rec go phi ~x ~y =
     match phi with
     | Gml.Top -> B.const1 1.0

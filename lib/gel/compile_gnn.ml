@@ -46,6 +46,7 @@ let random_gnn101 rng ~in_dim ~width ~depth ~out_dim =
 
 (* Vertex expression: F(t)(x) = act(F(t-1)(x) W1 + sum_{y ~ x} F(t-1)(y) W2 + b). *)
 let gnn101_vertex_expr spec =
+  Glql_util.Trace.with_span "compile.gnn" @@ fun () ->
   let x = B.x1 and y = B.x2 in
   let layer_expr (prev_x, prev_y) (l : gnn101_layer) =
     (* Both orientations are built so that the roles of x1/x2 swap at each
@@ -117,6 +118,7 @@ let random_gin rng ~in_dim ~width ~depth =
 
 (* GIN layer: h'(x) = MLP((1 + eps) h(x) + sum_{y~x} h(y)). *)
 let gin_vertex_expr spec =
+  Glql_util.Trace.with_span "compile.gnn" @@ fun () ->
   let x = B.x1 and y = B.x2 in
   let layer_expr (prev_x, prev_y) (l : gin_layer) =
     let step ~self ~other ~sv ~ov =
@@ -160,6 +162,7 @@ let random_gcn rng ~in_dim ~width ~depth =
 let inv_sqrt1p = Func.scalar "invsqrt1p" (fun d -> 1.0 /. sqrt (d +. 1.0))
 
 let gcn_vertex_expr spec =
+  Glql_util.Trace.with_span "compile.gnn" @@ fun () ->
   let x = B.x1 and y = B.x2 in
   let layer_expr (prev_x, prev_y) (l : gcn_layer) =
     let step ~self ~other ~sv ~ov =
@@ -217,6 +220,7 @@ let sage_aggregator agg d =
   match agg with Sage_sum -> Agg.sum d | Sage_mean -> Agg.mean d | Sage_max -> Agg.max d
 
 let sage_vertex_expr spec =
+  Glql_util.Trace.with_span "compile.gnn" @@ fun () ->
   let x = B.x1 and y = B.x2 in
   let layer_expr (prev_x, prev_y) (l : sage_layer) =
     let step ~self ~other ~sv ~ov =
@@ -279,6 +283,7 @@ let exp_f = Func.scalar "exp" exp
    weights): both sums are neighbourhood aggregations, the quotient is
    function application — so GAT lives in MPNN(Omega, Theta) too. *)
 let gat_vertex_expr spec =
+  Glql_util.Trace.with_span "compile.gnn" @@ fun () ->
   let x = B.x1 and y = B.x2 in
   let layer_expr (prev_x, prev_y) (l : gat_layer) =
     let step ~self ~other ~sv ~ov =

@@ -29,6 +29,7 @@
 
 module Vec = Glql_tensor.Vec
 module Graph = Glql_graph.Graph
+module Trace = Glql_util.Trace
 
 exception Unsupported of string
 
@@ -166,7 +167,7 @@ let collect_aggs e =
   go e;
   !out
 
-let of_vertex_expr e =
+let of_vertex_expr_untraced e =
   (match Expr.free_vars e with
   | [ _ ] -> ()
   | _ -> invalid_arg "Normal_form.of_vertex_expr: need exactly one free variable");
@@ -294,6 +295,8 @@ let of_vertex_expr e =
   let normal_expr = Expr.Apply (output, [ stack layers (init x, init y) ]) in
   { d0; feature_dim; n_rounds; layers; output; normal_expr; separated = sep }
 
+let of_vertex_expr e = Trace.with_span "layer" (fun () -> of_vertex_expr_untraced e)
+
 let to_expr nf = nf.normal_expr
 
 let n_rounds nf = nf.n_rounds
@@ -305,7 +308,7 @@ let n_layers nf = List.length nf.layers
 let feature_dim nf = nf.feature_dim
 
 (* Fast layered evaluation: one row per vertex. *)
-let eval nf g =
+let eval_untraced nf g =
   let n = Graph.n_vertices g in
   let feat =
     Array.init n (fun v ->
@@ -327,6 +330,8 @@ let eval nf g =
       current := Array.init n (fun v -> layer.Func.apply [ prev.(v); nbsum.(v) ]))
     nf.layers;
   Array.map (fun f -> nf.output.Func.apply [ f ]) !current
+
+let eval nf g = Trace.with_span "execute.layered" (fun () -> eval_untraced nf g)
 
 (* Largest deviation between the original expression and the normal form
    across all vertices of a graph. *)
@@ -412,7 +417,9 @@ let func_token f =
         dims
   | K_mlp _ | K_opaque -> Printf.sprintf "opq[%s#%d]:%s" f.name (opaque_id f) dims
 
-let cache_key e =
+let rec cache_key e = Trace.with_span "normalize" (fun () -> cache_key_untraced e)
+
+and cache_key_untraced e =
   let buf = Buffer.create 256 in
   let bpr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* Variable environment: a stack of canonical ids per source variable,

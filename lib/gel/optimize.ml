@@ -158,4 +158,4 @@ let share e =
   in
   go e
 
-let optimize e = share (constant_fold e)
+let optimize e = Glql_util.Trace.with_span "optimize" (fun () -> share (constant_fold e))

@@ -298,11 +298,12 @@ and parse_ident st name =
   end
 
 let parse input =
-  let st = { tokens = lex input } in
-  let e = parse_expr st in
-  (match st.tokens with
-  | [] -> ()
-  | t :: _ -> error "trailing input starting at %S" (token_to_string t));
-  (* Force a full well-formedness check. *)
-  ignore (Expr.dim e);
-  e
+  Glql_util.Trace.with_span "parse" (fun () ->
+      let st = { tokens = lex input } in
+      let e = parse_expr st in
+      (match st.tokens with
+      | [] -> ()
+      | t :: _ -> error "trailing input starting at %S" (token_to_string t));
+      (* Force a full well-formedness check. *)
+      ignore (Expr.dim e);
+      e)

@@ -147,7 +147,11 @@ let rooted_hom_vector_any pattern ~root g =
    embedding" view of slide 27/72.  One pure count per pattern, run on
    the domain pool; entry order follows the pattern list, so the result
    is identical for every pool size. *)
-let profile patterns g = Pool.parallel_map_array (fun p -> hom p g) (Array.of_list patterns)
+let profile patterns g =
+  Glql_util.Trace.with_span
+    ~args:[ ("patterns", string_of_int (List.length patterns)) ]
+    "hom.profile"
+  @@ fun () -> Pool.parallel_map_array (fun p -> hom p g) (Array.of_list patterns)
 
 (* Are G and H indistinguishable by hom counts from all the patterns?
    Both profiles are counted in one parallel sweep over the patterns. *)

@@ -12,6 +12,7 @@ module Graph = Glql_graph.Graph
 module Cr = Glql_wl.Color_refinement
 module Kwl = Glql_wl.Kwl
 module Lru = Glql_util.Lru
+module Trace = Glql_util.Trace
 
 type plan = {
   key : string;
@@ -39,6 +40,7 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let compile key e =
+  Trace.with_span "compile" @@ fun () ->
   let expr = Optimize.optimize e in
   let layered =
     match Expr.free_vars expr with
@@ -53,10 +55,14 @@ let plan t src =
   | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
   | e -> (
       let key = Normal_form.cache_key e in
+      Trace.with_span "cache_lookup" @@ fun () ->
       with_lock t (fun () ->
           match Lru.get t.plans key with
-          | Some p -> Ok (p, `Hit)
+          | Some p ->
+              Trace.annotate "result" "hit";
+              Ok (p, `Hit)
           | None -> (
+              Trace.annotate "result" "miss";
               match compile key e with
               | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
               | p ->

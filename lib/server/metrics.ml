@@ -6,6 +6,17 @@ module Clock = Glql_util.Clock
 
 let window = 65536
 
+(* Per-stage rings are much smaller than the request ring: there are a
+   dozen-odd stages and their quantiles only need to be indicative. *)
+let stage_window = 4096
+
+type stage_stat = {
+  mutable s_count : int;
+  mutable s_total_ns : float;
+  s_ring : int array;  (* ns; valid up to [min s_count stage_window] *)
+  mutable s_next : int;
+}
+
 type t = {
   started_ns : int64;
   mutable requests : int;
@@ -13,6 +24,7 @@ type t = {
   mutable bytes_in : int;
   mutable bytes_out : int;
   by_command : (string, int) Hashtbl.t;
+  by_stage : (string, stage_stat) Hashtbl.t;
   ring : int array;  (* latencies in ns; valid up to [min requests window] *)
   mutable ring_next : int;
   mutex : Mutex.t;
@@ -26,6 +38,7 @@ let create () =
     bytes_in = 0;
     bytes_out = 0;
     by_command = Hashtbl.create 16;
+    by_stage = Hashtbl.create 16;
     ring = Array.make window 0;
     ring_next = 0;
     mutex = Mutex.create ();
@@ -44,6 +57,26 @@ let record t ~command ~ok ~latency_ns =
       t.ring.(t.ring_next) <- Int64.to_int latency_ns;
       t.ring_next <- (t.ring_next + 1) mod window)
 
+(* Cumulative per-stage histogram feed: the server hands every finished
+   trace span here, so STATS can report where query time goes even when
+   no client ever asked for a TRACE reply. *)
+let record_stage t ~stage ~dur_ns =
+  with_lock t (fun () ->
+      let st =
+        match Hashtbl.find_opt t.by_stage stage with
+        | Some st -> st
+        | None ->
+            let st =
+              { s_count = 0; s_total_ns = 0.0; s_ring = Array.make stage_window 0; s_next = 0 }
+            in
+            Hashtbl.add t.by_stage stage st;
+            st
+      in
+      st.s_count <- st.s_count + 1;
+      st.s_total_ns <- st.s_total_ns +. float_of_int dur_ns;
+      st.s_ring.(st.s_next) <- dur_ns;
+      st.s_next <- (st.s_next + 1) mod stage_window)
+
 let add_io t ~bytes_in ~bytes_out =
   with_lock t (fun () ->
       t.bytes_in <- t.bytes_in + bytes_in;
@@ -53,16 +86,17 @@ let requests t = with_lock t (fun () -> t.requests)
 
 let errors t = with_lock t (fun () -> t.errors)
 
-let percentile_ns_locked t p =
-  let n = min t.requests window in
-  if n = 0 then Float.nan
+let ring_percentile ring ~filled p =
+  if filled = 0 then Float.nan
   else begin
-    let sorted = Array.sub t.ring 0 n in
+    let sorted = Array.sub ring 0 filled in
     Array.sort compare sorted;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int filled)) in
+    let idx = max 0 (min (filled - 1) (rank - 1)) in
     float_of_int sorted.(idx)
   end
+
+let percentile_ns_locked t p = ring_percentile t.ring ~filled:(min t.requests window) p
 
 let percentile_ms t p = with_lock t (fun () -> percentile_ns_locked t p /. 1e6)
 
@@ -83,6 +117,22 @@ let to_json t ~extra =
           ( "by_command",
             Obj
               (Hashtbl.fold (fun k v acc -> (k, Int v) :: acc) t.by_command []
+              |> List.sort compare) );
+          ( "stages",
+            Obj
+              (Hashtbl.fold
+                 (fun name st acc ->
+                   let filled = min st.s_count stage_window in
+                   ( name,
+                     Obj
+                       [
+                         ("count", Int st.s_count);
+                         ("total_ms", Float (st.s_total_ns /. 1e6));
+                         ("p50_ms", Float (ring_percentile st.s_ring ~filled 50.0 /. 1e6));
+                         ("p99_ms", Float (ring_percentile st.s_ring ~filled 99.0 /. 1e6));
+                       ] )
+                   :: acc)
+                 t.by_stage []
               |> List.sort compare) );
         ])
   in

@@ -5,10 +5,17 @@
 
 type t
 
+(** Size of the sliding latency window (exposed for boundary tests). *)
+val window : int
+
 val create : unit -> t
 
 (** Count one finished request. *)
 val record : t -> command:string -> ok:bool -> latency_ns:int64 -> unit
+
+(** Feed one finished pipeline-stage duration into the cumulative
+    per-stage histograms reported by [STATS] under ["stages"]. *)
+val record_stage : t -> stage:string -> dur_ns:int -> unit
 
 (** Count raw socket traffic. *)
 val add_io : t -> bytes_in:int -> bytes_out:int -> unit

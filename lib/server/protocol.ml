@@ -4,7 +4,16 @@
    "OK <json>" or "ERR <json-string>". Keeping the framing line-based
    makes the protocol usable from netcat and trivial to parse in tests. *)
 
-type json =
+(* Wire-format revision. Bump whenever the reply shapes or the command
+   set change incompatibly; clients compare it in the HELLO reply.
+   v1: initial protocol. v2: EXPLAIN/VERSION commands, TRACE option,
+   protocol_version + stage histograms in STATS. *)
+let protocol_version = 2
+
+(* The JSON tree lives in Glql_util.Json so bench, metrics and trace
+   output share one printer; the aliased constructors keep P.Obj /
+   P.Str call sites working unchanged. *)
+type json = Glql_util.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -13,54 +22,7 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape_to buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let json_to_string j =
-  let buf = Buffer.create 128 in
-  let rec go = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        if Float.is_nan f then Buffer.add_string buf "null"
-        else if Float.is_integer f && Float.abs f < 1e15 then
-          Buffer.add_string buf (Printf.sprintf "%.0f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
-    | Str s -> escape_to buf s
-    | List items ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i item ->
-            if i > 0 then Buffer.add_char buf ',';
-            go item)
-          items;
-        Buffer.add_char buf ']'
-    | Obj fields ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            escape_to buf k;
-            Buffer.add_char buf ':';
-            go v)
-          fields;
-        Buffer.add_char buf '}'
-  in
-  go j;
-  Buffer.contents buf
+let json_to_string = Glql_util.Json.to_string
 
 let ok j = "OK " ^ json_to_string j
 
@@ -71,16 +33,20 @@ let is_ok line = String.length line >= 2 && String.sub line 0 2 = "OK"
 type request =
   | Hello
   | Ping
+  | Version
   | Load of string * string
   | Graphs
   | Generators
   | Query of string * string
+  | Explain of string * string
   | Wl of string * int option
   | Kwl of string * int
   | Hom of string * int
   | Stats
   | Quit
   | Shutdown
+
+type parsed = { req : request; traced : bool }
 
 let tokenize line =
   let n = String.length line in
@@ -128,40 +94,57 @@ let int_arg name s =
   | Some k -> Ok k
   | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
 
+(* A trailing bare TRACE token on any command asks for the per-request
+   span breakdown in the reply; it is an option, not an argument, so it
+   is stripped before command dispatch. *)
+let split_trace args =
+  match List.rev args with
+  | last :: rest when String.uppercase_ascii last = "TRACE" -> (List.rev rest, true)
+  | _ -> (args, false)
+
 let parse_request line =
   match tokenize line with
   | Error e -> Error e
   | Ok [] -> Error "empty request"
-  | Ok (cmd :: args) -> (
-      match (String.uppercase_ascii cmd, args) with
-      | "HELLO", [] -> Ok Hello
-      | "PING", [] -> Ok Ping
-      | "LOAD", [ name; spec ] -> Ok (Load (name, spec))
-      | "LOAD", _ -> Error "usage: LOAD <name> <graph-spec>"
-      | "GRAPHS", [] -> Ok Graphs
-      | "GENERATORS", [] -> Ok Generators
-      | "QUERY", [ graph; src ] -> Ok (Query (graph, src))
-      | "QUERY", _ -> Error "usage: QUERY <graph> '<gel-expression>'"
-      | "WL", [ graph ] -> Ok (Wl (graph, None))
-      | "WL", [ graph; rounds ] ->
-          Result.map (fun r -> Wl (graph, Some r)) (int_arg "rounds" rounds)
-      | "WL", _ -> Error "usage: WL <graph> [rounds]"
-      | "KWL", [ graph; k ] -> Result.map (fun k -> Kwl (graph, k)) (int_arg "k" k)
-      | "KWL", _ -> Error "usage: KWL <graph> <k>"
-      | "HOM", [ graph; size ] -> Result.map (fun s -> Hom (graph, s)) (int_arg "max-tree-size" size)
-      | "HOM", _ -> Error "usage: HOM <graph> <max-tree-size>"
-      | "STATS", [] -> Ok Stats
-      | "QUIT", [] -> Ok Quit
-      | "SHUTDOWN", [] -> Ok Shutdown
-      | c, _ -> Error (Printf.sprintf "unknown command %S" c))
+  | Ok (cmd :: args) ->
+      let args, traced = split_trace args in
+      let with_trace = Result.map (fun req -> { req; traced }) in
+      with_trace
+        (match (String.uppercase_ascii cmd, args) with
+        | "HELLO", [] -> Ok Hello
+        | "PING", [] -> Ok Ping
+        | "VERSION", [] -> Ok Version
+        | "LOAD", [ name; spec ] -> Ok (Load (name, spec))
+        | "LOAD", _ -> Error "usage: LOAD <name> <graph-spec>"
+        | "GRAPHS", [] -> Ok Graphs
+        | "GENERATORS", [] -> Ok Generators
+        | "QUERY", [ graph; src ] -> Ok (Query (graph, src))
+        | "QUERY", _ -> Error "usage: QUERY <graph> '<gel-expression>'"
+        | "EXPLAIN", [ graph; src ] -> Ok (Explain (graph, src))
+        | "EXPLAIN", _ -> Error "usage: EXPLAIN <graph> '<gel-expression>'"
+        | "WL", [ graph ] -> Ok (Wl (graph, None))
+        | "WL", [ graph; rounds ] ->
+            Result.map (fun r -> Wl (graph, Some r)) (int_arg "rounds" rounds)
+        | "WL", _ -> Error "usage: WL <graph> [rounds]"
+        | "KWL", [ graph; k ] -> Result.map (fun k -> Kwl (graph, k)) (int_arg "k" k)
+        | "KWL", _ -> Error "usage: KWL <graph> <k>"
+        | "HOM", [ graph; size ] ->
+            Result.map (fun s -> Hom (graph, s)) (int_arg "max-tree-size" size)
+        | "HOM", _ -> Error "usage: HOM <graph> <max-tree-size>"
+        | "STATS", [] -> Ok Stats
+        | "QUIT", [] -> Ok Quit
+        | "SHUTDOWN", [] -> Ok Shutdown
+        | c, _ -> Error (Printf.sprintf "unknown command %S" c))
 
 let command_name = function
   | Hello -> "HELLO"
   | Ping -> "PING"
+  | Version -> "VERSION"
   | Load _ -> "LOAD"
   | Graphs -> "GRAPHS"
   | Generators -> "GENERATORS"
   | Query _ -> "QUERY"
+  | Explain _ -> "EXPLAIN"
   | Wl _ -> "WL"
   | Kwl _ -> "KWL"
   | Hom _ -> "HOM"

@@ -7,10 +7,12 @@
     {v
     HELLO
     PING
+    VERSION
     LOAD <name> <graph-spec>
     GRAPHS
     GENERATORS
     QUERY <graph> '<gel-expression>'
+    EXPLAIN <graph> '<gel-expression>'
     WL <graph> [rounds]
     KWL <graph> <k>
     HOM <graph> <max-tree-size>
@@ -19,11 +21,18 @@
     SHUTDOWN
     v}
 
-    Command words are case-insensitive. Replies are a single line: either
+    Command words are case-insensitive. Any command may carry a trailing
+    bare [TRACE] token, which asks the server to attach the per-request
+    span breakdown to the reply. Replies are a single line: either
     [OK <json>] or [ERR "<message>"]. *)
 
-(** Minimal JSON tree, rendered on one line. *)
-type json =
+(** Wire-format revision, reported by HELLO/VERSION/STATS. *)
+val protocol_version : int
+
+(** Minimal JSON tree, rendered on one line. An alias of
+    {!Glql_util.Json.t} so server replies, metrics dumps, bench output and
+    trace files share one printer. *)
+type json = Glql_util.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -46,10 +55,12 @@ val is_ok : string -> bool
 type request =
   | Hello
   | Ping
+  | Version
   | Load of string * string  (** name, graph spec *)
   | Graphs
   | Generators
   | Query of string * string  (** graph name, GEL source *)
+  | Explain of string * string  (** graph name, GEL source *)
   | Wl of string * int option  (** graph name, max rounds *)
   | Kwl of string * int  (** graph name, k *)
   | Hom of string * int  (** graph name, max tree size *)
@@ -57,12 +68,16 @@ type request =
   | Quit
   | Shutdown
 
+(** A parsed request line: the command plus whether the trailing [TRACE]
+    option was present. *)
+type parsed = { req : request; traced : bool }
+
 (** Split a raw line into tokens, honouring quotes. [Error] on unbalanced
     quotes. *)
 val tokenize : string -> (string list, string) result
 
 (** Parse one request line; never raises. *)
-val parse_request : string -> (request, string) result
+val parse_request : string -> (parsed, string) result
 
 (** The command word of a request, for metrics labels. *)
 val command_name : request -> string

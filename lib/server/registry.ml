@@ -163,6 +163,7 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let register t ~name ~spec =
+  Glql_util.Trace.with_span ~args:[ ("spec", spec) ] "load.graph" @@ fun () ->
   match graph_of_spec spec with
   | Error _ as e -> e
   | Ok g ->

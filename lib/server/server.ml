@@ -31,6 +31,7 @@ module Tree = Glql_hom.Tree
 module Count = Glql_hom.Count
 module Pool = Glql_util.Pool
 module Clock = Glql_util.Clock
+module Trace = Glql_util.Trace
 module P = Protocol
 
 type config = {
@@ -81,7 +82,7 @@ let metrics t = t.metrics
 
 let stop t = Atomic.set t.stop_flag true
 
-let version = "0.2"
+let version = "0.3"
 
 (* --- request handlers --------------------------------------------------- *)
 
@@ -119,47 +120,50 @@ let query_result t deadline graph_name src =
   let plan_kind, values =
     match plan.Cache.layered with
     | Some nf ->
-        let rows = Normal_form.eval nf g in
-        ("layered", P.List (Array.to_list (Array.map vec_json rows)))
-    | None -> (
-        let table = Expr.eval g plan.Cache.expr in
-        match table.Expr.tvars with
-        | [] -> ("direct", vec_json table.Expr.tdata.(0))
-        | [ _ ] -> ("direct", P.List (Array.to_list (Array.map vec_json table.Expr.tdata)))
-        | vars ->
-            (* Multi-variable tables list nonzero entries only, capped. *)
-            let width = List.length vars in
-            let entries = ref [] in
-            let listed = ref 0 in
-            let truncated = ref false in
-            Array.iteri
-              (fun idx v ->
-                if Array.exists (fun x -> x <> 0.0) v then begin
-                  if !listed >= max_listed_cells then truncated := true
-                  else begin
-                    incr listed;
-                    let tuple = Array.make width 0 in
-                    let rest = ref idx in
-                    for pos = width - 1 downto 0 do
-                      tuple.(pos) <- !rest mod table.Expr.tn;
-                      rest := !rest / table.Expr.tn
-                    done;
-                    entries :=
-                      P.Obj
-                        [
-                          ("t", P.List (Array.to_list (Array.map (fun i -> P.Int i) tuple)));
-                          ("v", vec_json v);
-                        ]
-                      :: !entries
-                  end
-                end)
-              table.Expr.tdata;
-            ( "direct",
-              P.Obj
-                [
-                  ("nonzero", P.List (List.rev !entries));
-                  ("truncated", P.Bool !truncated);
-                ] ))
+        let rows = Trace.with_span "execute" (fun () -> Normal_form.eval nf g) in
+        ( "layered",
+          Trace.with_span "materialize" (fun () ->
+              P.List (Array.to_list (Array.map vec_json rows))) )
+    | None ->
+        let table = Trace.with_span "execute" (fun () -> Expr.eval g plan.Cache.expr) in
+        ( "direct",
+          Trace.with_span "materialize" (fun () ->
+              match table.Expr.tvars with
+              | [] -> vec_json table.Expr.tdata.(0)
+              | [ _ ] -> P.List (Array.to_list (Array.map vec_json table.Expr.tdata))
+              | vars ->
+                  (* Multi-variable tables list nonzero entries only, capped. *)
+                  let width = List.length vars in
+                  let entries = ref [] in
+                  let listed = ref 0 in
+                  let truncated = ref false in
+                  Array.iteri
+                    (fun idx v ->
+                      if Array.exists (fun x -> x <> 0.0) v then begin
+                        if !listed >= max_listed_cells then truncated := true
+                        else begin
+                          incr listed;
+                          let tuple = Array.make width 0 in
+                          let rest = ref idx in
+                          for pos = width - 1 downto 0 do
+                            tuple.(pos) <- !rest mod table.Expr.tn;
+                            rest := !rest / table.Expr.tn
+                          done;
+                          entries :=
+                            P.Obj
+                              [
+                                ("t", P.List (Array.to_list (Array.map (fun i -> P.Int i) tuple)));
+                                ("v", vec_json v);
+                              ]
+                            :: !entries
+                        end
+                      end)
+                    table.Expr.tdata;
+                  P.Obj
+                    [
+                      ("nonzero", P.List (List.rev !entries));
+                      ("truncated", P.Bool !truncated);
+                    ]) )
   in
   Ok
     (P.Obj
@@ -261,11 +265,72 @@ let stats_json t =
     ~extra:
       (cache_fields
       @ [
+          ("protocol_version", P.Int P.protocol_version);
           ("graphs_registered", P.Int (Registry.n_graphs t.registry));
           ("pool_domains", P.Int (Pool.size ()));
         ])
 
-let dispatch t deadline req =
+(* --- EXPLAIN stage summary ----------------------------------------------- *)
+
+(* The canonical pipeline stages of a QUERY, in execution order. The
+   summary always lists all of them (a warm-cache request reports
+   compile as 0 ms / cached), plus a synthetic "other" bucket holding
+   the unattributed remainder — so the stage timings sum to total_ms
+   exactly. *)
+let canonical_stages = [ "parse"; "normalize"; "cache_lookup"; "compile"; "execute"; "materialize" ]
+
+let plan_cache_hit spans =
+  List.exists
+    (fun (sp : Trace.span) ->
+      sp.Trace.name = "cache_lookup" && List.assoc_opt "result" sp.Trace.args = Some "hit")
+    spans
+
+let stage_summary ~t0 spans =
+  let sum name =
+    List.fold_left
+      (fun acc (sp : Trace.span) ->
+        if sp.Trace.name = name then Int64.add acc sp.Trace.dur_ns else acc)
+      0L spans
+  in
+  (* "compile" runs nested inside "cache_lookup" (misses compute under
+     the cache lock), so report the lookup's exclusive time to keep the
+     stage buckets disjoint. *)
+  let compile_ns = sum "compile" in
+  let stage_ns = function
+    | "cache_lookup" -> Int64.max 0L (Int64.sub (sum "cache_lookup") compile_ns)
+    | name -> sum name
+  in
+  let hit = plan_cache_hit spans in
+  let named = List.map (fun name -> (name, stage_ns name)) canonical_stages in
+  let accounted = List.fold_left (fun acc (_, ns) -> Int64.add acc ns) 0L named in
+  let other = Int64.max 0L (Int64.sub (Clock.elapsed_ns t0) accounted) in
+  let all = named @ [ ("other", other) ] in
+  let total_ns = Int64.add accounted other in
+  let stage_obj (name, ns) =
+    P.Obj
+      ([ ("stage", P.Str name); ("ms", P.Float (Clock.ns_to_ms ns)) ]
+      @ if name = "compile" then [ ("cached", P.Bool hit) ] else [])
+  in
+  ( P.Float (Clock.ns_to_ms total_ns),
+    P.List (List.map stage_obj all) )
+
+let explain_json ~t0 spans reply =
+  let fields = match reply with P.Obj fields -> fields | _ -> [] in
+  let get k = Option.value ~default:P.Null (List.assoc_opt k fields) in
+  let total_ms, stages = stage_summary ~t0 spans in
+  P.Obj
+    [
+      ("graph", get "graph");
+      ("n", get "n");
+      ("fragment", get "fragment");
+      ("dim", get "dim");
+      ("plan", get "plan");
+      ("plan_cache", get "plan_cache");
+      ("total_ms", total_ms);
+      ("stages", stages);
+    ]
+
+let dispatch t deadline ~sink ~t0 req =
   match req with
   | P.Hello ->
       Ok
@@ -273,8 +338,16 @@ let dispatch t deadline req =
            [
              ("server", P.Str "glqld");
              ("version", P.Str version);
-             ("protocol", P.Int 1);
+             ("protocol_version", P.Int P.protocol_version);
              ("pool_domains", P.Int (Pool.size ()));
+           ])
+  | P.Version ->
+      Ok
+        (P.Obj
+           [
+             ("server", P.Str "glqld");
+             ("version", P.Str version);
+             ("protocol_version", P.Int P.protocol_version);
            ])
   | P.Ping -> Ok (P.Str "pong")
   | P.Load (name, spec) ->
@@ -303,6 +376,11 @@ let dispatch t deadline req =
              ("union", P.Str "join atoms with '+' for disjoint unions");
            ])
   | P.Query (graph, src) -> query_result t deadline graph src
+  | P.Explain (graph, src) ->
+      (* Run the full query pipeline, then report where its time went
+         instead of the values. *)
+      let* reply = query_result t deadline graph src in
+      Ok (explain_json ~t0 (Trace.spans sink) reply)
   | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline graph size
@@ -312,16 +390,40 @@ let dispatch t deadline req =
       stop t;
       Ok (P.Str "shutting down")
 
+let attach_trace ~t0 sink j =
+  let trace = Trace.spans_to_json ~origin_ns:t0 (Trace.spans sink) in
+  match j with
+  | P.Obj fields -> P.Obj (fields @ [ ("trace", trace) ])
+  | other -> P.Obj [ ("value", other); ("trace", trace) ]
+
 let handle_line t line =
   let t0 = Clock.now_ns () in
   let deadline = Clock.deadline_after t.config.request_timeout_s in
+  (* Every request gets a span sink: it feeds the cumulative per-stage
+     histograms in STATS, answers the TRACE option, and gives EXPLAIN
+     its stage breakdown. Spans opened on pool workers land here too
+     (Pool propagates the trace context). *)
+  let sink =
+    Trace.make_sink ~keep_spans:true
+      ~on_span:(fun sp ->
+        Metrics.record_stage t.metrics ~stage:sp.Trace.name
+          ~dur_ns:(Int64.to_int sp.Trace.dur_ns))
+      ()
+  in
   let reply, command, ok =
     match P.parse_request line with
     | Error e -> (P.err e, "INVALID", false)
-    | Ok req -> (
+    | Ok { P.req; traced } -> (
         let command = P.command_name req in
-        match dispatch t deadline req with
-        | Ok j -> (P.ok j, command, true)
+        let run () =
+          Trace.with_sink sink (fun () ->
+              Trace.with_span ~args:[ ("command", command) ] "request" (fun () ->
+                  dispatch t deadline ~sink ~t0 req))
+        in
+        match run () with
+        | Ok j ->
+            let j = if traced then attach_trace ~t0 sink j else j in
+            (P.ok j, command, true)
         | Error e -> (P.err e, command, false)
         | exception e ->
             (P.err ("internal error: " ^ Printexc.to_string e), command, false))
@@ -364,6 +466,10 @@ let log t fmt =
 let flush_out t conn =
   let pending = Buffer.length conn.outbuf in
   if pending > 0 then begin
+    (* Visible in the Chrome trace only (no request sink is installed on
+       the select loop), closing the request lifecycle: read -> dispatch
+       -> reply flush. *)
+    Trace.with_span ~args:[ ("bytes", string_of_int pending) ] "reply.flush" @@ fun () ->
     let s = Buffer.contents conn.outbuf in
     let written = ref 0 in
     let failed = ref false in
@@ -444,8 +550,8 @@ let serve t =
           (fun (conn, line, reply) ->
             queue_reply t conn (reply ^ "\n");
             match P.parse_request line with
-            | Ok P.Quit -> conn.closing <- true
-            | Ok P.Shutdown -> Atomic.set t.stop_flag true
+            | Ok { P.req = P.Quit; _ } -> conn.closing <- true
+            | Ok { P.req = P.Shutdown; _ } -> Atomic.set t.stop_flag true
             | _ -> ())
           replies
   in

@@ -1,0 +1,25 @@
+(** The one JSON tree and printer of the whole system. The server wire
+    protocol, the metrics dumps, the bench [--json] rows and the trace
+    output all render through this module, so the escaping and float
+    rules cannot drift between emitters.
+
+    Rendering is single-line and deterministic. Non-finite floats (nan,
+    ±infinity) print as [null] — JSON has no token for them, and [inf]
+    would corrupt the stream for any standards-compliant reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Append the rendering of one value to [buf]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** Append a quoted, escaped JSON string literal to [buf]. *)
+val escape_to : Buffer.t -> string -> unit

@@ -27,6 +27,10 @@ type job = {
   next : int Atomic.t;
   completed : int Atomic.t;
   mutable err : exn option;
+  trace_ctx : Trace.context;
+      (* The submitting domain's trace context: workers install it while
+         running this job's chunks, so spans opened inside pooled kernels
+         land in the sink of the request that dispatched the work. *)
 }
 
 type t = {
@@ -109,7 +113,7 @@ let worker pool =
       let j = match pool.job with Some j -> j | None -> assert false in
       Mutex.unlock pool.mutex;
       last_gen := j.gen;
-      process_chunks pool j
+      Trace.with_context j.trace_ctx (fun () -> process_chunks pool j)
     end
   done
 
@@ -170,6 +174,7 @@ let parallel_for ?chunk ~n f =
         next = Atomic.make 0;
         completed = Atomic.make 0;
         err = None;
+        trace_ctx = Trace.current_context ();
       }
     in
     Mutex.lock pool.mutex;

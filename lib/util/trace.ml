@@ -1,0 +1,191 @@
+(* Nestable timed spans. Disabled-mode cost is one Domain.DLS read plus
+   one atomic load per [with_span]; everything heavier happens only when
+   a sink is installed or a Chrome-trace file is open.
+
+   Per-domain state is the open-span stack and the installed sink. The
+   sink itself is shared mutable state (mutex-guarded append) so that
+   work dispatched through the Pool — whose worker domains receive the
+   caller's context via [current_context]/[with_context] — collects into
+   the same request sink from several domains at once. *)
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  domain : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+type sink = {
+  keep : bool;
+  on_span : (span -> unit) option;
+  mutable collected : span list;  (* completion order, newest first *)
+  smutex : Mutex.t;
+}
+
+type frame = { fname : string; ft0 : int64; mutable fargs : (string * string) list }
+
+type dstate = { mutable sink : sink option; mutable stack : frame list }
+
+let state_key = Domain.DLS.new_key (fun () -> { sink = None; stack = [] })
+
+(* --- chrome-trace file sink ---------------------------------------------- *)
+
+let chrome_on = Atomic.make false
+
+let chrome_mutex = Mutex.create ()
+
+(* (channel, origin_ns, first_event_pending) — all under chrome_mutex. *)
+let chrome_state : (out_channel * int64 * bool ref) option ref = ref None
+
+let chrome_enabled () = Atomic.get chrome_on
+
+let flush_chrome () =
+  Mutex.lock chrome_mutex;
+  (match !chrome_state with
+  | Some (oc, _, _) ->
+      Atomic.set chrome_on false;
+      chrome_state := None;
+      (try
+         output_string oc "\n]\n";
+         close_out oc
+       with Sys_error _ -> ())
+  | None -> ());
+  Mutex.unlock chrome_mutex
+
+let enable_chrome path =
+  flush_chrome ();
+  let oc = open_out path in
+  output_string oc "[";
+  Mutex.lock chrome_mutex;
+  chrome_state := Some (oc, Monotonic_clock.now (), ref true);
+  Atomic.set chrome_on true;
+  Mutex.unlock chrome_mutex;
+  at_exit flush_chrome
+
+let setup_from_env () =
+  match Sys.getenv_opt "GLQL_TRACE" with
+  | Some path when String.trim path <> "" -> enable_chrome (String.trim path)
+  | _ -> ()
+
+let us_of ~origin ns = Int64.to_float (Int64.sub ns origin) /. 1e3
+
+let chrome_emit sp =
+  Mutex.lock chrome_mutex;
+  (match !chrome_state with
+  | Some (oc, origin, first) ->
+      let event =
+        Json.Obj
+          [
+            ("name", Json.Str sp.name);
+            ("cat", Json.Str "glql");
+            ("ph", Json.Str "X");
+            ("ts", Json.Float (us_of ~origin sp.start_ns));
+            ("dur", Json.Float (Int64.to_float sp.dur_ns /. 1e3));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int sp.domain);
+            ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.args));
+          ]
+      in
+      (try
+         output_string oc (if !first then "\n" else ",\n");
+         first := false;
+         output_string oc (Json.to_string event)
+       with Sys_error _ -> ())
+  | None -> ());
+  Mutex.unlock chrome_mutex
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let enabled () =
+  (Domain.DLS.get state_key).sink <> None || Atomic.get chrome_on
+
+let annotate k v =
+  let st = Domain.DLS.get state_key in
+  match st.stack with
+  | fr :: _ -> fr.fargs <- (k, v) :: fr.fargs
+  | [] -> ()
+
+let with_span ?(args = []) name f =
+  let st = Domain.DLS.get state_key in
+  if st.sink = None && not (Atomic.get chrome_on) then f ()
+  else begin
+    let fr = { fname = name; ft0 = Monotonic_clock.now (); fargs = args } in
+    st.stack <- fr :: st.stack;
+    let depth = List.length st.stack in
+    let finish () =
+      let dur = Int64.sub (Monotonic_clock.now ()) fr.ft0 in
+      (match st.stack with
+      | top :: rest when top == fr -> st.stack <- rest
+      | stack -> st.stack <- List.filter (fun f' -> f' != fr) stack);
+      let sp =
+        {
+          name = fr.fname;
+          start_ns = fr.ft0;
+          dur_ns = dur;
+          domain = (Domain.self () :> int);
+          depth;
+          args = List.rev fr.fargs;
+        }
+      in
+      (match st.sink with
+      | Some s ->
+          (match s.on_span with Some cb -> ( try cb sp with _ -> ()) | None -> ());
+          if s.keep then begin
+            Mutex.lock s.smutex;
+            s.collected <- sp :: s.collected;
+            Mutex.unlock s.smutex
+          end
+      | None -> ());
+      if Atomic.get chrome_on then chrome_emit sp
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* --- sinks and contexts --------------------------------------------------- *)
+
+let make_sink ?(keep_spans = false) ?on_span () =
+  { keep = keep_spans; on_span; collected = []; smutex = Mutex.create () }
+
+let with_sink sink f =
+  let st = Domain.DLS.get state_key in
+  let prev = st.sink in
+  st.sink <- Some sink;
+  Fun.protect ~finally:(fun () -> st.sink <- prev) f
+
+let spans sink =
+  Mutex.lock sink.smutex;
+  let collected = sink.collected in
+  Mutex.unlock sink.smutex;
+  List.stable_sort (fun a b -> Int64.compare a.start_ns b.start_ns) (List.rev collected)
+
+type context = sink option
+
+let current_context () = (Domain.DLS.get state_key).sink
+
+let with_context ctx f =
+  let st = Domain.DLS.get state_key in
+  let prev_sink = st.sink and prev_stack = st.stack in
+  st.sink <- ctx;
+  st.stack <- [];
+  Fun.protect
+    ~finally:(fun () ->
+      st.sink <- prev_sink;
+      st.stack <- prev_stack)
+    f
+
+let spans_to_json ~origin_ns spans =
+  Json.List
+    (List.map
+       (fun sp ->
+         Json.Obj
+           [
+             ("name", Json.Str sp.name);
+             ("start_us", Json.Float (us_of ~origin:origin_ns sp.start_ns));
+             ("dur_us", Json.Float (Int64.to_float sp.dur_ns /. 1e3));
+             ("domain", Json.Int sp.domain);
+             ("depth", Json.Int sp.depth);
+             ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.args));
+           ])
+       spans)

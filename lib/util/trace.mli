@@ -1,0 +1,87 @@
+(** Pipeline tracing: lightweight nestable spans with monotonic-clock
+    timing, threaded through the whole query pipeline (parser,
+    normalisation, plan compilation, WL refinement, hom counting, the
+    server request lifecycle).
+
+    Cost model: when nothing is listening — no per-request sink on the
+    current domain and no process-wide Chrome-trace file — [with_span]
+    is a domain-local read plus one atomic load and then calls the
+    thunk directly, so instrumented kernels run at full speed.
+
+    Domain safety: the span stack is domain-local, and {!Pool}
+    propagates the active {!context} to its worker domains, so spans
+    opened inside [Pool.parallel_for] / [parallel_map_array] land in
+    the sink of the request that dispatched the work. A sink may
+    therefore collect from several domains at once; appends are
+    mutex-guarded.
+
+    Two outputs:
+    - a per-request {!sink} ([with_sink] + [spans]) feeding the
+      server's [EXPLAIN] / [TRACE] replies and per-stage histograms;
+    - a process-wide Chrome-trace file ([enable_chrome], or
+      [setup_from_env] reading [GLQL_TRACE=<file>]) loadable in
+      chrome://tracing or Perfetto. *)
+
+type span = {
+  name : string;
+  start_ns : int64;  (** monotonic clock at span open *)
+  dur_ns : int64;
+  domain : int;  (** id of the domain that ran the span *)
+  depth : int;  (** nesting depth on that domain, 1 = outermost *)
+  args : (string * string) list;
+}
+
+(** [with_span name f] times [f] as one span (recorded even when [f]
+    raises). [args] annotate the span; prefer {!annotate} for values
+    only known after the work ran. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach a key/value to the innermost open span of this domain (e.g.
+    cache hit/miss, known only after the lookup). No-op outside any
+    span or when tracing is off. *)
+val annotate : string -> string -> unit
+
+(** Is anything listening on this domain right now? *)
+val enabled : unit -> bool
+
+(** A collector of finished spans. [on_span] fires for every finished
+    span (the server feeds per-stage metrics this way); [keep_spans]
+    additionally retains them for {!spans}. *)
+type sink
+
+val make_sink : ?keep_spans:bool -> ?on_span:(span -> unit) -> unit -> sink
+
+(** Run [f] with [sink] installed on this domain (and, via {!Pool}, on
+    any worker domain running work dispatched inside [f]). Restores the
+    previous sink afterwards; nestable. *)
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+(** Collected spans, sorted by start time. *)
+val spans : sink -> span list
+
+(** The installed sink of this domain, for propagation across domain
+    boundaries (used by {!Pool}; pair with [with_context]). *)
+type context
+
+val current_context : unit -> context
+
+val with_context : context -> (unit -> 'a) -> 'a
+
+(** Start appending every finished span of every domain to [path] in
+    Chrome trace format (a JSON array, one complete event per line).
+    The file is finalised by {!flush_chrome}, which also runs at
+    process exit. *)
+val enable_chrome : string -> unit
+
+val chrome_enabled : unit -> bool
+
+(** Finalise and close the Chrome-trace file; idempotent. *)
+val flush_chrome : unit -> unit
+
+(** [enable_chrome path] when [GLQL_TRACE=path] is set and non-empty. *)
+val setup_from_env : unit -> unit
+
+(** Render spans for a structured reply: a list of
+    [{name, start_us, dur_us, domain, depth, args}] objects with starts
+    relative to [origin_ns]. *)
+val spans_to_json : origin_ns:int64 -> span list -> Json.t

@@ -18,6 +18,7 @@
 module Sig_hash = Glql_util.Sig_hash
 module Graph = Glql_graph.Graph
 module Pool = Glql_util.Pool
+module Trace = Glql_util.Trace
 
 type result = {
   graphs : Graph.t list;
@@ -34,6 +35,7 @@ let joint_color_count colorings =
   Hashtbl.length seen
 
 let run_joint ?max_rounds graphs =
+  Trace.with_span "wl.refine" @@ fun () ->
   let garr = Array.of_list graphs in
   let ng = Array.length garr in
   let offsets = Array.make (ng + 1) 0 in
@@ -69,6 +71,7 @@ let run_joint ?max_rounds graphs =
   let limit = match max_rounds with Some m -> m | None -> total + 1 in
   let continue_ = ref true in
   while !continue_ && !rounds < limit do
+    Trace.with_span ~args:[ ("round", string_of_int !rounds) ] "wl.round" @@ fun () ->
     let colors = Array.of_list !current in
     Pool.parallel_for ~n:total (fun idx ->
         let gi = owner.(idx) in

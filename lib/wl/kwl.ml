@@ -136,6 +136,7 @@ let joint_color_count colorings =
 
 let run_joint ?max_rounds ~k ~variant graphs =
   if k < 1 then invalid_arg "Kwl.run_joint: k must be >= 1";
+  Glql_util.Trace.with_span ~args:[ ("k", string_of_int k) ] "kwl.refine" @@ fun () ->
   let interner = Sig_hash.Interner.create () in
   let label_interner = Sig_hash.Interner.create () in
   let current = ref (List.map (fun g -> initial_colors interner label_interner g k) graphs) in

@@ -154,6 +154,63 @@ let () =
   check "exactly one plan compiled"
     (match json_int_field stats "plan_misses" with Some m -> m = 1 | None -> false);
 
+  (* EXPLAIN over the wire: the warm-cache query reports every canonical
+     stage, cache-hit attribution, and stage timings that sum to the
+     reported total. *)
+  let _, explain = run_client ~n:4 [ "EXPLAIN"; "g"; src ] in
+  check "EXPLAIN replies ok" (P.is_ok (String.trim explain));
+  List.iter
+    (fun stage ->
+      check
+        (Printf.sprintf "EXPLAIN reports stage %s" stage)
+        (contains ~needle:(Printf.sprintf "\"stage\":\"%s\"" stage) explain))
+    [ "parse"; "normalize"; "cache_lookup"; "compile"; "execute"; "materialize" ];
+  check "EXPLAIN attributes the plan-cache hit"
+    (contains ~needle:"\"plan_cache\":\"hit\"" explain && contains ~needle:"\"cached\":true" explain);
+  (let float_after key s =
+     let tag = "\"" ^ key ^ "\":" in
+     let tl = String.length tag and n = String.length s in
+     let rec find i =
+       if i + tl > n then None else if String.sub s i tl = tag then Some (i + tl) else find (i + 1)
+     in
+     match find 0 with
+     | None -> None
+     | Some start ->
+         let stop = ref start in
+         let is_num c =
+           (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+         in
+         while !stop < n && is_num s.[!stop] do incr stop done;
+         float_of_string_opt (String.sub s start (!stop - start))
+   in
+   let rec stage_ms acc s =
+     match float_after "ms" s with
+     | None -> List.rev acc
+     | Some f -> (
+         match String.index_opt s '}' with
+         | None -> List.rev (f :: acc)
+         | Some j -> stage_ms (f :: acc) (String.sub s (j + 1) (String.length s - j - 1)))
+   in
+   (* Scan stage objects one '{...}' at a time so "total_ms" is skipped. *)
+   match (float_after "total_ms" explain, String.index_opt explain '[') with
+   | Some total, Some open_bracket ->
+       let stages_part =
+         String.sub explain open_bracket (String.length explain - open_bracket)
+       in
+       let ms = stage_ms [] stages_part in
+       let sum = List.fold_left ( +. ) 0.0 ms in
+       check "EXPLAIN has a stage breakdown" (List.length ms >= 6);
+       check
+         (Printf.sprintf "EXPLAIN stage timings (%g ms) sum to total (%g ms)" sum total)
+         (Float.abs (sum -. total) < 1e-6)
+   | _ -> check "EXPLAIN carries total_ms and stage timings" false);
+
+  (* TRACE option over the wire: the reply carries the span list. *)
+  let _, traced = run_client ~n:5 [ "QUERY"; "g"; src; "TRACE" ] in
+  check "TRACE reply ok" (P.is_ok (String.trim traced));
+  check "TRACE reply carries spans"
+    (contains ~needle:"\"trace\":[" traced && contains ~needle:"\"name\":\"request\"" traced);
+
   (* SIGTERM: clean exit, socket unlinked, metrics dumped. *)
   Unix.kill daemon Sys.sigterm;
   let daemon_code = wait_exit daemon in

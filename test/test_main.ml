@@ -19,4 +19,5 @@ let () =
       Test_properties.suite;
       Test_parser.suite;
       Test_server.suite;
+      Test_trace.suite;
     ]

@@ -73,14 +73,35 @@ let test_tokenize () =
   check_bool "unbalanced quote rejected" true
     (match P.tokenize "QUERY g 'unclosed" with Error _ -> true | Ok _ -> false)
 
+let plain req = Ok { P.req; traced = false }
+
 let test_parse_request_ok () =
-  check_bool "ping case-insensitive" true (P.parse_request "ping" = Ok P.Ping);
+  check_bool "ping case-insensitive" true (P.parse_request "ping" = plain P.Ping);
   check_bool "query parsed" true
     (P.parse_request "QUERY g 'agg_sum{x2}([1] | E(x1,x2))'"
-    = Ok (P.Query ("g", "agg_sum{x2}([1] | E(x1,x2))")));
-  check_bool "load parsed" true (P.parse_request "LOAD g cycle3+cycle3" = Ok (P.Load ("g", "cycle3+cycle3")));
-  check_bool "wl default rounds" true (P.parse_request "WL g" = Ok (P.Wl ("g", None)));
-  check_bool "wl explicit rounds" true (P.parse_request "wl g 2" = Ok (P.Wl ("g", Some 2)))
+    = plain (P.Query ("g", "agg_sum{x2}([1] | E(x1,x2))")));
+  check_bool "load parsed" true
+    (P.parse_request "LOAD g cycle3+cycle3" = plain (P.Load ("g", "cycle3+cycle3")));
+  check_bool "wl default rounds" true (P.parse_request "WL g" = plain (P.Wl ("g", None)));
+  check_bool "wl explicit rounds" true (P.parse_request "wl g 2" = plain (P.Wl ("g", Some 2)));
+  check_bool "explain parsed" true
+    (P.parse_request "EXPLAIN g 'agg_sum{x2}([1] | E(x1,x2))'"
+    = plain (P.Explain ("g", "agg_sum{x2}([1] | E(x1,x2))")));
+  check_bool "version parsed" true (P.parse_request "VERSION" = plain P.Version)
+
+let test_parse_request_trace_option () =
+  (* A trailing bare TRACE is an option on any command, case-insensitive. *)
+  check_bool "ping trace" true (P.parse_request "PING TRACE" = Ok { P.req = P.Ping; traced = true });
+  check_bool "query trace" true
+    (P.parse_request "QUERY g 'agg_sum{x2}([1] | E(x1,x2))' trace"
+    = Ok { P.req = P.Query ("g", "agg_sum{x2}([1] | E(x1,x2))"); traced = true });
+  check_bool "wl trace keeps rounds" true
+    (P.parse_request "WL g 2 TRACE" = Ok { P.req = P.Wl ("g", Some 2); traced = true });
+  (* A quoted 'TRACE' argument in last position is still consumed as the
+     option (tokens do not remember their quoting); a graph named TRACE
+     must therefore not rely on trailing position. *)
+  check_bool "trace alone is not a command" true
+    (match P.parse_request "TRACE" with Error _ -> true | Ok _ -> false)
 
 let test_parse_request_malformed () =
   let malformed =
@@ -109,6 +130,14 @@ let test_json_rendering () =
     "object" "{\"a\":1,\"b\":[true,null]}"
     (P.json_to_string (P.Obj [ ("a", P.Int 1); ("b", P.List [ P.Bool true; P.Null ]) ]));
   Alcotest.(check string) "integer float" "3" (P.json_to_string (P.Float 3.0));
+  (* Non-finite floats have no JSON token: all of nan, +inf, -inf must
+     render as null, never as the invalid literals "inf"/"-inf". *)
+  Alcotest.(check string) "nan" "null" (P.json_to_string (P.Float Float.nan));
+  Alcotest.(check string) "+inf" "null" (P.json_to_string (P.Float Float.infinity));
+  Alcotest.(check string) "-inf" "null" (P.json_to_string (P.Float Float.neg_infinity));
+  Alcotest.(check string)
+    "inf inside a list" "[1,null,2]"
+    (P.json_to_string (P.List [ P.Float 1.0; P.Float Float.infinity; P.Float 2.0 ]));
   check_bool "ok tagged" true (P.is_ok (P.ok P.Null));
   check_bool "err tagged" false (P.is_ok (P.err "boom"))
 
@@ -297,6 +326,125 @@ let test_handle_line_errors () =
   check_bool "stats counts errors" true (contains ~needle:"\"errors\":6" stats);
   check_bool "stats exposes the plan cache" true (contains ~needle:"\"plan_misses\"" stats)
 
+(* Extract the float right after ["<key>":] in a one-line JSON reply. *)
+let float_after key s =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and n = String.length s in
+  let rec find i = if i + nl > n then None else if String.sub s i nl = needle then Some (i + nl) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let is_num c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' in
+      while !stop < n && is_num s.[!stop] do incr stop done;
+      float_of_string_opt (String.sub s start (!stop - start))
+
+(* All the floats following any occurrence of ["<key>":]. *)
+let floats_after key s =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + nl <= n do
+    if String.sub s !i nl = needle then begin
+      match float_after key (String.sub s !i (n - !i)) with
+      | Some f -> out := f :: !out
+      | None -> ()
+    end;
+    incr i
+  done;
+  List.rev !out
+
+let test_handle_line_explain () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let src = "agg_sum{x2}([1] | E(x1,x2))" in
+  ignore (Server.handle_line t (Printf.sprintf "QUERY g '%s'" src));
+  (* Warm cache: the plan is already compiled, yet EXPLAIN must still
+     report every canonical stage, with the compile stage attributed to
+     the cache. *)
+  let reply = Server.handle_line t (Printf.sprintf "EXPLAIN g '%s'" src) in
+  check_bool "explain ok" true (P.is_ok reply);
+  List.iter
+    (fun stage ->
+      check_bool (Printf.sprintf "reports stage %s" stage) true
+        (contains ~needle:(Printf.sprintf "\"stage\":\"%s\"" stage) reply))
+    [ "parse"; "normalize"; "cache_lookup"; "compile"; "execute"; "materialize"; "other" ];
+  check_bool "plan cache attribution" true (contains ~needle:"\"plan_cache\":\"hit\"" reply);
+  check_bool "compile marked cached" true (contains ~needle:"\"cached\":true" reply);
+  check_bool "no values payload" false (contains ~needle:"\"values\"" reply);
+  (* Stage timings must sum to the reported total exactly (the synthetic
+     "other" bucket absorbs unattributed time). *)
+  (match (float_after "total_ms" reply, floats_after "ms" reply) with
+  | Some total, stage_ms ->
+      check_int "one ms per stage" 7 (List.length stage_ms);
+      let sum = List.fold_left ( +. ) 0.0 stage_ms in
+      check_bool
+        (Printf.sprintf "stages sum (%g) = total (%g)" sum total)
+        true
+        (Float.abs (sum -. total) < 1e-6)
+  | _ -> Alcotest.fail "missing total_ms or stage ms fields");
+  (* A cold plan reports a real compile stage. *)
+  let cold = Server.handle_line t "EXPLAIN g 'agg_max{x2}([1] | E(x1,x2))'" in
+  check_bool "cold explain ok" true (P.is_ok cold);
+  check_bool "cold explain is a plan miss" true (contains ~needle:"\"plan_cache\":\"miss\"" cold);
+  check_bool "cold compile not cached" true (contains ~needle:"\"cached\":false" cold)
+
+let test_handle_line_trace_option () =
+  let t = make_server () in
+  let reply = Server.handle_line t "QUERY petersen 'agg_sum{x2}([1] | E(x1,x2))' TRACE" in
+  check_bool "traced query ok" true (P.is_ok reply);
+  check_bool "trace attached" true (contains ~needle:"\"trace\":[" reply);
+  List.iter
+    (fun span ->
+      check_bool (Printf.sprintf "trace has span %s" span) true
+        (contains ~needle:(Printf.sprintf "\"name\":\"%s\"" span) reply))
+    [ "request"; "parse"; "normalize"; "cache_lookup"; "compile"; "execute"; "materialize" ];
+  (* Non-object replies are wrapped so the trace has somewhere to go. *)
+  let ping = Server.handle_line t "PING TRACE" in
+  check_bool "traced ping ok" true (P.is_ok ping);
+  check_bool "ping value wrapped" true (contains ~needle:"\"value\":\"pong\"" ping);
+  check_bool "ping trace attached" true (contains ~needle:"\"trace\":[" ping);
+  (* Untraced requests carry no trace field. *)
+  let bare = Server.handle_line t "PING" in
+  check_bool "untraced ping has no trace" false (contains ~needle:"\"trace\"" bare)
+
+let test_protocol_version_reporting () =
+  let t = make_server () in
+  let hello = Server.handle_line t "HELLO" in
+  let version = Server.handle_line t "VERSION" in
+  let stats = Server.handle_line t "STATS" in
+  let needle = Printf.sprintf "\"protocol_version\":%d" P.protocol_version in
+  check_bool "hello reports protocol" true (contains ~needle hello);
+  check_bool "version reports protocol" true (contains ~needle version);
+  check_bool "stats reports protocol" true (contains ~needle stats);
+  (* STATS also carries the cumulative per-stage histograms: the two
+     requests before it each ran under a "request" span. *)
+  check_bool "stats has stages" true (contains ~needle:"\"stages\":{" stats);
+  check_bool "stats counts request stage" true (contains ~needle:"\"request\":{\"count\":" stats)
+
+let test_metrics_ring_wrap () =
+  let m = Glql_server.Metrics.create () in
+  let w = Glql_server.Metrics.window in
+  (* Fill the ring exactly: latencies 1..w ns. *)
+  for i = 1 to w do
+    Glql_server.Metrics.record m ~command:"X" ~ok:true ~latency_ns:(Int64.of_int i)
+  done;
+  let p50_full = Glql_server.Metrics.percentile_ms m 50.0 in
+  check_bool "p50 at exact fill" true
+    (Float.abs (p50_full -. (float_of_int (w / 2) /. 1e6)) < 1e-9);
+  (* Wrap halfway: the oldest half is overwritten by a large constant, so
+     the window now holds w/2 small values (w/2+1 .. w) and w/2 big ones. *)
+  for _ = 1 to w / 2 do
+    Glql_server.Metrics.record m ~command:"X" ~ok:true ~latency_ns:1_000_000_000L
+  done;
+  let p50 = Glql_server.Metrics.percentile_ms m 50.0 in
+  let p99 = Glql_server.Metrics.percentile_ms m 99.0 in
+  check_bool "p50 after wrap is the largest small value" true
+    (Float.abs (p50 -. (float_of_int w /. 1e6)) < 1e-9);
+  check_bool "p99 after wrap lands in the overwritten half" true
+    (Float.abs (p99 -. 1000.0) < 1e-9)
+
 let test_cache_clear_resets_entries () =
   let t = make_server () in
   ignore (Server.handle_line t "QUERY petersen 'agg_sum{x2}([1] | E(x1,x2))'");
@@ -320,6 +468,7 @@ let suite =
       case "cache key: distinct queries differ" test_key_distinct_queries;
       case "protocol tokenizer" test_tokenize;
       case "protocol requests" test_parse_request_ok;
+      case "protocol TRACE option" test_parse_request_trace_option;
       case "protocol malformed lines" test_parse_request_malformed;
       case "protocol json rendering" test_json_rendering;
       case "registry specs" test_registry_specs;
@@ -331,5 +480,9 @@ let suite =
       case "handle_line: reload serves fresh coloring" test_reload_serves_fresh_coloring;
       case "handle_line: cell guard overflow" test_cell_guard_overflow;
       case "handle_line: errors and stats" test_handle_line_errors;
+      case "handle_line: EXPLAIN stage summary" test_handle_line_explain;
+      case "handle_line: TRACE option" test_handle_line_trace_option;
+      case "protocol version reporting" test_protocol_version_reporting;
+      case "metrics ring wrap percentiles" test_metrics_ring_wrap;
       case "cache clear" test_cache_clear_resets_entries;
     ] )

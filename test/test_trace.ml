@@ -1,0 +1,166 @@
+(* Tests for Glql_util.Trace (span nesting, disabled-mode no-op, sink
+   collection across Pool worker domains, Chrome-trace output) and the
+   shared Glql_util.Json printer. *)
+
+open Helpers
+module Trace = Glql_util.Trace
+module Json = Glql_util.Json
+module Pool = Glql_util.Pool
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let names spans = List.map (fun sp -> sp.Trace.name) spans
+
+(* --- json ----------------------------------------------------------------- *)
+
+let test_json_printer () =
+  Alcotest.(check string)
+    "object" "{\"a\":1,\"b\":[true,null,\"x\"]}"
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null; Json.Str "x" ]) ]));
+  Alcotest.(check string) "integer float" "42" (Json.to_string (Json.Float 42.0));
+  Alcotest.(check string) "escapes" "\"a\\\"b\\n\"" (Json.to_string (Json.Str "a\"b\n"))
+
+let test_json_nonfinite () =
+  (* Regression: %.17g prints "inf"/"-inf", which are not JSON tokens —
+     every non-finite float must render as null. *)
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "+inf" "null" (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "-inf" "null" (Json.to_string (Json.Float Float.neg_infinity));
+  Alcotest.(check string)
+    "mixed list" "[1.5,null,null,null]"
+    (Json.to_string
+       (Json.List
+          [
+            Json.Float 1.5;
+            Json.Float Float.nan;
+            Json.Float Float.infinity;
+            Json.Float Float.neg_infinity;
+          ]))
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let test_disabled_noop () =
+  check_bool "disabled outside any sink" false (Trace.enabled ());
+  (* with_span is transparent when nothing listens: the thunk runs, its
+     value comes back, and nothing is recorded anywhere. *)
+  let sink = Trace.make_sink ~keep_spans:true () in
+  check_int "value passes through" 7 (Trace.with_span "dead" (fun () -> 7));
+  Trace.annotate "k" "v" (* no open span: must not raise *);
+  check_int "uninstalled sink stays empty" 0 (List.length (Trace.spans sink))
+
+let test_span_nesting () =
+  let sink = Trace.make_sink ~keep_spans:true () in
+  let v =
+    Trace.with_sink sink (fun () ->
+        check_bool "enabled under a sink" true (Trace.enabled ());
+        Trace.with_span "outer" (fun () ->
+            let a =
+              Trace.with_span "inner" (fun () ->
+                  Trace.annotate "hit" "yes";
+                  1)
+            in
+            let b = Trace.with_span "inner" (fun () -> 2) in
+            a + b))
+  in
+  check_int "computed through the spans" 3 v;
+  check_bool "disabled again after with_sink" false (Trace.enabled ());
+  let spans = Trace.spans sink in
+  Alcotest.(check (list string)) "start-ordered names" [ "outer"; "inner"; "inner" ] (names spans);
+  let outer = List.hd spans in
+  let first_inner = List.nth spans 1 in
+  check_int "outer depth" 1 outer.Trace.depth;
+  check_int "inner depth" 2 first_inner.Trace.depth;
+  check_bool "annotation captured" true (List.mem ("hit", "yes") first_inner.Trace.args);
+  check_bool "outer covers inner" true (Int64.compare outer.Trace.dur_ns first_inner.Trace.dur_ns >= 0)
+
+let test_span_records_on_raise () =
+  let sink = Trace.make_sink ~keep_spans:true () in
+  (try Trace.with_sink sink (fun () -> Trace.with_span "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check (list string)) "raised span still recorded" [ "boom" ] (names (Trace.spans sink))
+
+let test_on_span_callback () =
+  let seen = ref [] in
+  let sink = Trace.make_sink ~on_span:(fun sp -> seen := sp.Trace.name :: !seen) () in
+  Trace.with_sink sink (fun () ->
+      Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ())));
+  (* Callback-only sink: spans fire the callback (completion order:
+     innermost first) but are not retained. *)
+  Alcotest.(check (list string)) "callback order" [ "a"; "b" ] !seen;
+  check_int "nothing retained without keep_spans" 0 (List.length (Trace.spans sink))
+
+let test_spans_under_pool () =
+  (* Spans opened on Pool worker domains must land in the dispatching
+     request's sink, whatever the pool size. *)
+  let sink = Trace.make_sink ~keep_spans:true () in
+  let input = Array.init 64 (fun i -> i) in
+  let out =
+    Trace.with_sink sink (fun () ->
+        Pool.parallel_map_array (fun i -> Trace.with_span "item" (fun () -> i * 2)) input)
+  in
+  check_bool "results correct" true (Array.for_all (fun x -> x >= 0) out);
+  check_int "last result" 126 out.(63);
+  let spans = Trace.spans sink in
+  check_int "one span per item" 64 (List.length spans);
+  check_bool "all named item" true (List.for_all (fun sp -> sp.Trace.name = "item") spans)
+
+let test_nested_sinks_restore () =
+  let outer = Trace.make_sink ~keep_spans:true () in
+  let inner = Trace.make_sink ~keep_spans:true () in
+  Trace.with_sink outer (fun () ->
+      Trace.with_span "o1" (fun () -> ());
+      Trace.with_sink inner (fun () -> Trace.with_span "i1" (fun () -> ()));
+      Trace.with_span "o2" (fun () -> ()));
+  Alcotest.(check (list string)) "outer sink" [ "o1"; "o2" ] (names (Trace.spans outer));
+  Alcotest.(check (list string)) "inner sink" [ "i1" ] (names (Trace.spans inner))
+
+let test_spans_to_json () =
+  let sink = Trace.make_sink ~keep_spans:true () in
+  let origin = Glql_util.Clock.now_ns () in
+  Trace.with_sink sink (fun () ->
+      Trace.with_span ~args:[ ("k", "v") ] "stage" (fun () -> ignore (Sys.opaque_identity 1)));
+  let s = Json.to_string (Trace.spans_to_json ~origin_ns:origin (Trace.spans sink)) in
+  check_bool "is a list" true (String.length s > 0 && s.[0] = '[');
+  check_bool "has name" true (contains ~needle:"\"name\":\"stage\"" s);
+  check_bool "has dur" true (contains ~needle:"\"dur_us\":" s);
+  check_bool "has depth" true (contains ~needle:"\"depth\":1" s);
+  check_bool "has args" true (contains ~needle:"{\"k\":\"v\"}" s)
+
+let test_chrome_file () =
+  let path = Filename.temp_file "glql_trace" ".json" in
+  Trace.enable_chrome path;
+  check_bool "chrome on" true (Trace.chrome_enabled ());
+  Trace.with_span "outer" (fun () -> Trace.with_span "inner" (fun () -> ()));
+  Trace.flush_chrome ();
+  check_bool "chrome off after flush" false (Trace.chrome_enabled ());
+  Trace.flush_chrome () (* idempotent *);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  check_bool "starts as an array" true (String.length body > 0 && body.[0] = '[');
+  check_bool "closes the array" true (contains ~needle:"]" body);
+  check_bool "complete events" true (contains ~needle:"\"ph\":\"X\"" body);
+  check_bool "outer event present" true (contains ~needle:"\"name\":\"outer\"" body);
+  check_bool "inner event present" true (contains ~needle:"\"name\":\"inner\"" body);
+  check_bool "events carry a tid" true (contains ~needle:"\"tid\":" body)
+
+let suite =
+  ( "trace",
+    [
+      case "json printer" test_json_printer;
+      case "json non-finite floats" test_json_nonfinite;
+      case "disabled mode is a no-op" test_disabled_noop;
+      case "span nesting and annotate" test_span_nesting;
+      case "span recorded when the thunk raises" test_span_records_on_raise;
+      case "on_span callback" test_on_span_callback;
+      case "spans collected across the pool" test_spans_under_pool;
+      case "nested sinks restore" test_nested_sinks_restore;
+      case "spans_to_json rendering" test_spans_to_json;
+      case "chrome trace file" test_chrome_file;
+    ] )
