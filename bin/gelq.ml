@@ -1,11 +1,18 @@
 (* gelq — run GEL queries against graphs from the command line.
 
      dune exec bin/gelq.exe -- '<expression>' [graph]
+     dune exec bin/gelq.exe -- --load snap.glqs '<expression>' [graph]
+     dune exec bin/gelq.exe -- --save snap.glqs '<expression>' [graph]
      dune exec bin/gelq.exe -- --list-graphs
 
    where [graph] is any spec the server registry understands (see
    --list-graphs): fixed names like petersen or rook, sized patterns like
    cycle9 or grid3x4, and '+'-joined disjoint unions like cycle3+cycle3.
+
+   --save/--load exercise the snapshot store: --save writes the graph and
+   compiled plan to a snapshot after the query runs; --load seeds them
+   from one first (reporting whether the plan cache was hit), so a
+   saved-then-loaded query replays without recompilation.
 
    Examples:
 
@@ -18,6 +25,8 @@ module Expr = Glql_gel.Expr
 module Parser = Glql_gel.Parser
 module Vec = Glql_tensor.Vec
 module Registry = Glql_server.Registry
+module Cache = Glql_server.Cache
+module Persist = Glql_server.Persist
 
 let die fmt =
   Printf.ksprintf
@@ -33,28 +42,16 @@ let list_graphs () =
   List.iter (Printf.printf "  %s\n") Registry.generator_patterns;
   print_endline "disjoint unions: join any of the above with '+', e.g. cycle3+cycle3"
 
-let run query graph_name =
-  let g =
-    match Registry.graph_of_spec graph_name with Ok g -> g | Error msg -> die "%s" msg
-  in
-  let e =
-    match Parser.parse query with
-    | e -> e
-    | exception Parser.Parse_error msg -> die "parse error: %s" msg
-    | exception Expr.Type_error msg -> die "type error: %s" msg
-  in
-  Printf.printf "query    : %s\n" (Expr.to_string e);
+let print_header query_str g graph_name e =
+  Printf.printf "query    : %s\n" query_str;
   Printf.printf "fragment : %s | dimension %d | free variables [%s]\n"
     (Expr.fragment_name (Expr.fragment e))
     (Expr.dim e)
     (String.concat "; " (List.map (Printf.sprintf "x%d") (Expr.free_vars e)));
-  Printf.printf "graph    : %s (%d vertices, %d edges)\n\n" graph_name (Graph.n_vertices g)
-    (Graph.n_edges g);
-  let table =
-    match Glql_util.Trace.with_span "execute" (fun () -> Expr.eval g e) with
-    | t -> t
-    | exception Expr.Type_error msg -> die "type error: %s" msg
-  in
+  Printf.printf "graph    : %s (%d vertices, %d edges)\n" graph_name (Graph.n_vertices g)
+    (Graph.n_edges g)
+
+let print_table g table =
   match table.Expr.tvars with
   | [] -> Printf.printf "value = %s\n" (Vec.to_string table.Expr.tdata.(0))
   | [ _ ] ->
@@ -78,17 +75,89 @@ let run query graph_name =
               (Vec.to_string value))
         table.Expr.tdata
 
+let run query graph_name =
+  let g =
+    match Registry.graph_of_spec graph_name with Ok g -> g | Error msg -> die "%s" msg
+  in
+  let e =
+    match Parser.parse query with
+    | e -> e
+    | exception Parser.Parse_error msg -> die "parse error: %s" msg
+    | exception Expr.Type_error msg -> die "type error: %s" msg
+  in
+  print_header (Expr.to_string e) g graph_name e;
+  print_newline ();
+  let table =
+    match Glql_util.Trace.with_span "execute" (fun () -> Expr.eval g e) with
+    | t -> t
+    | exception Expr.Type_error msg -> die "type error: %s" msg
+  in
+  print_table g table
+
+(* The --save/--load path: same query, but routed through the server's
+   registry + plan cache so snapshots round-trip through the exact
+   structures glqld persists. *)
+let run_cached ~load ~save query graph_name =
+  let registry = Registry.create () in
+  let cache = Cache.create ~plan_capacity:64 ~coloring_capacity:16 in
+  (match load with
+  | None -> ()
+  | Some path -> (
+      match Persist.restore ~registry ~cache ~metrics:None path with
+      | Ok s ->
+          Printf.printf "snapshot : loaded %s (%d graphs, %d plans, %d colorings)\n" path
+            s.Persist.s_graphs s.Persist.s_plans s.Persist.s_colorings
+      | Error msg -> die "%s: %s" path msg));
+  let g = match Registry.find registry graph_name with Ok g -> g | Error msg -> die "%s" msg in
+  let plan, hit =
+    match Cache.plan cache query with Ok r -> r | Error msg -> die "%s" msg
+  in
+  print_header (Expr.to_string plan.Cache.expr) g graph_name plan.Cache.expr;
+  Printf.printf "plan     : %s (plan cache %s)\n"
+    (match plan.Cache.layered with Some _ -> "layered" | None -> "direct")
+    (match hit with `Hit -> "hit" | `Miss -> "miss");
+  print_newline ();
+  let table =
+    match Glql_util.Trace.with_span "execute" (fun () -> Expr.eval g plan.Cache.expr) with
+    | t -> t
+    | exception Expr.Type_error msg -> die "type error: %s" msg
+  in
+  print_table g table;
+  match save with
+  | None -> ()
+  | Some path -> (
+      match Persist.save ~registry ~cache ~metrics:None ~producer:"gelq" path with
+      | Ok s ->
+          Printf.printf "\nsnapshot : wrote %s (%d bytes, %d graphs, %d plans)\n" path
+            s.Persist.s_bytes s.Persist.s_graphs s.Persist.s_plans
+      | Error msg -> die "%s: %s" path msg)
+
 let () =
   (* GLQL_TRACE=<file> dumps parse/compile/execute spans in Chrome trace
      format, same as glqld. *)
   Glql_util.Trace.setup_from_env ();
-  match Array.to_list Sys.argv with
-  | _ :: "--list-graphs" :: _ -> list_graphs ()
-  | _ :: query :: rest ->
+  let save = ref None in
+  let load = ref None in
+  let rec strip = function
+    | "--save" :: path :: rest ->
+        save := Some path;
+        strip rest
+    | "--load" :: path :: rest ->
+        load := Some path;
+        strip rest
+    | ("--save" | "--load") :: [] -> die "%s expects a FILE argument" "--save/--load"
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  match strip (List.tl (Array.to_list Sys.argv)) with
+  | "--list-graphs" :: _ -> list_graphs ()
+  | query :: rest ->
       let graph_name = match rest with g :: _ -> g | [] -> "petersen" in
-      run query graph_name
-  | _ ->
-      prerr_endline "usage: gelq '<expression>' [graph]";
+      if !save = None && !load = None then run query graph_name
+      else run_cached ~load:!load ~save:!save query graph_name
+  | [] ->
+      prerr_endline "usage: gelq [--save FILE] [--load FILE] '<expression>' [graph]";
       prerr_endline "  e.g. gelq 'agg_sum{x2}([1] | E(x1,x2))' petersen";
       prerr_endline "  gelq --list-graphs lists the known graph specs";
+      prerr_endline "  --save/--load write/read a glqld-compatible snapshot";
       exit 1

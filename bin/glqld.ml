@@ -17,6 +17,7 @@ let () =
   let timeout = ref Server.default_config.Server.request_timeout_s in
   let max_cells = ref Server.default_config.Server.max_table_cells in
   let metrics_file = ref "" in
+  let snapshot_file = ref "" in
   let verbose = ref false in
   let spec =
     [
@@ -32,6 +33,9 @@ let () =
         "SECONDS cooperative per-request deadline, 0 disables (default 30)" );
       ("--max-cells", Arg.Set_int max_cells, "N reject queries materialising more table cells");
       ("--metrics-file", Arg.Set_string metrics_file, "PATH dump metrics JSON here on shutdown");
+      ( "--snapshot",
+        Arg.Set_string snapshot_file,
+        "FILE restore this snapshot at boot (if present) and write it on shutdown" );
       ("--verbose", Arg.Set verbose, " log connections and lifecycle events to stderr");
     ]
   in
@@ -48,6 +52,7 @@ let () =
       request_timeout_s = !timeout;
       max_table_cells = max 1 !max_cells;
       metrics_file = (if !metrics_file = "" then None else Some !metrics_file);
+      snapshot_file = (if !snapshot_file = "" then None else Some !snapshot_file);
       verbose = !verbose;
     }
   in

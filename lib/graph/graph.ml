@@ -103,6 +103,57 @@ let with_one_hot_labels g colors ~n_colors =
   in
   with_labels g labels
 
+(* CSR view: [offsets] of length n+1 and the concatenation of all (sorted)
+   neighbour lists — the packed form the snapshot store writes to disk. *)
+let to_csr g =
+  let offsets = Array.make (g.n + 1) 0 in
+  for v = 0 to g.n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Array.length g.adj.(v)
+  done;
+  let adjacency = Array.concat (Array.to_list g.adj) in
+  (offsets, adjacency)
+
+(* Rebuild a graph from a CSR view, validating every representation
+   invariant (the input may come from an untrusted snapshot file):
+   monotone offsets covering the adjacency array exactly, rows strictly
+   increasing (sorted, deduplicated, no self-loop), entries in range, and
+   symmetry of the edge relation. Raises [Invalid_argument] otherwise. *)
+let of_csr ~n ~offsets ~adjacency ~labels =
+  if n < 0 then invalid_arg "Graph.of_csr: negative vertex count";
+  if Array.length offsets <> n + 1 then invalid_arg "Graph.of_csr: |offsets| <> n+1";
+  if n > 0 && offsets.(0) <> 0 then invalid_arg "Graph.of_csr: offsets must start at 0";
+  for v = 0 to n - 1 do
+    if offsets.(v + 1) < offsets.(v) then invalid_arg "Graph.of_csr: offsets not monotone"
+  done;
+  if (if n = 0 then Array.length adjacency <> 0 else offsets.(n) <> Array.length adjacency)
+  then invalid_arg "Graph.of_csr: offsets do not cover the adjacency array";
+  if Array.length labels <> n then invalid_arg "Graph.of_csr: |labels| <> n";
+  let label_dim = if n = 0 then 0 else Vec.dim labels.(0) in
+  Array.iter
+    (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.of_csr: ragged labels")
+    labels;
+  let adj =
+    Array.init n (fun v ->
+        let row = Array.sub adjacency offsets.(v) (offsets.(v + 1) - offsets.(v)) in
+        Array.iteri
+          (fun i u ->
+            if u < 0 || u >= n then invalid_arg "Graph.of_csr: neighbour out of range";
+            if u = v then invalid_arg "Graph.of_csr: self-loop";
+            if i > 0 && row.(i - 1) >= u then
+              invalid_arg "Graph.of_csr: row not strictly increasing")
+          row;
+        row)
+  in
+  let g = { n; adj; labels = Array.map Vec.copy labels; label_dim } in
+  (* Symmetry: every (v, u) arc must have its mirror. *)
+  Array.iteri
+    (fun v row ->
+      Array.iter
+        (fun u -> if not (has_edge g u v) then invalid_arg "Graph.of_csr: asymmetric edge")
+        row)
+    g.adj;
+  g
+
 let edges g =
   let out = ref [] in
   for u = g.n - 1 downto 0 do

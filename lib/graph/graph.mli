@@ -37,6 +37,19 @@ val has_edge : t -> int -> int -> bool
 (** Edge list with [u < v], sorted lexicographically. *)
 val edges : t -> (int * int) list
 
+(** CSR view: [(offsets, adjacency)] where [offsets] has length [n+1]
+    and vertex [v]'s sorted neighbours are
+    [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)]. The
+    packed form the snapshot store serialises. *)
+val to_csr : t -> int array * int array
+
+(** Rebuild a graph from a CSR view. Every representation invariant is
+    validated — monotone offsets, strictly increasing in-range rows, no
+    self-loops, symmetric edges, rectangular labels — and violations
+    raise [Invalid_argument], so a hostile snapshot cannot materialise a
+    malformed graph. Round-trips [to_csr] bit-identically. *)
+val of_csr : n:int -> offsets:int array -> adjacency:int array -> labels:Vec.t array -> t
+
 (** [permute g perm] renames vertex [v] to [perm.(v)]; the result is
     isomorphic to [g] with labels travelling along. *)
 val permute : t -> int array -> t

@@ -16,6 +16,7 @@ module Trace = Glql_util.Trace
 
 type plan = {
   key : string;
+  src : string;
   expr : Expr.t;
   layered : Normal_form.t option;
 }
@@ -39,7 +40,7 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let compile key e =
+let compile key src e =
   Trace.with_span "compile" @@ fun () ->
   let expr = Optimize.optimize e in
   let layered =
@@ -47,7 +48,7 @@ let compile key e =
     | [ _ ] -> ( try Some (Normal_form.of_vertex_expr expr) with _ -> None)
     | _ -> None
   in
-  { key; expr; layered }
+  { key; src; expr; layered }
 
 let plan t src =
   match Parser.parse src with
@@ -63,7 +64,7 @@ let plan t src =
               Ok (p, `Hit)
           | None -> (
               Trace.annotate "result" "miss";
-              match compile key e with
+              match compile key src e with
               | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
               | p ->
                   Lru.put t.plans key p;
@@ -97,6 +98,78 @@ let kwl t ~graph_name ~gen ~k g =
   with
   | C_kwl r, hit -> (r, hit)
   | C_cr _, _ -> assert false
+
+(* --- snapshot export / seeding ------------------------------------------ *)
+
+(* Exports read the LRU without touching recency or hit counters, so a
+   SAVE is not observable in STATS beyond its own request. *)
+
+let export_plans t =
+  with_lock t (fun () ->
+      List.map (fun (key, p) -> (key, p.src)) (Lru.bindings_mru_first t.plans))
+
+type exported_coloring =
+  | E_cr of { graph_name : string; gen : int; result : Cr.result }
+  | E_kwl of { graph_name : string; gen : int; k : int; result : Kwl.result }
+
+(* Colouring keys are "cr:<gen>:<name>" / "kwl:<k>:<gen>:<name>"; the
+   name comes last so it may itself contain colons. *)
+let parse_coloring_key key =
+  match String.index_opt key ':' with
+  | None -> None
+  | Some i -> (
+      let kind = String.sub key 0 i in
+      let rest = String.sub key (i + 1) (String.length key - i - 1) in
+      let split_int s =
+        match String.index_opt s ':' with
+        | None -> None
+        | Some j ->
+            Option.map
+              (fun n -> (n, String.sub s (j + 1) (String.length s - j - 1)))
+              (int_of_string_opt (String.sub s 0 j))
+      in
+      match kind with
+      | "cr" -> Option.map (fun (gen, name) -> `Cr (gen, name)) (split_int rest)
+      | "kwl" ->
+          Option.bind (split_int rest) (fun (k, rest) ->
+              Option.map (fun (gen, name) -> `Kwl (k, gen, name)) (split_int rest))
+      | _ -> None)
+
+let export_colorings t =
+  with_lock t (fun () ->
+      List.filter_map
+        (fun (key, c) ->
+          match (parse_coloring_key key, c) with
+          | Some (`Cr (gen, graph_name)), C_cr result -> Some (E_cr { graph_name; gen; result })
+          | Some (`Kwl (k, gen, graph_name)), C_kwl result ->
+              Some (E_kwl { graph_name; gen; k; result })
+          | _ -> None)
+        (Lru.bindings_mru_first t.colorings))
+
+(* Seeding is restore-side: insert without bumping hit/miss counters, and
+   never clobber an entry the running server already computed. *)
+
+let seed_plan t ~src =
+  match Parser.parse src with
+  | exception Parser.Parse_error msg -> Error ("parse error: " ^ msg)
+  | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
+  | e -> (
+      let key = Normal_form.cache_key e in
+      match compile key src e with
+      | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
+      | p ->
+          with_lock t (fun () ->
+              if not (Lru.mem t.plans key) then Lru.put t.plans key p);
+          Ok key)
+
+let seed_coloring t key c =
+  with_lock t (fun () -> if not (Lru.mem t.colorings key) then Lru.put t.colorings key c)
+
+let seed_cr t ~graph_name ~gen result =
+  seed_coloring t (Printf.sprintf "cr:%d:%s" gen graph_name) (C_cr result)
+
+let seed_kwl t ~graph_name ~gen ~k result =
+  seed_coloring t (Printf.sprintf "kwl:%d:%d:%s" k gen graph_name) (C_kwl result)
 
 let stats t =
   with_lock t (fun () ->

@@ -24,6 +24,7 @@ module Kwl = Glql_wl.Kwl
 
 type plan = {
   key : string;  (** canonical cache key of the source expression *)
+  src : string;  (** the GEL source the plan was first compiled from *)
   expr : Expr.t;  (** optimised expression (constant-folded, shared) *)
   layered : Normal_form.t option;
       (** layered fast path when the query is single-variable MPNN-sum *)
@@ -45,6 +46,29 @@ val cr : t -> graph_name:string -> gen:int -> Graph.t -> Cr.result * [ `Hit | `M
     (name, generation, k). *)
 val kwl :
   t -> graph_name:string -> gen:int -> k:int -> Graph.t -> Kwl.result * [ `Hit | `Miss ]
+
+(** {2 Snapshot export / seeding}
+
+    Exports read without touching LRU recency or hit counters; seeds
+    insert without counting and never replace an entry the running
+    server already holds. Used by {!Persist}. *)
+
+(** Cached plans as (canonical key, source), most-recently used first. *)
+val export_plans : t -> (string * string) list
+
+type exported_coloring =
+  | E_cr of { graph_name : string; gen : int; result : Cr.result }
+  | E_kwl of { graph_name : string; gen : int; k : int; result : Kwl.result }
+
+val export_colorings : t -> exported_coloring list
+
+(** Parse and compile [src], seeding the plan cache under its canonical
+    key (kept if already present). Returns the key. *)
+val seed_plan : t -> src:string -> (string, string) result
+
+val seed_cr : t -> graph_name:string -> gen:int -> Cr.result -> unit
+
+val seed_kwl : t -> graph_name:string -> gen:int -> k:int -> Kwl.result -> unit
 
 (** Counter snapshot: plan/coloring hits, misses, evictions, sizes. *)
 val stats : t -> (string * int) list

@@ -82,6 +82,40 @@ let add_io t ~bytes_in ~bytes_out =
       t.bytes_in <- t.bytes_in + bytes_in;
       t.bytes_out <- t.bytes_out + bytes_out)
 
+type counters = {
+  c_requests : int;
+  c_errors : int;
+  c_bytes_in : int;
+  c_bytes_out : int;
+  c_by_command : (string * int) list;
+}
+
+let export_counters t =
+  with_lock t (fun () ->
+      {
+        c_requests = t.requests;
+        c_errors = t.errors;
+        c_bytes_in = t.bytes_in;
+        c_bytes_out = t.bytes_out;
+        c_by_command =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_command [] |> List.sort compare;
+      })
+
+(* Restore-side: fold a previous life's counters into this one. Latency
+   rings are deliberately not carried over — quantiles describe the
+   current process, counters the service. *)
+let absorb t c =
+  with_lock t (fun () ->
+      t.requests <- t.requests + c.c_requests;
+      t.errors <- t.errors + c.c_errors;
+      t.bytes_in <- t.bytes_in + c.c_bytes_in;
+      t.bytes_out <- t.bytes_out + c.c_bytes_out;
+      List.iter
+        (fun (cmd, n) ->
+          Hashtbl.replace t.by_command cmd
+            (n + Option.value ~default:0 (Hashtbl.find_opt t.by_command cmd)))
+        c.c_by_command)
+
 let requests t = with_lock t (fun () -> t.requests)
 
 let errors t = with_lock t (fun () -> t.errors)

@@ -20,6 +20,21 @@ val record_stage : t -> stage:string -> dur_ns:int -> unit
 (** Count raw socket traffic. *)
 val add_io : t -> bytes_in:int -> bytes_out:int -> unit
 
+(** A copyable view of the cumulative counters, for snapshots. *)
+type counters = {
+  c_requests : int;
+  c_errors : int;
+  c_bytes_in : int;
+  c_bytes_out : int;
+  c_by_command : (string * int) list;
+}
+
+val export_counters : t -> counters
+
+(** Fold a restored snapshot's counters into this instance (totals and
+    per-command counts add; latency windows are not carried over). *)
+val absorb : t -> counters -> unit
+
 val requests : t -> int
 
 val errors : t -> int

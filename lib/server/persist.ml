@@ -1,0 +1,132 @@
+(* Save/restore glue between the live server structures and the pure
+   Snapshot codecs. Save only exports colourings whose generation still
+   matches the registry binding (anything else is stale by definition);
+   restore registers graphs under fresh generations and rekeys the
+   colourings accordingly, so generation-based staleness checks keep
+   working across process lives. *)
+
+module Snapshot = Glql_store.Snapshot
+module Trace = Glql_util.Trace
+
+type summary = {
+  s_graphs : int;
+  s_colorings : int;
+  s_plans : int;
+  s_bytes : int;
+  s_saved_at : float;
+}
+
+let counters_to_snapshot (c : Metrics.counters) =
+  {
+    Snapshot.m_requests = c.Metrics.c_requests;
+    m_errors = c.Metrics.c_errors;
+    m_bytes_in = c.Metrics.c_bytes_in;
+    m_bytes_out = c.Metrics.c_bytes_out;
+    m_by_command = c.Metrics.c_by_command;
+  }
+
+let counters_of_snapshot (m : Snapshot.metrics_counters) =
+  {
+    Metrics.c_requests = m.Snapshot.m_requests;
+    c_errors = m.Snapshot.m_errors;
+    c_bytes_in = m.Snapshot.m_bytes_in;
+    c_bytes_out = m.Snapshot.m_bytes_out;
+    c_by_command = m.Snapshot.m_by_command;
+  }
+
+let save ~registry ~cache ~metrics ~producer path =
+  Trace.with_span ~args:[ ("path", path) ] "store.save" @@ fun () ->
+  let entries = Registry.entries registry in
+  let gen_of = List.map (fun (name, _, gen, _) -> (name, gen)) entries in
+  let current name gen = List.assoc_opt name gen_of = Some gen in
+  let graphs =
+    List.map
+      (fun (g_name, g_spec, g_gen, g_graph) -> { Snapshot.g_name; g_spec; g_gen; g_graph })
+      entries
+  in
+  let colorings =
+    Cache.export_colorings cache
+    |> List.filter_map (function
+         | Cache.E_cr { graph_name; gen; result } ->
+             if current graph_name gen then
+               Some { Snapshot.c_name = graph_name; c_data = Snapshot.Cr_data result }
+             else None
+         | Cache.E_kwl { graph_name; gen; k; result } ->
+             if current graph_name gen then
+               Some { Snapshot.c_name = graph_name; c_data = Snapshot.Kwl_data (k, result) }
+             else None)
+  in
+  let plans = Cache.export_plans cache in
+  let saved_at = Unix.gettimeofday () in
+  let snap =
+    {
+      Snapshot.producer;
+      saved_at;
+      graphs;
+      colorings;
+      plans;
+      metrics = Option.map (fun m -> counters_to_snapshot (Metrics.export_counters m)) metrics;
+    }
+  in
+  match Snapshot.write_file path snap with
+  | Error _ as e -> e
+  | Ok bytes ->
+      Ok
+        {
+          s_graphs = List.length graphs;
+          s_colorings = List.length colorings;
+          s_plans = List.length plans;
+          s_bytes = bytes;
+          s_saved_at = saved_at;
+        }
+
+let restore ~registry ~cache ~metrics path =
+  Trace.with_span ~args:[ ("path", path) ] "store.restore" @@ fun () ->
+  match Snapshot.read_file path with
+  | Error _ as e -> e
+  | Ok snap ->
+      (* The decode above validated everything; only now touch live state. *)
+      let gens =
+        List.map
+          (fun e ->
+            ( e.Snapshot.g_name,
+              Registry.register_prebuilt registry ~name:e.Snapshot.g_name
+                ~spec:e.Snapshot.g_spec e.Snapshot.g_graph ))
+          snap.Snapshot.graphs
+      in
+      (* Exports are MRU-first; seed in reverse so LRU recency carries
+         over into the new process. *)
+      let colorings_seeded = ref 0 in
+      List.iter
+        (fun ce ->
+          match List.assoc_opt ce.Snapshot.c_name gens with
+          | None -> () (* decode guarantees this cannot happen; belt and braces *)
+          | Some gen ->
+              incr colorings_seeded;
+              (match ce.Snapshot.c_data with
+              | Snapshot.Cr_data r -> Cache.seed_cr cache ~graph_name:ce.Snapshot.c_name ~gen r
+              | Snapshot.Kwl_data (k, r) ->
+                  Cache.seed_kwl cache ~graph_name:ce.Snapshot.c_name ~gen ~k r))
+        (List.rev snap.Snapshot.colorings);
+      let plans_seeded = ref 0 in
+      List.iter
+        (fun (key, src) ->
+          (* Recompile from source; a plan whose recomputed canonical key
+             no longer matches the recorded one was produced by a
+             different compiler and is silently skipped. *)
+          match Cache.seed_plan cache ~src with
+          | Ok key' when key' = key -> incr plans_seeded
+          | Ok _ | Error _ -> ())
+        (List.rev snap.Snapshot.plans);
+      (match (metrics, snap.Snapshot.metrics) with
+      | Some m, Some c -> Metrics.absorb m (counters_of_snapshot c)
+      | _ -> ());
+      let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      Ok
+        {
+          s_graphs = List.length snap.Snapshot.graphs;
+          s_colorings = !colorings_seeded;
+          s_plans = !plans_seeded;
+          s_bytes = bytes;
+          s_saved_at = snap.Snapshot.saved_at;
+        }

@@ -1,0 +1,36 @@
+(** Save/restore between the live server structures (registry, caches,
+    metrics) and {!Glql_store.Snapshot} files.
+
+    Invariants: {!save} exports only colourings whose generation still
+    matches the current registry binding for their graph name; {!restore}
+    validates the whole file first (a malformed snapshot returns [Error]
+    with registry, caches and metrics untouched), then registers the
+    graphs under {e fresh} generations and seeds the colourings under
+    those, so the server's generation-based staleness rules hold across
+    restarts. Plans are recompiled from their saved sources; one whose
+    recomputed canonical key differs from the recorded key is skipped.
+    Both directions run under [store.save] / [store.restore] trace
+    spans (plus per-section spans from the codecs). *)
+
+type summary = {
+  s_graphs : int;
+  s_colorings : int;
+  s_plans : int;  (** on restore: plans seeded with matching canonical keys *)
+  s_bytes : int;  (** snapshot file size in bytes *)
+  s_saved_at : float;  (** Unix time the snapshot was written *)
+}
+
+val save :
+  registry:Registry.t ->
+  cache:Cache.t ->
+  metrics:Metrics.t option ->
+  producer:string ->
+  string ->
+  (summary, string) result
+
+val restore :
+  registry:Registry.t ->
+  cache:Cache.t ->
+  metrics:Metrics.t option ->
+  string ->
+  (summary, string) result

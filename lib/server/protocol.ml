@@ -7,8 +7,9 @@
 (* Wire-format revision. Bump whenever the reply shapes or the command
    set change incompatibly; clients compare it in the HELLO reply.
    v1: initial protocol. v2: EXPLAIN/VERSION commands, TRACE option,
-   protocol_version + stage histograms in STATS. *)
-let protocol_version = 2
+   protocol_version + stage histograms in STATS. v3: SAVE/RESTORE
+   commands and the "restored" section in STATS. *)
+let protocol_version = 3
 
 (* The JSON tree lives in Glql_util.Json so bench, metrics and trace
    output share one printer; the aliased constructors keep P.Obj /
@@ -28,7 +29,10 @@ let ok j = "OK " ^ json_to_string j
 
 let err msg = "ERR " ^ json_to_string (Str msg)
 
-let is_ok line = String.length line >= 2 && String.sub line 0 2 = "OK"
+(* Exactly "OK" or "OK <json>" — a reply like "OKRA" is not a success,
+   and clients exit nonzero on anything else. *)
+let is_ok line =
+  line = "OK" || (String.length line >= 3 && String.sub line 0 3 = "OK ")
 
 type request =
   | Hello
@@ -42,6 +46,8 @@ type request =
   | Wl of string * int option
   | Kwl of string * int
   | Hom of string * int
+  | Save of string option
+  | Restore of string option
   | Stats
   | Quit
   | Shutdown
@@ -131,6 +137,12 @@ let parse_request line =
         | "HOM", [ graph; size ] ->
             Result.map (fun s -> Hom (graph, s)) (int_arg "max-tree-size" size)
         | "HOM", _ -> Error "usage: HOM <graph> <max-tree-size>"
+        | "SAVE", [] -> Ok (Save None)
+        | "SAVE", [ path ] -> Ok (Save (Some path))
+        | "SAVE", _ -> Error "usage: SAVE [path]"
+        | "RESTORE", [] -> Ok (Restore None)
+        | "RESTORE", [ path ] -> Ok (Restore (Some path))
+        | "RESTORE", _ -> Error "usage: RESTORE [path]"
         | "STATS", [] -> Ok Stats
         | "QUIT", [] -> Ok Quit
         | "SHUTDOWN", [] -> Ok Shutdown
@@ -148,6 +160,8 @@ let command_name = function
   | Wl _ -> "WL"
   | Kwl _ -> "KWL"
   | Hom _ -> "HOM"
+  | Save _ -> "SAVE"
+  | Restore _ -> "RESTORE"
   | Stats -> "STATS"
   | Quit -> "QUIT"
   | Shutdown -> "SHUTDOWN"

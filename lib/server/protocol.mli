@@ -16,6 +16,8 @@
     WL <graph> [rounds]
     KWL <graph> <k>
     HOM <graph> <max-tree-size>
+    SAVE [path]
+    RESTORE [path]
     STATS
     QUIT
     SHUTDOWN
@@ -64,6 +66,8 @@ type request =
   | Wl of string * int option  (** graph name, max rounds *)
   | Kwl of string * int  (** graph name, k *)
   | Hom of string * int  (** graph name, max tree size *)
+  | Save of string option  (** snapshot path; defaults to [--snapshot] *)
+  | Restore of string option  (** snapshot path; defaults to [--snapshot] *)
   | Stats
   | Quit
   | Shutdown

@@ -150,8 +150,17 @@ let graph_of_spec ?(max_vertices = default_max_vertices) ?(max_edges = default_m
           | Ok g -> build g rest)
       | [] -> assert false)
 
+(* Canonical form of a spec string: atoms trimmed of surrounding blanks,
+   joined with a bare '+'. The fallback path of [find_entry] caches under
+   this form, so "sbm10 + path3" and "sbm10+path3" share one entry (and
+   one generation, hence one set of colouring-cache keys). *)
+let canonical_spec spec =
+  String.split_on_char '+' (String.trim spec) |> List.map String.trim |> String.concat "+"
+
+type entry = { graph : Graph.t; spec : string; gen : int }
+
 type t = {
-  tbl : (string, Graph.t * int) Hashtbl.t;
+  tbl : (string, entry) Hashtbl.t;
   mutable next_gen : int;
   mutex : Mutex.t;
 }
@@ -170,17 +179,29 @@ let register t ~name ~spec =
       with_lock t (fun () ->
           let gen = t.next_gen in
           t.next_gen <- gen + 1;
-          Hashtbl.replace t.tbl name (g, gen));
+          Hashtbl.replace t.tbl name { graph = g; spec = canonical_spec spec; gen });
       Ok g
 
+(* Bind an already-constructed graph (the snapshot-restore path: the
+   graph was decoded from disk, not built from its spec). *)
+let register_prebuilt t ~name ~spec g =
+  with_lock t (fun () ->
+      let gen = t.next_gen in
+      t.next_gen <- gen + 1;
+      Hashtbl.replace t.tbl name { graph = g; spec; gen };
+      gen)
+
 let find_entry t name =
-  match with_lock t (fun () -> Hashtbl.find_opt t.tbl name) with
-  | Some entry -> Ok entry
+  let lookup key = Hashtbl.find_opt t.tbl key in
+  let canonical = canonical_spec name in
+  match with_lock t (fun () -> match lookup name with Some e -> Some e | None -> lookup canonical) with
+  | Some e -> Ok (e.graph, e.gen)
   | None -> (
       (* Fall back to reading the name itself as a spec, caching the
-         result so repeated queries share one graph (and its colouring
-         cache entries). *)
-      match graph_of_spec name with
+         result under its canonical whitespace-normalised form so
+         spellings of one spec share one graph (and its colouring cache
+         entries). *)
+      match graph_of_spec canonical with
       | Error _ ->
           Error
             (Printf.sprintf "no graph named %S (LOAD one, or use a generator spec)" name)
@@ -189,12 +210,12 @@ let find_entry t name =
             (with_lock t (fun () ->
                  (* Another domain may have registered the name meanwhile;
                     keep its binding so both callers share one generation. *)
-                 match Hashtbl.find_opt t.tbl name with
-                 | Some entry -> entry
+                 match lookup canonical with
+                 | Some e -> (e.graph, e.gen)
                  | None ->
                      let gen = t.next_gen in
                      t.next_gen <- gen + 1;
-                     Hashtbl.replace t.tbl name (g, gen);
+                     Hashtbl.replace t.tbl canonical { graph = g; spec = canonical; gen };
                      (g, gen))))
 
 let find t name = Result.map fst (find_entry t name)
@@ -202,8 +223,13 @@ let find t name = Result.map fst (find_entry t name)
 let list t =
   with_lock t (fun () ->
       Hashtbl.fold
-        (fun name (g, _) acc -> (name, Graph.n_vertices g, Graph.n_edges g) :: acc)
+        (fun name e acc -> (name, Graph.n_vertices e.graph, Graph.n_edges e.graph) :: acc)
         t.tbl [])
   |> List.sort compare
+
+let entries t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name e acc -> (name, e.spec, e.gen, e.graph) :: acc) t.tbl [])
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
 
 let n_graphs t = with_lock t (fun () -> Hashtbl.length t.tbl)

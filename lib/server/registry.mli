@@ -22,6 +22,13 @@ val generator_patterns : string list
 val graph_of_spec :
   ?max_vertices:int -> ?max_edges:int -> string -> (Graph.t, string) result
 
+(** Whitespace-normalised form of a spec: atoms trimmed, joined with a
+    bare ['+'] — so ["sbm10 + path3"] and ["sbm10+path3"] canonicalise
+    identically. The spec-fallback path of {!find_entry} caches under
+    this form, giving every spelling of a spec one shared entry (and one
+    generation). *)
+val canonical_spec : string -> string
+
 (** Thread-safe name → graph registry. *)
 type t
 
@@ -30,6 +37,11 @@ val create : unit -> t
 (** Build [spec] and bind it to [name] (replacing any previous binding
     under a fresh generation). Returns the graph. *)
 val register : t -> name:string -> spec:string -> (Graph.t, string) result
+
+(** Bind an already-constructed graph to [name] under a fresh generation
+    (the snapshot-restore path, where the graph came off disk rather
+    than from its spec). Returns the new generation. *)
+val register_prebuilt : t -> name:string -> spec:string -> Graph.t -> int
 
 (** [find t name] is the registered graph, falling back to interpreting
     [name] itself as a spec (and caching the result under it) — so
@@ -45,5 +57,9 @@ val find_entry : t -> string -> (Graph.t * int, string) result
 
 (** Registered names with vertex/edge counts, sorted by name. *)
 val list : t -> (string * int * int) list
+
+(** Full bindings — (name, spec, generation, graph) — sorted by name;
+    what a snapshot save exports. *)
+val entries : t -> (string * string * int * Graph.t) list
 
 val n_graphs : t -> int

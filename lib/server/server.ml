@@ -42,6 +42,7 @@ type config = {
   request_timeout_s : float;
   max_table_cells : int;
   metrics_file : string option;
+  snapshot_file : string option;
   verbose : bool;
 }
 
@@ -54,8 +55,19 @@ let default_config =
     request_timeout_s = 30.0;
     max_table_cells = 4_000_000;
     metrics_file = None;
+    snapshot_file = None;
     verbose = false;
   }
+
+(* What the last successful RESTORE (or boot-time snapshot load) brought
+   in; surfaced under "restored" in STATS so a warm start is observable. *)
+type restored_info = {
+  r_file : string;
+  r_saved_at : float;
+  r_graphs : int;
+  r_colorings : int;
+  r_plans : int;
+}
 
 type t = {
   config : config;
@@ -63,6 +75,7 @@ type t = {
   cache : Cache.t;
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
+  restored : restored_info option Atomic.t;
 }
 
 let create config =
@@ -74,6 +87,7 @@ let create config =
         ~coloring_capacity:config.coloring_cache_capacity;
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
+    restored = Atomic.make None;
   }
 
 let caches t = t.cache
@@ -82,7 +96,37 @@ let metrics t = t.metrics
 
 let stop t = Atomic.set t.stop_flag true
 
-let version = "0.3"
+let version = "0.4"
+
+let producer = "glqld " ^ version
+
+(* --- snapshot persistence ------------------------------------------------ *)
+
+let snapshot_path t requested =
+  match (requested, t.config.snapshot_file) with
+  | Some path, _ -> Ok path
+  | None, Some path -> Ok path
+  | None, None -> Error "no snapshot path (give one, or start glqld with --snapshot FILE)"
+
+let save_snapshot t path =
+  Result.map
+    (fun (s : Persist.summary) -> (path, s))
+    (Persist.save ~registry:t.registry ~cache:t.cache ~metrics:(Some t.metrics) ~producer path)
+
+let restore_snapshot t path =
+  match Persist.restore ~registry:t.registry ~cache:t.cache ~metrics:(Some t.metrics) path with
+  | Error _ as e -> e
+  | Ok (s : Persist.summary) ->
+      Atomic.set t.restored
+        (Some
+           {
+             r_file = path;
+             r_saved_at = s.Persist.s_saved_at;
+             r_graphs = s.Persist.s_graphs;
+             r_colorings = s.Persist.s_colorings;
+             r_plans = s.Persist.s_plans;
+           });
+      Ok (path, s)
 
 (* --- request handlers --------------------------------------------------- *)
 
@@ -259,6 +303,19 @@ let hom_result t deadline graph_name max_size =
          ("profile", vec_json profile);
        ])
 
+let restored_json t =
+  match Atomic.get t.restored with
+  | None -> P.Null
+  | Some r ->
+      P.Obj
+        [
+          ("file", P.Str r.r_file);
+          ("saved_at", P.Float r.r_saved_at);
+          ("graphs", P.Int r.r_graphs);
+          ("colorings", P.Int r.r_colorings);
+          ("plans", P.Int r.r_plans);
+        ]
+
 let stats_json t =
   let cache_fields = List.map (fun (k, v) -> (k, P.Int v)) (Cache.stats t.cache) in
   Metrics.to_json t.metrics
@@ -268,6 +325,7 @@ let stats_json t =
           ("protocol_version", P.Int P.protocol_version);
           ("graphs_registered", P.Int (Registry.n_graphs t.registry));
           ("pool_domains", P.Int (Pool.size ()));
+          ("restored", restored_json t);
         ])
 
 (* --- EXPLAIN stage summary ----------------------------------------------- *)
@@ -384,6 +442,30 @@ let dispatch t deadline ~sink ~t0 req =
   | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline graph size
+  | P.Save requested ->
+      let* path = snapshot_path t requested in
+      let* path, s = save_snapshot t path in
+      Ok
+        (P.Obj
+           [
+             ("file", P.Str path);
+             ("bytes", P.Int s.Persist.s_bytes);
+             ("graphs", P.Int s.Persist.s_graphs);
+             ("colorings", P.Int s.Persist.s_colorings);
+             ("plans", P.Int s.Persist.s_plans);
+           ])
+  | P.Restore requested ->
+      let* path = snapshot_path t requested in
+      let* path, s = restore_snapshot t path in
+      Ok
+        (P.Obj
+           [
+             ("file", P.Str path);
+             ("saved_at", P.Float s.Persist.s_saved_at);
+             ("graphs", P.Int s.Persist.s_graphs);
+             ("colorings", P.Int s.Persist.s_colorings);
+             ("plans", P.Int s.Persist.s_plans);
+           ])
   | P.Stats -> Ok (stats_json t)
   | P.Quit -> Ok (P.Str "bye")
   | P.Shutdown ->
@@ -505,6 +587,19 @@ let queue_reply t conn s =
   end
 
 let serve t =
+  (* Warm start: restore the snapshot before opening any socket, so the
+     first client already sees the previous life's graphs and caches. A
+     bad or missing snapshot is logged and the server comes up cold —
+     boot must never fail because of yesterday's file. *)
+  (match t.config.snapshot_file with
+  | Some path when Sys.file_exists path -> (
+      match restore_snapshot t path with
+      | Ok (_, s) ->
+          log t "restored snapshot %s (%d graphs, %d colorings, %d plans)" path
+            s.Persist.s_graphs s.Persist.s_colorings s.Persist.s_plans
+      | Error e -> Printf.eprintf "glqld: ignoring snapshot %s: %s\n%!" path e)
+  | Some path -> log t "snapshot %s not present yet; starting cold" path
+  | None -> ());
   let listeners = ref [] in
   (match t.config.socket_path with
   | Some path ->
@@ -651,6 +746,14 @@ let serve t =
   done;
   drain_and_close ();
   List.iter (fun (signal, h) -> try Sys.set_signal signal h with Invalid_argument _ -> ()) prev_handlers;
+  (* Persist alongside the metrics dump, so a SIGTERM'd daemon restarted
+     with the same --snapshot comes back warm. *)
+  (match t.config.snapshot_file with
+  | Some path -> (
+      match save_snapshot t path with
+      | Ok (_, s) -> log t "snapshot written to %s (%d bytes)" path s.Persist.s_bytes
+      | Error e -> Printf.eprintf "glqld: snapshot save failed: %s\n%!" e)
+  | None -> ());
   let served = Metrics.requests t.metrics in
   (match t.config.metrics_file with
   | Some path ->

@@ -15,6 +15,9 @@ type config = {
   request_timeout_s : float;  (** cooperative per-request deadline; 0 = none *)
   max_table_cells : int;  (** reject queries materialising more cells *)
   metrics_file : string option;  (** metrics JSON dumped here on shutdown *)
+  snapshot_file : string option;
+      (** snapshot restored at boot (if present) and written on shutdown;
+          also the default path of the SAVE/RESTORE commands *)
   verbose : bool;
 }
 
@@ -37,6 +40,9 @@ val metrics : t -> Metrics.t
 val stop : t -> unit
 
 (** Run the socket loop until [stop], [SHUTDOWN], SIGINT, or SIGTERM; then
-    drain buffered requests, write the metrics file (if configured), close
-    sockets, and return the number of requests served. *)
+    drain buffered requests, write the snapshot and metrics files (if
+    configured), close sockets, and return the number of requests served.
+    With [snapshot_file] set and the file present, the registry, caches
+    and metrics are restored {e before} the sockets open (a malformed
+    snapshot is logged and ignored — boot never fails on it). *)
 val serve : t -> int

@@ -1,0 +1,276 @@
+(* Snapshot codecs over the section container. Decoding builds the whole
+   value up front — through the validating constructors Graph.of_csr,
+   Cr.of_parts and Kwl.of_parts — and only then returns, so a malformed
+   file yields [Error] and zero observable effect. *)
+
+module Bin_io = Glql_util.Bin_io
+module Trace = Glql_util.Trace
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+module W = Bin_io.Writer
+module R = Bin_io.Reader
+
+type coloring_data = Cr_data of Cr.result | Kwl_data of int * Kwl.result
+
+type graph_entry = { g_name : string; g_spec : string; g_gen : int; g_graph : Graph.t }
+
+type coloring_entry = { c_name : string; c_data : coloring_data }
+
+type metrics_counters = {
+  m_requests : int;
+  m_errors : int;
+  m_bytes_in : int;
+  m_bytes_out : int;
+  m_by_command : (string * int) list;
+}
+
+type t = {
+  producer : string;
+  saved_at : float;
+  graphs : graph_entry list;
+  colorings : coloring_entry list;
+  plans : (string * string) list;
+  metrics : metrics_counters option;
+}
+
+(* Section tags. *)
+let s_meta = "META"
+
+let s_graphs = "GRPH"
+
+let s_colorings = "COLR"
+
+let s_plans = "PLAN"
+
+let s_metrics = "MTRC"
+
+(* Adjacency data is bounded by the registry's spec limits (u32-sized);
+   writing it 4 bytes per entry halves snapshots versus i64. *)
+let w_u32_array w a =
+  W.u32 w (Array.length a);
+  Array.iter (fun v -> W.u32 w v) a
+
+let r_u32_array r =
+  let n = R.u32 r in
+  if R.remaining r < n * 4 then Bin_io.corrupt "truncated u32 array";
+  Array.init n (fun _ -> R.u32 r)
+
+(* --- graph codec --------------------------------------------------------- *)
+
+let w_graph w g =
+  let n = Graph.n_vertices g in
+  let offsets, adjacency = Graph.to_csr g in
+  W.u32 w n;
+  W.u32 w (Graph.label_dim g);
+  w_u32_array w offsets;
+  w_u32_array w adjacency;
+  for v = 0 to n - 1 do
+    Array.iter (fun x -> W.f64 w x) (Graph.label g v)
+  done
+
+let r_graph r =
+  let n = R.u32 r in
+  let label_dim = R.u32 r in
+  let offsets = r_u32_array r in
+  let adjacency = r_u32_array r in
+  if R.remaining r < n * label_dim * 8 then Bin_io.corrupt "truncated label block";
+  let labels = Array.init n (fun _ -> Array.init label_dim (fun _ -> R.f64 r)) in
+  Graph.of_csr ~n ~offsets ~adjacency ~labels
+
+(* --- colouring codec ----------------------------------------------------- *)
+
+(* Colour ids are interner indices; i64 keeps them exact whatever the
+   interner produced. Cache entries are always solo runs, so the codec
+   fixes one graph per entry and stores the full history (CR) or the
+   stable colouring plus round count (k-WL). *)
+let w_coloring w entry =
+  W.str w entry.c_name;
+  match entry.c_data with
+  | Cr_data result ->
+      W.u8 w 0;
+      let history = List.map (function [ c ] -> c | _ -> invalid_arg "joint CR in cache") (Cr.history result) in
+      W.u32 w (List.length history);
+      List.iter (fun colors -> W.int_array w colors) history
+  | Kwl_data (k, result) ->
+      W.u8 w 1;
+      W.u8 w k;
+      W.u32 w (Kwl.rounds result);
+      (match Kwl.stable_colors result with
+      | [ colors ] -> W.int_array w colors
+      | _ -> invalid_arg "joint k-WL in cache")
+
+let r_coloring ~graph_of_name r =
+  let name = R.str r in
+  let g =
+    match graph_of_name name with
+    | Some g -> g
+    | None -> Bin_io.corrupt "colouring references unknown graph %S" name
+  in
+  let data =
+    match R.u8 r with
+    | 0 ->
+        let rounds = R.u32 r in
+        let history = List.init rounds (fun _ -> [ R.int_array r ]) in
+        Cr_data (Cr.of_parts ~graphs:[ g ] ~history)
+    | 1 ->
+        let k = R.u8 r in
+        let rounds = R.u32 r in
+        let stable = R.int_array r in
+        Kwl_data (k, Kwl.of_parts ~k ~variant:Kwl.Folklore ~graphs:[ g ] ~stable:[ stable ] ~rounds)
+    | kind -> Bin_io.corrupt "unknown colouring kind %d" kind
+  in
+  { c_name = name; c_data = data }
+
+(* --- sections ------------------------------------------------------------ *)
+
+let encode_section tag f =
+  Trace.with_span ("store.encode." ^ String.lowercase_ascii tag) @@ fun () ->
+  let w = W.create () in
+  f w;
+  (tag, W.contents w)
+
+let encode_sections snap =
+  let meta =
+    encode_section s_meta (fun w ->
+        W.str w snap.producer;
+        W.f64 w snap.saved_at)
+  in
+  let graphs =
+    encode_section s_graphs (fun w ->
+        W.u32 w (List.length snap.graphs);
+        List.iter
+          (fun e ->
+            W.str w e.g_name;
+            W.str w e.g_spec;
+            W.i64 w e.g_gen;
+            w_graph w e.g_graph)
+          snap.graphs)
+  in
+  let colorings =
+    encode_section s_colorings (fun w ->
+        W.u32 w (List.length snap.colorings);
+        List.iter (fun entry -> w_coloring w entry) snap.colorings)
+  in
+  let plans =
+    encode_section s_plans (fun w ->
+        W.u32 w (List.length snap.plans);
+        List.iter
+          (fun (key, src) ->
+            W.str w key;
+            W.str w src)
+          snap.plans)
+  in
+  let metrics =
+    match snap.metrics with
+    | None -> []
+    | Some m ->
+        [
+          encode_section s_metrics (fun w ->
+              W.i64 w m.m_requests;
+              W.i64 w m.m_errors;
+              W.i64 w m.m_bytes_in;
+              W.i64 w m.m_bytes_out;
+              W.u32 w (List.length m.m_by_command);
+              List.iter
+                (fun (cmd, count) ->
+                  W.str w cmd;
+                  W.i64 w count)
+                m.m_by_command);
+        ]
+  in
+  [ meta; graphs; colorings; plans ] @ metrics
+
+let encode snap = Container.to_string (encode_sections snap)
+
+let decode_section sections tag f ~default =
+  match List.assoc_opt tag sections with
+  | None -> default ()
+  | Some payload ->
+      Trace.with_span ("store.decode." ^ String.lowercase_ascii tag) @@ fun () ->
+      let r = R.of_string payload in
+      let v = f r in
+      R.expect_end r;
+      v
+
+let decode s =
+  match Container.of_string s with
+  | Error _ as e -> e
+  | Ok sections -> (
+      match
+        let producer, saved_at =
+          decode_section sections s_meta
+            ~default:(fun () -> Bin_io.corrupt "missing %s section" s_meta)
+            (fun r ->
+              let producer = R.str r in
+              let saved_at = R.f64 r in
+              (producer, saved_at))
+        in
+        let graphs =
+          decode_section sections s_graphs
+            ~default:(fun () -> Bin_io.corrupt "missing %s section" s_graphs)
+            (fun r ->
+              let count = R.u32 r in
+              List.init count (fun _ ->
+                  let g_name = R.str r in
+                  let g_spec = R.str r in
+                  let g_gen = R.i64 r in
+                  let g_graph = r_graph r in
+                  { g_name; g_spec; g_gen; g_graph }))
+        in
+        let graph_of_name name =
+          Option.map (fun e -> e.g_graph) (List.find_opt (fun e -> e.g_name = name) graphs)
+        in
+        let colorings =
+          decode_section sections s_colorings
+            ~default:(fun () -> [])
+            (fun r ->
+              let count = R.u32 r in
+              List.init count (fun _ -> r_coloring ~graph_of_name r))
+        in
+        let plans =
+          decode_section sections s_plans
+            ~default:(fun () -> [])
+            (fun r ->
+              let count = R.u32 r in
+              List.init count (fun _ ->
+                  let key = R.str r in
+                  let src = R.str r in
+                  (key, src)))
+        in
+        let metrics =
+          decode_section sections s_metrics
+            ~default:(fun () -> None)
+            (fun r ->
+              let m_requests = R.i64 r in
+              let m_errors = R.i64 r in
+              let m_bytes_in = R.i64 r in
+              let m_bytes_out = R.i64 r in
+              let count = R.u32 r in
+              let m_by_command =
+                List.init count (fun _ ->
+                    let cmd = R.str r in
+                    let n = R.i64 r in
+                    (cmd, n))
+              in
+              Some { m_requests; m_errors; m_bytes_in; m_bytes_out; m_by_command })
+        in
+        { producer; saved_at; graphs; colorings; plans; metrics }
+      with
+      | snap -> Ok snap
+      | exception Bin_io.Corrupt msg -> Error msg
+      | exception Invalid_argument msg -> Error ("invalid snapshot data: " ^ msg)
+      | exception Failure msg -> Error ("invalid snapshot data: " ^ msg))
+
+let write_file path snap = Container.write_file path (encode_sections snap)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> decode contents
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": unreadable (concurrent truncation?)")

@@ -1,0 +1,62 @@
+(** Typed snapshots: what a warm [glqld] knows, as pure data with binary
+    codecs over the {!Container} format.
+
+    A snapshot holds the registered graphs (name, spec, generation, and
+    the graph itself in CSR form), the stable WL / k-WL colourings of
+    the server's cache (referenced by graph name, so a restore can rekey
+    them under fresh registry generations), the {e sources} of cached
+    plans keyed by their canonical {!Glql_gel.Normal_form.cache_key}
+    (plans are recompiled on restore — deterministic and microseconds —
+    so compiled closures never hit the disk), and the cumulative metrics
+    counters.
+
+    Encoding/decoding is pure: {!decode} either returns a fully
+    validated snapshot or an [Error]; it never returns partial state and
+    never raises, so callers can mutate live structures only after a
+    decode has succeeded in full. *)
+
+module Graph = Glql_graph.Graph
+module Cr = Glql_wl.Color_refinement
+module Kwl = Glql_wl.Kwl
+
+type coloring_data =
+  | Cr_data of Cr.result  (** full history, so smaller-round requests stay answerable *)
+  | Kwl_data of int * Kwl.result  (** [k] and the stable folklore run *)
+
+type graph_entry = {
+  g_name : string;
+  g_spec : string;  (** canonical generator spec, informational *)
+  g_gen : int;  (** registry generation at save time, informational *)
+  g_graph : Graph.t;
+}
+
+type coloring_entry = {
+  c_name : string;  (** name of the registered graph the colouring belongs to *)
+  c_data : coloring_data;
+}
+
+type metrics_counters = {
+  m_requests : int;
+  m_errors : int;
+  m_bytes_in : int;
+  m_bytes_out : int;
+  m_by_command : (string * int) list;
+}
+
+type t = {
+  producer : string;  (** e.g. ["glqld 0.4"] *)
+  saved_at : float;  (** Unix time of the save *)
+  graphs : graph_entry list;
+  colorings : coloring_entry list;
+  plans : (string * string) list;  (** (canonical cache key, GEL source) *)
+  metrics : metrics_counters option;
+}
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+(** Atomic write; returns the byte size of the snapshot file. *)
+val write_file : string -> t -> (int, string) result
+
+val read_file : string -> (t, string) result

@@ -110,3 +110,10 @@ let keys_mru_first t =
     | Some n -> walk (n.nkey :: acc) n.next
   in
   walk [] t.first
+
+let bindings_mru_first t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk ((n.nkey, n.nvalue) :: acc) n.next
+  in
+  walk [] t.first

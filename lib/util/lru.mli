@@ -46,3 +46,7 @@ val clear : ('k, 'v) t -> unit
 
 (** Keys from most- to least-recently used (for tests and introspection). *)
 val keys_mru_first : ('k, 'v) t -> 'k list
+
+(** Bindings from most- to least-recently used, touching neither recency
+    nor the counters (the snapshot store exports caches through this). *)
+val bindings_mru_first : ('k, 'v) t -> ('k * 'v) list

@@ -130,6 +130,29 @@ let vertex_partition graphs =
 (* Number of refinement rounds needed to stabilise one graph. *)
 let stable_round g = (run g).rounds
 
+(* Rebuild a result from its persisted parts (the snapshot store's
+   decode path). The stable colouring is the last round of the history,
+   so only the history travels; shape mismatches raise so a corrupt
+   snapshot cannot produce a result the accessors would crash on. *)
+let of_parts ~graphs ~history =
+  (match history with
+  | [] -> invalid_arg "Color_refinement.of_parts: empty history"
+  | _ -> ());
+  let sizes = List.map Graph.n_vertices graphs in
+  List.iter
+    (fun round ->
+      if List.length round <> List.length graphs then
+        invalid_arg "Color_refinement.of_parts: round arity mismatch";
+      List.iter2
+        (fun colors n ->
+          if Array.length colors <> n then
+            invalid_arg "Color_refinement.of_parts: colour array length mismatch")
+        round sizes)
+    history;
+  let rounds = List.length history - 1 in
+  let stable = List.nth history rounds in
+  { graphs; history; stable; rounds }
+
 (* Reusable-handle accessors: a cached [result] can answer any
    smaller-round request from its history without recomputation. *)
 let n_classes result = joint_color_count result.stable

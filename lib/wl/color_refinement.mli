@@ -46,6 +46,12 @@ val vertex_partition : Graph.t list -> Partition.t
 (** Rounds to stabilise a single graph. *)
 val stable_round : Graph.t -> int
 
+(** Rebuild a result from persisted parts: the graphs of the joint run
+    and the full per-round history (round 0 first; the last round is the
+    stable colouring). Validates shapes and raises [Invalid_argument] on
+    mismatch — the snapshot store's decode path. *)
+val of_parts : graphs:Graph.t list -> history:int array list list -> result
+
 (** Number of colour classes in the stable joint partition. *)
 val n_classes : result -> int
 

@@ -161,6 +161,22 @@ let run_joint ?max_rounds ~k ~variant graphs =
 
 let stable_colors result = result.stable
 
+let graphs result = result.graphs
+
+(* Rebuild a result from its persisted parts (snapshot decode); shape
+   mismatches raise so accessors never see an inconsistent result. *)
+let of_parts ~k ~variant ~graphs ~stable ~rounds =
+  if k < 1 then invalid_arg "Kwl.of_parts: k must be >= 1";
+  if rounds < 0 then invalid_arg "Kwl.of_parts: negative round count";
+  if List.length stable <> List.length graphs then
+    invalid_arg "Kwl.of_parts: stable arity mismatch";
+  List.iter2
+    (fun colors g ->
+      if Array.length colors <> tuple_count (Graph.n_vertices g) k then
+        invalid_arg "Kwl.of_parts: colour array is not |V|^k")
+    stable graphs;
+  { k; variant; graphs; stable; rounds }
+
 let rounds result = result.rounds
 
 let variant result = result.variant

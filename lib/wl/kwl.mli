@@ -15,6 +15,15 @@ val run_joint : ?max_rounds:int -> k:int -> variant:variant -> Graph.t list -> r
 (** Stable tuple-colour array per graph (index = row-major tuple index). *)
 val stable_colors : result -> int array list
 
+(** The graphs of the joint run, in input order. *)
+val graphs : result -> Graph.t list
+
+(** Rebuild a result from persisted parts; validates that each colour
+    array has [|V|^k] entries and raises [Invalid_argument] on mismatch —
+    the snapshot store's decode path. *)
+val of_parts :
+  k:int -> variant:variant -> graphs:Graph.t list -> stable:int array list -> rounds:int -> result
+
 val rounds : result -> int
 
 (** Flavour the run used. *)

@@ -75,18 +75,23 @@ let () =
   Unix.mkdir dir 0o700;
   let sock = Filename.concat dir "glqld.sock" in
   let metrics_file = Filename.concat dir "metrics.json" in
+  let snapshot_file = Filename.concat dir "glqld.glqs" in
   let out i = Filename.concat dir (Printf.sprintf "out%d.txt" i) in
+
+  let wait_for_socket () =
+    let deadline = Unix.gettimeofday () +. 15.0 in
+    while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.05)
+    done
+  in
 
   (* Start the daemon and wait for its socket to appear. *)
   let daemon =
     spawn glqld
-      [ "--socket"; sock; "--metrics-file"; metrics_file ]
+      [ "--socket"; sock; "--metrics-file"; metrics_file; "--snapshot"; snapshot_file ]
       ~stdout_file:(Filename.concat dir "daemon.out")
   in
-  let deadline = Unix.gettimeofday () +. 15.0 in
-  while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
-    ignore (Unix.select [] [] [] 0.05)
-  done;
+  wait_for_socket ();
   check "daemon socket appears" (Sys.file_exists sock);
 
   let run_client ?(n = 0) args =
@@ -211,7 +216,32 @@ let () =
   check "TRACE reply carries spans"
     (contains ~needle:"\"trace\":[" traced && contains ~needle:"\"name\":\"request\"" traced);
 
-  (* SIGTERM: clean exit, socket unlinked, metrics dumped. *)
+  (* A server-side error makes the client exit nonzero, with the ERR
+     reply on stdout. *)
+  let err_code, err_reply = run_client ~n:6 [ "QUERY"; "nosuchgraph"; src ] in
+  check "client exits nonzero on ERR reply" (err_code = Some 1);
+  check "ERR reply printed"
+    (String.length err_reply >= 3 && String.sub (String.trim err_reply) 0 3 = "ERR");
+
+  (* Colour the graph so the snapshot carries a colouring too. *)
+  let _, wl_warm = run_client ~n:7 [ "WL"; "g" ] in
+  check "WL replies ok" (P.is_ok (String.trim wl_warm));
+  let signature_of reply =
+    let key = "\"signature\":\"" in
+    let kl = String.length key and n = String.length reply in
+    let rec find i =
+      if i + kl > n then ""
+      else if String.sub reply i kl = key then (
+        match String.index_from_opt reply (i + kl) '"' with
+        | Some stop -> String.sub reply (i + kl) (stop - i - kl)
+        | None -> "")
+      else find (i + 1)
+    in
+    find 0
+  in
+
+  (* SIGTERM: clean exit, socket unlinked, metrics dumped, snapshot
+     written (the daemon was started with --snapshot). *)
   Unix.kill daemon Sys.sigterm;
   let daemon_code = wait_exit daemon in
   check "SIGTERM exits cleanly" (daemon_code = Some 0);
@@ -221,6 +251,36 @@ let () =
   check "metrics count the requests"
     (match json_int_field metrics "requests" with Some r -> r >= 4 | None -> false);
   check "metrics include cache stats" (contains ~needle:"\"plan_hits\"" metrics);
+  check "snapshot written on shutdown" (Sys.file_exists snapshot_file);
+
+  (* Warm restart: a new daemon restoring the snapshot must answer the
+     same query from its plan cache and the same WL request from its
+     colouring cache, with identical results and no recomputation. *)
+  let metrics_file2 = Filename.concat dir "metrics2.json" in
+  let daemon2 =
+    spawn glqld
+      [ "--socket"; sock; "--metrics-file"; metrics_file2; "--snapshot"; snapshot_file ]
+      ~stdout_file:(Filename.concat dir "daemon2.out")
+  in
+  wait_for_socket ();
+  check "restarted daemon socket appears" (Sys.file_exists sock);
+  let warm_code, warm_reply = run_client ~n:8 [ "QUERY"; "g"; src ] in
+  check "restored graph answers without a LOAD" (warm_code = Some 0);
+  check "restored query is a plan-cache hit" (contains ~needle:"\"plan_cache\":\"hit\"" warm_reply);
+  check "restored query values match the first life"
+    (contains ~needle:("\"values\":" ^ expected) warm_reply);
+  let _, wl_restored = run_client ~n:9 [ "WL"; "g" ] in
+  check "restored WL is a coloring-cache hit"
+    (contains ~needle:"\"coloring_cache\":\"hit\"" wl_restored);
+  check "restored WL signature identical"
+    (signature_of wl_warm <> "" && signature_of wl_warm = signature_of wl_restored);
+  let _, stats2 = run_client ~n:10 [ "STATS" ] in
+  check "restarted STATS reports the restored section"
+    (contains ~needle:"\"restored\":{" stats2 && contains ~needle:snapshot_file stats2);
+  check "restarted STATS counts the restored graph"
+    (match json_int_field stats2 "graphs_registered" with Some g -> g >= 1 | None -> false);
+  Unix.kill daemon2 Sys.sigterm;
+  check "restarted daemon exits cleanly" (wait_exit daemon2 = Some 0);
 
   (* Tidy up the scratch directory. *)
   Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) (Sys.readdir dir);

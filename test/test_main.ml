@@ -19,5 +19,6 @@ let () =
       Test_properties.suite;
       Test_parser.suite;
       Test_server.suite;
+      Test_store.suite;
       Test_trace.suite;
     ]

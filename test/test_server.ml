@@ -445,6 +445,147 @@ let test_metrics_ring_wrap () =
   check_bool "p99 after wrap lands in the overwritten half" true
     (Float.abs (p99 -. 1000.0) < 1e-9)
 
+(* --- persistence ---------------------------------------------------------- *)
+
+let test_registry_canonical_spec () =
+  Alcotest.(check string) "whitespace collapsed" "cycle3+path4"
+    (Registry.canonical_spec "  cycle3 +  path4 ");
+  Alcotest.(check string) "already canonical" "petersen" (Registry.canonical_spec "petersen");
+  (* The fallback path caches all spellings of one spec under one entry,
+     sharing one generation (hence one set of colouring-cache keys). *)
+  let r = Registry.create () in
+  let gen name =
+    match Registry.find_entry r name with
+    | Ok (_, gen) -> gen
+    | Error e -> Alcotest.failf "find_entry %s failed: %s" name e
+  in
+  let g0 = gen "cycle3+path4" in
+  check_int "one entry for the spec" 1 (Registry.n_graphs r);
+  check_int "spaced spelling shares the generation" g0 (gen "cycle3 + path4");
+  check_int "still one entry" 1 (Registry.n_graphs r)
+
+let with_temp_snapshot f =
+  let path = Filename.temp_file "glql_server_test" ".glqs" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_save_restore_roundtrip () =
+  with_temp_snapshot @@ fun path ->
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let src = "agg_sum{x2}([1] | E(x1,x2))" in
+  let warm_query = Server.handle_line t (Printf.sprintf "QUERY g '%s'" src) in
+  let warm_wl = Server.handle_line t "WL g" in
+  ignore (Server.handle_line t "KWL g 2");
+  check_bool "SAVE without a path is an error (no --snapshot)" false
+    (P.is_ok (Server.handle_line t "SAVE"));
+  let save = Server.handle_line t (Printf.sprintf "SAVE %s" path) in
+  check_bool "SAVE ok" true (P.is_ok save);
+  check_bool "SAVE reports one graph" true (contains ~needle:"\"graphs\":1" save);
+  check_bool "SAVE reports two colorings" true (contains ~needle:"\"colorings\":2" save);
+  check_bool "SAVE reports one plan" true (contains ~needle:"\"plans\":1" save);
+  (* A fresh server restored from the file answers warm: same values,
+     same signature, plan and colouring caches hit, no recomputation. *)
+  let t2 = make_server () in
+  let cold_stats = Server.handle_line t2 "STATS" in
+  check_bool "cold server reports restored:null" true
+    (contains ~needle:"\"restored\":null" cold_stats);
+  let restore = Server.handle_line t2 (Printf.sprintf "RESTORE %s" path) in
+  check_bool "RESTORE ok" true (P.is_ok restore);
+  let query2 = Server.handle_line t2 (Printf.sprintf "QUERY g '%s'" src) in
+  check_bool "restored query is a plan hit" true
+    (contains ~needle:"\"plan_cache\":\"hit\"" query2);
+  let wl2 = Server.handle_line t2 "WL g" in
+  check_bool "restored wl is a coloring hit" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" wl2);
+  check_bool "restored kwl is a coloring hit" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" (Server.handle_line t2 "KWL g 2"));
+  let values_of reply =
+    match String.index_opt reply '{' with
+    | Some i ->
+        let tail = String.sub reply i (String.length reply - i) in
+        let key = "\"values\":" in
+        let rec find j =
+          if j + String.length key > String.length tail then ""
+          else if String.sub tail j (String.length key) = key then
+            String.sub tail j (String.length tail - j)
+          else find (j + 1)
+        in
+        find 0
+    | None -> ""
+  in
+  Alcotest.(check string) "identical query values" (values_of warm_query) (values_of query2);
+  let sig_of reply =
+    match float_after "n" reply with
+    | _ -> (
+        let key = "\"signature\":\"" in
+        let kl = String.length key and n = String.length reply in
+        let rec find i =
+          if i + kl > n then ""
+          else if String.sub reply i kl = key then
+            let stop = String.index_from reply (i + kl) '"' in
+            String.sub reply (i + kl) (stop - i - kl)
+          else find (i + 1)
+        in
+        find 0)
+  in
+  Alcotest.(check string) "identical wl signature" (sig_of warm_wl) (sig_of wl2);
+  let stats = Server.handle_line t2 "STATS" in
+  check_bool "stats reports the restored section" true (contains ~needle:"\"restored\":{" stats);
+  check_bool "restored section names the file" true (contains ~needle:path stats)
+
+let test_restore_malformed_leaves_state () =
+  with_temp_snapshot @@ fun path ->
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD keepme petersen");
+  ignore (Server.handle_line t "WL keepme");
+  let cache_before = Cache.stats (Server.caches t) in
+  let try_restore bytes =
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    Server.handle_line t (Printf.sprintf "RESTORE %s" path)
+  in
+  List.iter
+    (fun (label, bytes) ->
+      let reply = try_restore bytes in
+      check_bool (label ^ " rejected") false (P.is_ok reply);
+      (* Registry and caches are untouched by a failed restore. *)
+      let stats = Server.handle_line t "STATS" in
+      check_bool (label ^ ": graph count unchanged") true
+        (contains ~needle:"\"graphs_registered\":1" stats);
+      check_int
+        (label ^ ": coloring entries unchanged")
+        (List.assoc "coloring_entries" cache_before)
+        (List.assoc "coloring_entries" (Cache.stats (Server.caches t)));
+      check_bool (label ^ ": still cold") true (contains ~needle:"\"restored\":null" stats))
+    [
+      ("empty file", "");
+      ("bad magic", "JUNKJUNKJUNKJUNK");
+      ("truncated container", String.sub (Glql_store.Container.to_string [ ("META", "x") ]) 0 10);
+    ];
+  check_bool "missing file rejected" false
+    (P.is_ok (Server.handle_line t "RESTORE /nonexistent/snap.glqs"))
+
+let test_restore_then_reload_stays_fresh () =
+  with_temp_snapshot @@ fun path ->
+  (* Colourings restored from a snapshot must still be invalidated by a
+     LOAD that replaces the graph: restore rekeys under fresh
+     generations, and a re-LOAD bumps past them. *)
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g cycle5");
+  ignore (Server.handle_line t "WL g");
+  ignore (Server.handle_line t (Printf.sprintf "SAVE %s" path));
+  let t2 = make_server () in
+  ignore (Server.handle_line t2 (Printf.sprintf "RESTORE %s" path));
+  check_bool "restored coloring serves warm" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" (Server.handle_line t2 "WL g"));
+  ignore (Server.handle_line t2 "LOAD g path4");
+  let after = Server.handle_line t2 "WL g" in
+  check_bool "reload after restore recomputes" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" after);
+  check_bool "reload after restore serves the new graph" true (contains ~needle:"\"n\":4" after)
+
 let test_cache_clear_resets_entries () =
   let t = make_server () in
   ignore (Server.handle_line t "QUERY petersen 'agg_sum{x2}([1] | E(x1,x2))'");
@@ -475,6 +616,7 @@ let suite =
       case "registry find and register" test_registry_find_caches;
       case "registry spec size limits" test_registry_spec_limits;
       case "registry generations" test_registry_generations;
+      case "registry canonical spec whitespace" test_registry_canonical_spec;
       case "handle_line: query flow and plan cache" test_handle_line_flow;
       case "handle_line: coloring cache" test_handle_line_wl_cache;
       case "handle_line: reload serves fresh coloring" test_reload_serves_fresh_coloring;
@@ -484,5 +626,8 @@ let suite =
       case "handle_line: TRACE option" test_handle_line_trace_option;
       case "protocol version reporting" test_protocol_version_reporting;
       case "metrics ring wrap percentiles" test_metrics_ring_wrap;
+      case "persistence: SAVE/RESTORE round trip" test_save_restore_roundtrip;
+      case "persistence: malformed snapshot leaves state" test_restore_malformed_leaves_state;
+      case "persistence: reload after restore stays fresh" test_restore_then_reload_stays_fresh;
       case "cache clear" test_cache_clear_resets_entries;
     ] )
