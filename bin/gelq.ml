@@ -99,7 +99,7 @@ let run query graph_name =
    structures glqld persists. *)
 let run_cached ~load ~save query graph_name =
   let registry = Registry.create () in
-  let cache = Cache.create ~plan_capacity:64 ~coloring_capacity:16 in
+  let cache = Cache.create ~plan_capacity:64 ~coloring_capacity:16 () in
   (match load with
   | None -> ()
   | Some path -> (

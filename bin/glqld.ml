@@ -14,8 +14,13 @@ let () =
   let tcp = ref 0 in
   let plan_cache = ref Server.default_config.Server.plan_cache_capacity in
   let coloring_cache = ref Server.default_config.Server.coloring_cache_capacity in
+  let plan_cache_bytes = ref Server.default_config.Server.plan_cache_bytes in
+  let coloring_cache_bytes = ref Server.default_config.Server.coloring_cache_bytes in
   let timeout = ref Server.default_config.Server.request_timeout_s in
   let max_cells = ref Server.default_config.Server.max_table_cells in
+  let max_conns = ref Server.default_config.Server.max_connections in
+  let max_line_bytes = ref Server.default_config.Server.max_line_bytes in
+  let max_inbuf = ref Server.default_config.Server.max_inbuf_bytes in
   let metrics_file = ref "" in
   let snapshot_file = ref "" in
   let verbose = ref false in
@@ -28,10 +33,25 @@ let () =
       ( "--coloring-cache",
         Arg.Set_int coloring_cache,
         "N per-graph colouring LRU capacity (default 64)" );
+      ( "--plan-cache-bytes",
+        Arg.Set_int plan_cache_bytes,
+        "N plan-cache byte budget, 0 disables (default 32 MiB)" );
+      ( "--coloring-cache-bytes",
+        Arg.Set_int coloring_cache_bytes,
+        "N colouring-cache byte budget, 0 disables (default 256 MiB)" );
       ( "--timeout",
         Arg.Set_float timeout,
         "SECONDS cooperative per-request deadline, 0 disables (default 30)" );
       ("--max-cells", Arg.Set_int max_cells, "N reject queries materialising more table cells");
+      ( "--max-conns",
+        Arg.Set_int max_conns,
+        "N refuse connections beyond this many concurrent clients (default 256)" );
+      ( "--max-line-bytes",
+        Arg.Set_int max_line_bytes,
+        "N drop clients whose request line exceeds N bytes, 0 disables (default 1 MiB)" );
+      ( "--max-inbuf",
+        Arg.Set_int max_inbuf,
+        "N drop clients buffering N bytes without a newline, 0 disables (default 8 MiB)" );
       ("--metrics-file", Arg.Set_string metrics_file, "PATH dump metrics JSON here on shutdown");
       ( "--snapshot",
         Arg.Set_string snapshot_file,
@@ -49,8 +69,13 @@ let () =
       tcp_port = (if !tcp > 0 then Some !tcp else None);
       plan_cache_capacity = max 1 !plan_cache;
       coloring_cache_capacity = max 1 !coloring_cache;
+      plan_cache_bytes = max 0 !plan_cache_bytes;
+      coloring_cache_bytes = max 0 !coloring_cache_bytes;
       request_timeout_s = !timeout;
       max_table_cells = max 1 !max_cells;
+      max_connections = max 1 !max_conns;
+      max_line_bytes = max 0 !max_line_bytes;
+      max_inbuf_bytes = max 0 !max_inbuf;
       metrics_file = (if !metrics_file = "" then None else Some !metrics_file);
       snapshot_file = (if !snapshot_file = "" then None else Some !snapshot_file);
       verbose = !verbose;

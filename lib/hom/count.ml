@@ -147,11 +147,20 @@ let rooted_hom_vector_any pattern ~root g =
    embedding" view of slide 27/72.  One pure count per pattern, run on
    the domain pool; entry order follows the pattern list, so the result
    is identical for every pool size. *)
-let profile patterns g =
+let profile ?(deadline = None) patterns g =
   Glql_util.Trace.with_span
     ~args:[ ("patterns", string_of_int (List.length patterns)) ]
     "hom.profile"
-  @@ fun () -> Pool.parallel_map_array (fun p -> hom p g) (Array.of_list patterns)
+  @@ fun () ->
+  (* The per-pattern deadline check makes a request timeout bound the
+     profile's wall time: the pool records the raised Deadline_exceeded
+     and re-raises it in the caller after the remaining (cheap, also
+     cancelled) patterns drain. *)
+  Pool.parallel_map_array
+    (fun p ->
+      Glql_util.Clock.check deadline;
+      hom p g)
+    (Array.of_list patterns)
 
 (* Are G and H indistinguishable by hom counts from all the patterns?
    Both profiles are counted in one parallel sweep over the patterns. *)

@@ -42,8 +42,11 @@ val triangles_at : Graph.t -> float array
     pinned backtracking otherwise). *)
 val rooted_hom_vector_any : Graph.t -> root:int -> Graph.t -> float array
 
-(** Hom-count profile of [g] over a pattern list. *)
-val profile : Graph.t list -> Graph.t -> float array
+(** Hom-count profile of [g] over a pattern list. [deadline]
+    ({!Glql_util.Clock} monotonic deadline) is checked before each
+    pattern's count; when past, the profile aborts by raising
+    [Glql_util.Clock.Deadline_exceeded]. *)
+val profile : ?deadline:int64 option -> Graph.t list -> Graph.t -> float array
 
 (** Equal hom profiles on all given patterns? *)
 val equal_profiles : Graph.t list -> Graph.t -> Graph.t -> bool

@@ -29,12 +29,30 @@ type t = {
   mutex : Mutex.t;
 }
 
-let create ~plan_capacity ~coloring_capacity =
+let create ?(plan_bytes = 0) ?(coloring_bytes = 0) ~plan_capacity ~coloring_capacity () =
   {
-    plans = Lru.create ~capacity:plan_capacity;
-    colorings = Lru.create ~capacity:coloring_capacity;
+    plans = Lru.create ~max_bytes:plan_bytes ~capacity:plan_capacity ();
+    colorings = Lru.create ~max_bytes:coloring_bytes ~capacity:coloring_capacity ();
     mutex = Mutex.create ();
   }
+
+(* Size estimates for the byte budgets. These are deliberately coarse —
+   upper-bound-ish heap footprints, not exact word counts — because the
+   budgets exist to keep eviction proportional to memory, not to meter
+   allocations. Plans are dominated by their strings (the expression tree
+   is a small multiple of the source); colourings by their int arrays
+   (8 bytes a word, plus per-array overhead). *)
+
+let plan_cost (p : plan) = 256 + String.length p.key + (16 * String.length p.src)
+
+let int_array_cost a = 64 + (8 * Array.length a)
+
+let coloring_cost = function
+  | C_cr r ->
+      List.fold_left
+        (fun acc round -> List.fold_left (fun acc a -> acc + int_array_cost a) acc round)
+        256 (Cr.history r)
+  | C_kwl r -> List.fold_left (fun acc a -> acc + int_array_cost a) 256 (Kwl.stable_colors r)
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -67,34 +85,39 @@ let plan t src =
               match compile key src e with
               | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
               | p ->
-                  Lru.put t.plans key p;
+                  Lru.put ~bytes:(plan_cost p) t.plans key p;
                   Ok (p, `Miss))))
 
+(* A compute that raises (notably Clock.Deadline_exceeded from the
+   cooperative kernel checks) propagates out of with_lock's Fun.protect:
+   the mutex is released and no partial entry is cached. *)
 let coloring_entry t key compute =
   with_lock t (fun () ->
       match Lru.get t.colorings key with
       | Some c -> (c, `Hit)
       | None ->
           let c = compute () in
-          Lru.put t.colorings key c;
+          Lru.put ~bytes:(coloring_cost c) t.colorings key c;
           (c, `Miss))
 
 (* Colouring keys embed the registry generation: a LOAD that replaces a
    name bumps the generation, so entries computed on the old graph are
    unreachable (and age out of the LRU) rather than served stale. *)
 
-let cr t ~graph_name ~gen g =
+let cr t ~graph_name ~gen ?(deadline = None) g =
   match
-    coloring_entry t (Printf.sprintf "cr:%d:%s" gen graph_name) (fun () -> C_cr (Cr.run g))
+    coloring_entry t
+      (Printf.sprintf "cr:%d:%s" gen graph_name)
+      (fun () -> C_cr (Cr.run ~deadline g))
   with
   | C_cr r, hit -> (r, hit)
   | C_kwl _, _ -> assert false (* "cr:" keys only ever hold C_cr *)
 
-let kwl t ~graph_name ~gen ~k g =
+let kwl t ~graph_name ~gen ~k ?(deadline = None) g =
   match
     coloring_entry t
       (Printf.sprintf "kwl:%d:%d:%s" k gen graph_name)
-      (fun () -> C_kwl (Kwl.run_joint ~k ~variant:Kwl.Folklore [ g ]))
+      (fun () -> C_kwl (Kwl.run_joint ~deadline ~k ~variant:Kwl.Folklore [ g ]))
   with
   | C_kwl r, hit -> (r, hit)
   | C_cr _, _ -> assert false
@@ -159,11 +182,12 @@ let seed_plan t ~src =
       | exception Expr.Type_error msg -> Error ("type error: " ^ msg)
       | p ->
           with_lock t (fun () ->
-              if not (Lru.mem t.plans key) then Lru.put t.plans key p);
+              if not (Lru.mem t.plans key) then Lru.put ~bytes:(plan_cost p) t.plans key p);
           Ok key)
 
 let seed_coloring t key c =
-  with_lock t (fun () -> if not (Lru.mem t.colorings key) then Lru.put t.colorings key c)
+  with_lock t (fun () ->
+      if not (Lru.mem t.colorings key) then Lru.put ~bytes:(coloring_cost c) t.colorings key c)
 
 let seed_cr t ~graph_name ~gen result =
   seed_coloring t (Printf.sprintf "cr:%d:%s" gen graph_name) (C_cr result)
@@ -179,11 +203,15 @@ let stats t =
         ("plan_hits", Lru.hits t.plans);
         ("plan_misses", Lru.misses t.plans);
         ("plan_evictions", Lru.evictions t.plans);
+        ("plan_bytes", Lru.bytes_used t.plans);
+        ("plan_byte_budget", Lru.max_bytes t.plans);
         ("coloring_entries", Lru.length t.colorings);
         ("coloring_capacity", Lru.capacity t.colorings);
         ("coloring_hits", Lru.hits t.colorings);
         ("coloring_misses", Lru.misses t.colorings);
         ("coloring_evictions", Lru.evictions t.colorings);
+        ("coloring_bytes", Lru.bytes_used t.colorings);
+        ("coloring_byte_budget", Lru.max_bytes t.colorings);
       ])
 
 let clear t =

@@ -32,20 +32,30 @@ type plan = {
 
 type t
 
-val create : plan_capacity:int -> coloring_capacity:int -> t
+(** [plan_bytes] / [coloring_bytes] add byte budgets on top of the entry
+    capacities ([0] = none): entries carry coarse heap-size estimates
+    and the LRU evicts by memory once a budget is exceeded. *)
+val create :
+  ?plan_bytes:int -> ?coloring_bytes:int -> plan_capacity:int -> coloring_capacity:int -> unit -> t
 
 (** Parse, key, and compile (or fetch) the plan for a GEL source string.
     [`Hit] means the plan cache already held the canonical key. *)
 val plan : t -> string -> (plan * [ `Hit | `Miss ], string) result
 
 (** Stable colour refinement of the named graph, cached per
-    (name, registry generation) — see {!Registry.find_entry}. *)
-val cr : t -> graph_name:string -> gen:int -> Graph.t -> Cr.result * [ `Hit | `Miss ]
+    (name, registry generation) — see {!Registry.find_entry}.
+    [deadline] is threaded into the kernel on a miss; a cancelled
+    compute raises [Glql_util.Clock.Deadline_exceeded] out of the
+    lookup with the lock released and nothing cached. *)
+val cr :
+  t -> graph_name:string -> gen:int -> ?deadline:int64 option -> Graph.t ->
+  Cr.result * [ `Hit | `Miss ]
 
 (** Stable [k]-WL (folklore) of the named graph, cached per
-    (name, generation, k). *)
+    (name, generation, k). Deadline semantics as in {!cr}. *)
 val kwl :
-  t -> graph_name:string -> gen:int -> k:int -> Graph.t -> Kwl.result * [ `Hit | `Miss ]
+  t -> graph_name:string -> gen:int -> k:int -> ?deadline:int64 option -> Graph.t ->
+  Kwl.result * [ `Hit | `Miss ]
 
 (** {2 Snapshot export / seeding}
 
@@ -70,7 +80,8 @@ val seed_cr : t -> graph_name:string -> gen:int -> Cr.result -> unit
 
 val seed_kwl : t -> graph_name:string -> gen:int -> k:int -> Kwl.result -> unit
 
-(** Counter snapshot: plan/coloring hits, misses, evictions, sizes. *)
+(** Counter snapshot: plan/coloring hits, misses, evictions, sizes, and
+    byte gauges ([*_bytes] used vs [*_byte_budget]). *)
 val stats : t -> (string * int) list
 
 (** Empty both caches (counters survive); used by the cold-cache bench. *)

@@ -1,0 +1,84 @@
+(* Incremental newline framing for one connection.
+
+   Replaces the old per-chunk [Buffer.contents]-and-rescan approach,
+   which re-examined the whole buffer on every read — O(n^2) for a
+   client pipelining n bytes of requests. Here a [scanned] offset
+   records how far the buffered bytes have already been searched for
+   '\n' (invariant: bytes [0, scanned) contain none), so each byte is
+   scanned exactly once and complete lines are copied out exactly once.
+
+   The same module enforces the per-connection input limits: a cap on a
+   single line's length (a request that long is never legitimate) and a
+   cap on the bytes buffered without any newline at all (the slow-loris
+   flood). Once a limit trips the buffer is poisoned — every further
+   feed reports the same error — and the server drops the peer. *)
+
+type error =
+  | Line_too_long of int  (** a single request line exceeded this many bytes *)
+  | Buffer_overflow of int  (** buffered bytes without a newline exceeded this *)
+
+type t = {
+  buf : Buffer.t;
+  mutable scanned : int;  (* bytes [0, scanned) are known '\n'-free *)
+  max_line : int;  (* 0 = unlimited *)
+  max_bytes : int;  (* 0 = unlimited *)
+  mutable failed : error option;
+}
+
+let create ?(max_line_bytes = 0) ?(max_buf_bytes = 0) () =
+  {
+    buf = Buffer.create 256;
+    scanned = 0;
+    max_line = max_line_bytes;
+    max_bytes = max_buf_bytes;
+    failed = None;
+  }
+
+let pending_bytes t = Buffer.length t.buf
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let fail t e =
+  t.failed <- Some e;
+  Error e
+
+(* Limit checks on the residue after extraction: [partial] is the byte
+   count still buffered (all of it one incomplete line). Checking after
+   extraction matters — a fast pipelining client may legitimately
+   deliver a chunk whose *gross* size exceeds the caps, as long as its
+   complete lines fit. *)
+let check_partial t partial =
+  if t.max_bytes > 0 && partial > t.max_bytes then fail t (Buffer_overflow t.max_bytes)
+  else if t.max_line > 0 && partial > t.max_line then fail t (Line_too_long t.max_line)
+  else Ok ()
+
+let feed t bytes ~off ~len =
+  match t.failed with
+  | Some e -> Error e
+  | None ->
+      Buffer.add_subbytes t.buf bytes off len;
+      let total = Buffer.length t.buf in
+      (* Only the new region [scanned, total) can hold a newline. *)
+      let last = ref (-1) in
+      for i = total - 1 downto t.scanned do
+        if !last < 0 && Buffer.nth t.buf i = '\n' then last := i
+      done;
+      if !last < 0 then begin
+        t.scanned <- total;
+        Result.map (fun () -> []) (check_partial t total)
+      end
+      else begin
+        let head = Buffer.sub t.buf 0 !last in
+        let tail = Buffer.sub t.buf (!last + 1) (total - !last - 1) in
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf tail;
+        t.scanned <- String.length tail;
+        let lines = List.map strip_cr (String.split_on_char '\n' head) in
+        if t.max_line > 0 && List.exists (fun l -> String.length l > t.max_line) lines then
+          fail t (Line_too_long t.max_line)
+        else Result.map (fun () -> lines) (check_partial t (String.length tail))
+      end
+
+let feed_string t s = feed t (Bytes.of_string s) ~off:0 ~len:(String.length s)

@@ -1,0 +1,32 @@
+(** Incremental newline framing for one connection, with input limits.
+
+    Bytes are fed in as they arrive from the socket; complete lines come
+    back out exactly once, with a trailing ['\r'] stripped (CRLF
+    clients). A scan offset guarantees each byte is examined once, so
+    framing is O(bytes) however the peer chunks its writes — the old
+    whole-buffer rescan was quadratic for pipelining clients.
+
+    Two limits guard the connection: [max_line_bytes] caps a single
+    request line and [max_buf_bytes] caps bytes buffered without any
+    newline (the slow-loris flood). [0] disables a limit. Once a limit
+    trips, the buffer is poisoned: every subsequent [feed] returns the
+    same error, and the server is expected to drop the peer. *)
+
+type error =
+  | Line_too_long of int  (** a single request line exceeded this many bytes *)
+  | Buffer_overflow of int  (** buffered bytes without a newline exceeded this *)
+
+type t
+
+val create : ?max_line_bytes:int -> ?max_buf_bytes:int -> unit -> t
+
+(** Bytes buffered but not yet returned (at most one incomplete line). *)
+val pending_bytes : t -> int
+
+(** [feed t bytes ~off ~len] appends a chunk and returns the complete
+    lines it finished, oldest first (empty lines included — callers
+    filter). Never raises. *)
+val feed : t -> bytes -> off:int -> len:int -> (string list, error) result
+
+(** [feed] for a whole string (tests, benches). *)
+val feed_string : t -> string -> (string list, error) result

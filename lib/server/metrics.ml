@@ -23,6 +23,12 @@ type t = {
   mutable errors : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  (* Governance counters live outside [counters] on purpose: [counters]
+     is encoded into snapshots, so extending it would change the
+     persisted format. Rejections/drops describe this process's life,
+     not the service's, and are not carried across restarts. *)
+  mutable conns_rejected : int;  (* accepts refused at the connection cap *)
+  mutable conns_dropped : int;  (* peers dropped for input-limit violations *)
   by_command : (string, int) Hashtbl.t;
   by_stage : (string, stage_stat) Hashtbl.t;
   ring : int array;  (* latencies in ns; valid up to [min requests window] *)
@@ -37,6 +43,8 @@ let create () =
     errors = 0;
     bytes_in = 0;
     bytes_out = 0;
+    conns_rejected = 0;
+    conns_dropped = 0;
     by_command = Hashtbl.create 16;
     by_stage = Hashtbl.create 16;
     ring = Array.make window 0;
@@ -81,6 +89,14 @@ let add_io t ~bytes_in ~bytes_out =
   with_lock t (fun () ->
       t.bytes_in <- t.bytes_in + bytes_in;
       t.bytes_out <- t.bytes_out + bytes_out)
+
+let conn_rejected t = with_lock t (fun () -> t.conns_rejected <- t.conns_rejected + 1)
+
+let conn_dropped t = with_lock t (fun () -> t.conns_dropped <- t.conns_dropped + 1)
+
+let conns_rejected t = with_lock t (fun () -> t.conns_rejected)
+
+let conns_dropped t = with_lock t (fun () -> t.conns_dropped)
 
 type counters = {
   c_requests : int;
@@ -146,6 +162,8 @@ let to_json t ~extra =
           ("errors", Int t.errors);
           ("bytes_in", Int t.bytes_in);
           ("bytes_out", Int t.bytes_out);
+          ("conns_rejected", Int t.conns_rejected);
+          ("conns_dropped", Int t.conns_dropped);
           ("latency_p50_ms", Float p50);
           ("latency_p99_ms", Float p99);
           ( "by_command",

@@ -20,6 +20,19 @@ val record_stage : t -> stage:string -> dur_ns:int -> unit
 (** Count raw socket traffic. *)
 val add_io : t -> bytes_in:int -> bytes_out:int -> unit
 
+(** Count one accept refused at the connection cap. Per-process only —
+    deliberately not part of {!counters}, so the snapshot format is
+    untouched and restarts reset it. *)
+val conn_rejected : t -> unit
+
+(** Count one peer dropped for an input-limit violation (over-long line,
+    newline-less flood, or reply-backlog overflow). Per-process only. *)
+val conn_dropped : t -> unit
+
+val conns_rejected : t -> int
+
+val conns_dropped : t -> int
+
 (** A copyable view of the cumulative counters, for snapshots. *)
 type counters = {
   c_requests : int;

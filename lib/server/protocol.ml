@@ -1,15 +1,17 @@
 (* Text protocol of glqld. Requests are one line each; the tokenizer
    honours single and double quotes so GEL expressions (which contain
    blanks and parentheses) travel as one argument. Replies are one line:
-   "OK <json>" or "ERR <json-string>". Keeping the framing line-based
+   "OK <json>" or "ERR <json-object>". Keeping the framing line-based
    makes the protocol usable from netcat and trivial to parse in tests. *)
 
 (* Wire-format revision. Bump whenever the reply shapes or the command
    set change incompatibly; clients compare it in the HELLO reply.
    v1: initial protocol. v2: EXPLAIN/VERSION commands, TRACE option,
    protocol_version + stage histograms in STATS. v3: SAVE/RESTORE
-   commands and the "restored" section in STATS. *)
-let protocol_version = 3
+   commands and the "restored" section in STATS. v4: ERR replies carry a
+   machine-readable {"code","message"} object instead of a bare string
+   (resource-governance limits need errors clients can branch on). *)
+let protocol_version = 4
 
 (* The JSON tree lives in Glql_util.Json so bench, metrics and trace
    output share one printer; the aliased constructors keep P.Obj /
@@ -27,7 +29,31 @@ let json_to_string = Glql_util.Json.to_string
 
 let ok j = "OK " ^ json_to_string j
 
-let err msg = "ERR " ^ json_to_string (Str msg)
+(* Machine-readable errors (v4): every ERR line carries a stable
+   ERR_*-code so clients and the fault harness can branch on the failure
+   class without scraping prose. The codes in use:
+
+     ERR_PARSE           malformed request line (tokenizer / grammar)
+     ERR_BAD_ARG         argument out of its accepted range
+     ERR_UNKNOWN_GRAPH   graph name not registered and not a spec
+     ERR_BAD_SPEC        graph spec rejected (syntax or size caps)
+     ERR_QUERY           GEL parse/type error
+     ERR_LIMIT_CELLS     --max-cells table guard
+     ERR_LIMIT_COST      estimated kernel cost over the cell budget
+     ERR_LIMIT_LINE      request line over --max-line-bytes
+     ERR_LIMIT_INBUF     connection buffered too many bytes, no newline
+     ERR_LIMIT_CONNS     connection-count cap reached
+     ERR_DEADLINE        per-request --timeout deadline passed
+     ERR_SNAPSHOT        SAVE/RESTORE failure
+     ERR_INTERNAL        unexpected exception *)
+type error = { code : string; message : string }
+
+let error ~code message = { code; message }
+
+let err_line e = "ERR " ^ json_to_string (Obj [ ("code", Str e.code); ("message", Str e.message) ])
+
+(* Legacy helper: an ERR line with no more specific classification. *)
+let err msg = err_line (error ~code:"ERR_INTERNAL" msg)
 
 (* Exactly "OK" or "OK <json>" — a reply like "OKRA" is not a success,
    and clients exit nonzero on anything else. *)

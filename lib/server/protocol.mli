@@ -26,7 +26,9 @@
     Command words are case-insensitive. Any command may carry a trailing
     bare [TRACE] token, which asks the server to attach the per-request
     span breakdown to the reply. Replies are a single line: either
-    [OK <json>] or [ERR "<message>"]. *)
+    [OK <json>] or (since v4) [ERR {"code":"ERR_*","message":"..."}],
+    where the code is a stable machine-readable classification of the
+    failure (see {!error}). *)
 
 (** Wire-format revision, reported by HELLO/VERSION/STATS. *)
 val protocol_version : int
@@ -48,7 +50,20 @@ val json_to_string : json -> string
 (** [OK <json>] reply line (no trailing newline). *)
 val ok : json -> string
 
-(** [ERR "<message>"] reply line (no trailing newline). *)
+(** A classified failure: [code] is one of the stable [ERR_*] codes
+    (ERR_PARSE, ERR_BAD_ARG, ERR_UNKNOWN_GRAPH, ERR_BAD_SPEC, ERR_QUERY,
+    ERR_LIMIT_CELLS, ERR_LIMIT_COST, ERR_LIMIT_LINE, ERR_LIMIT_INBUF,
+    ERR_LIMIT_CONNS, ERR_DEADLINE, ERR_SNAPSHOT, ERR_INTERNAL) and
+    [message] is human-readable prose. *)
+type error = { code : string; message : string }
+
+val error : code:string -> string -> error
+
+(** [ERR {"code":...,"message":...}] reply line (no trailing newline). *)
+val err_line : error -> string
+
+(** [err msg] is [err_line] with code [ERR_INTERNAL] — the pre-v4 entry
+    point, kept for callers with no finer classification. *)
 val err : string -> string
 
 (** Is this reply line an [OK]? *)

@@ -13,10 +13,21 @@
    a worker domain degrades to its sequential fallback (the pool's nesting
    rule), so batch dispatch is safe for every pool size.
 
-   Timeouts are cooperative: the deadline is checked between pipeline
-   stages (after plan lookup, before evaluation), not preemptively — a
-   single stage that overruns still completes. The [max_table_cells]
-   guard rejects queries whose materialisation is hopeless upfront.
+   Timeouts are cooperative at two granularities: the deadline is
+   checked between pipeline stages (after plan lookup, before
+   evaluation), and threaded into the long kernels themselves — colour
+   refinement and k-WL check it once per round, hom profiles once per
+   pattern — so a request that blows --timeout inside a kernel aborts
+   with ERR_DEADLINE instead of running to completion. The
+   [max_table_cells] guard rejects queries whose materialisation is
+   hopeless upfront, and HOM carries an analogous cost estimate.
+
+   Resource governance: accepts beyond [max_connections] are refused
+   with ERR_LIMIT_CONNS; per-connection input framing (Line_buf) caps a
+   single request line ([max_line_bytes]) and the bytes a peer may
+   buffer without ever sending a newline ([max_inbuf_bytes]) — an
+   over-limit peer gets one structured error line, best-effort, and is
+   dropped. Caches evict by byte budgets on top of entry capacities.
 
    Shutdown: SIGINT/SIGTERM (or the SHUTDOWN command) set a flag; the
    loop stops accepting, drains request lines already buffered, writes
@@ -39,8 +50,13 @@ type config = {
   tcp_port : int option;
   plan_cache_capacity : int;
   coloring_cache_capacity : int;
+  plan_cache_bytes : int;
+  coloring_cache_bytes : int;
   request_timeout_s : float;
   max_table_cells : int;
+  max_connections : int;
+  max_line_bytes : int;
+  max_inbuf_bytes : int;
   metrics_file : string option;
   snapshot_file : string option;
   verbose : bool;
@@ -52,8 +68,13 @@ let default_config =
     tcp_port = None;
     plan_cache_capacity = 128;
     coloring_cache_capacity = 64;
+    plan_cache_bytes = 32 * 1024 * 1024;
+    coloring_cache_bytes = 256 * 1024 * 1024;
     request_timeout_s = 30.0;
     max_table_cells = 4_000_000;
+    max_connections = 256;
+    max_line_bytes = 1024 * 1024;
+    max_inbuf_bytes = 8 * 1024 * 1024;
     metrics_file = None;
     snapshot_file = None;
     verbose = false;
@@ -83,8 +104,10 @@ let create config =
     config;
     registry = Registry.create ();
     cache =
-      Cache.create ~plan_capacity:config.plan_cache_capacity
-        ~coloring_capacity:config.coloring_cache_capacity;
+      Cache.create ~plan_bytes:config.plan_cache_bytes
+        ~coloring_bytes:config.coloring_cache_bytes
+        ~plan_capacity:config.plan_cache_capacity
+        ~coloring_capacity:config.coloring_cache_capacity ();
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     restored = Atomic.make None;
@@ -134,9 +157,16 @@ let hit_tag = function `Hit -> P.Str "hit" | `Miss -> P.Str "miss"
 
 let vec_json v = P.List (Array.to_list (Array.map (fun x -> P.Float x) v))
 
+(* Handlers work in [(json, P.error) result]: every failure carries a
+   stable ERR_* code. [fail] builds one; [tag] classifies the plain
+   string errors of Registry/Cache/Persist at the call site. *)
+let fail code fmt = Printf.ksprintf (fun message -> Error (P.error ~code message)) fmt
+
+let tag code = Result.map_error (fun message -> P.error ~code message)
+
 let check_deadline deadline stage =
   if Clock.expired deadline then
-    Error (Printf.sprintf "deadline exceeded before %s (request timeout)" stage)
+    fail "ERR_DEADLINE" "deadline exceeded before %s (request timeout)" stage
   else Ok ()
 
 let ( let* ) r f = Result.bind r f
@@ -144,8 +174,8 @@ let ( let* ) r f = Result.bind r f
 let max_listed_cells = 4096
 
 let query_result t deadline graph_name src =
-  let* g = Registry.find t.registry graph_name in
-  let* plan, hit = Cache.plan t.cache src in
+  let* g = tag "ERR_UNKNOWN_GRAPH" (Registry.find t.registry graph_name) in
+  let* plan, hit = tag "ERR_QUERY" (Cache.plan t.cache src) in
   let n = Graph.n_vertices g in
   let fv = Expr.free_vars plan.Cache.expr in
   let p = List.length fv in
@@ -155,9 +185,8 @@ let query_result t deadline graph_name src =
   let cells = float_of_int n ** float_of_int p in
   let* () =
     if p > 0 && cells > float_of_int t.config.max_table_cells then
-      Error
-        (Printf.sprintf "query would materialise %.0f cells (limit %d)" cells
-           t.config.max_table_cells)
+      fail "ERR_LIMIT_CELLS" "query would materialise %.0f cells (limit %d)" cells
+        t.config.max_table_cells
     else Ok ()
   in
   let* () = check_deadline deadline "evaluation" in
@@ -223,9 +252,9 @@ let query_result t deadline graph_name src =
        ])
 
 let wl_result t deadline graph_name rounds =
-  let* g, gen = Registry.find_entry t.registry graph_name in
+  let* g, gen = tag "ERR_UNKNOWN_GRAPH" (Registry.find_entry t.registry graph_name) in
   let* () = check_deadline deadline "colour refinement" in
-  let result, hit = Cache.cr t.cache ~graph_name ~gen g in
+  let result, hit = Cache.cr t.cache ~graph_name ~gen ~deadline g in
   let stable_rounds = Cr.rounds result in
   let colors =
     match rounds with
@@ -254,19 +283,19 @@ let wl_result t deadline graph_name rounds =
        ])
 
 let kwl_result t deadline graph_name k =
-  let* g, gen = Registry.find_entry t.registry graph_name in
+  let* g, gen = tag "ERR_UNKNOWN_GRAPH" (Registry.find_entry t.registry graph_name) in
   let* () =
-    if k < 1 || k > 3 then Error "KWL: k must be between 1 and 3" else Ok ()
+    if k < 1 || k > 3 then fail "ERR_BAD_ARG" "KWL: k must be between 1 and 3" else Ok ()
   in
   let n = Graph.n_vertices g in
   let tuples = Kwl.tuple_count n k in
   let* () =
     if tuples > t.config.max_table_cells then
-      Error (Printf.sprintf "KWL: %d^%d tuples exceed the cell limit" n k)
+      fail "ERR_LIMIT_CELLS" "KWL: %d^%d tuples exceed the cell limit" n k
     else Ok ()
   in
   let* () = check_deadline deadline "k-WL refinement" in
-  let result, hit = Cache.kwl t.cache ~graph_name ~gen ~k g in
+  let result, hit = Cache.kwl t.cache ~graph_name ~gen ~k ~deadline g in
   let colors = List.hd (Kwl.stable_colors result) in
   let distinct =
     let seen = Hashtbl.create 64 in
@@ -286,14 +315,33 @@ let kwl_result t deadline graph_name k =
        ])
 
 let hom_result t deadline graph_name max_size =
-  let* g = Registry.find t.registry graph_name in
+  let* g = tag "ERR_UNKNOWN_GRAPH" (Registry.find t.registry graph_name) in
   let* () =
-    if max_size < 1 || max_size > 9 then Error "HOM: max tree size must be between 1 and 9"
+    if max_size < 1 || max_size > 9 then
+      fail "ERR_BAD_ARG" "HOM: max tree size must be between 1 and 9"
+    else Ok ()
+  in
+  let patterns = Tree.all_free_trees_up_to max_size in
+  (* Cost guard, in the same spirit (and against the same knob) as the
+     QUERY cell limit: each tree pattern costs one DP sweep of
+     O(pattern-size * (n + 2m)) table-cell updates, and large registered
+     graphs make the full profile hopeless — reject upfront rather than
+     letting the deadline burn 30 s first. Float arithmetic for the same
+     overflow reason as the n^p guard above. *)
+  let n = Graph.n_vertices g in
+  let work = float_of_int (n + (2 * Graph.n_edges g)) in
+  let npat = List.length patterns in
+  let cost = float_of_int npat *. float_of_int max_size *. work in
+  let* () =
+    if cost > float_of_int t.config.max_table_cells then
+      fail "ERR_LIMIT_COST"
+        "HOM would traverse ~%.0f DP cells (%d patterns x size %d x %.0f vertex+edge slots; \
+         limit %d)"
+        cost npat max_size work t.config.max_table_cells
     else Ok ()
   in
   let* () = check_deadline deadline "hom-profile computation" in
-  let patterns = Tree.all_free_trees_up_to max_size in
-  let profile = Count.profile patterns g in
+  let profile = Count.profile ~deadline patterns g in
   Ok
     (P.Obj
        [
@@ -409,7 +457,7 @@ let dispatch t deadline ~sink ~t0 req =
            ])
   | P.Ping -> Ok (P.Str "pong")
   | P.Load (name, spec) ->
-      let* g = Registry.register t.registry ~name ~spec in
+      let* g = tag "ERR_BAD_SPEC" (Registry.register t.registry ~name ~spec) in
       Ok
         (P.Obj
            [
@@ -443,8 +491,8 @@ let dispatch t deadline ~sink ~t0 req =
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline graph size
   | P.Save requested ->
-      let* path = snapshot_path t requested in
-      let* path, s = save_snapshot t path in
+      let* path = tag "ERR_SNAPSHOT" (snapshot_path t requested) in
+      let* path, s = tag "ERR_SNAPSHOT" (save_snapshot t path) in
       Ok
         (P.Obj
            [
@@ -455,8 +503,8 @@ let dispatch t deadline ~sink ~t0 req =
              ("plans", P.Int s.Persist.s_plans);
            ])
   | P.Restore requested ->
-      let* path = snapshot_path t requested in
-      let* path, s = restore_snapshot t path in
+      let* path = tag "ERR_SNAPSHOT" (snapshot_path t requested) in
+      let* path, s = tag "ERR_SNAPSHOT" (restore_snapshot t path) in
       Ok
         (P.Obj
            [
@@ -494,7 +542,7 @@ let handle_line t line =
   in
   let reply, command, ok =
     match P.parse_request line with
-    | Error e -> (P.err e, "INVALID", false)
+    | Error e -> (P.err_line (P.error ~code:"ERR_PARSE" e), "INVALID", false)
     | Ok { P.req; traced } -> (
         let command = P.command_name req in
         let run () =
@@ -506,9 +554,19 @@ let handle_line t line =
         | Ok j ->
             let j = if traced then attach_trace ~t0 sink j else j in
             (P.ok j, command, true)
-        | Error e -> (P.err e, command, false)
+        | Error e -> (P.err_line e, command, false)
+        | exception Clock.Deadline_exceeded ->
+            (* A kernel hit its per-round/per-pattern check: the request
+               timeout cancelled the evaluation mid-flight. *)
+            ( P.err_line
+                (P.error ~code:"ERR_DEADLINE"
+                   "deadline exceeded during evaluation (request timeout)"),
+              command,
+              false )
         | exception e ->
-            (P.err ("internal error: " ^ Printexc.to_string e), command, false))
+            ( P.err_line (P.error ~code:"ERR_INTERNAL" ("internal error: " ^ Printexc.to_string e)),
+              command,
+              false ))
   in
   Metrics.record t.metrics ~command ~ok ~latency_ns:(Clock.elapsed_ns t0);
   reply
@@ -517,27 +575,10 @@ let handle_line t line =
 
 type conn = {
   fd : Unix.file_descr;
-  inbuf : Buffer.t;
+  lines : Line_buf.t;  (* incremental framing + input limits *)
   outbuf : Buffer.t;  (* reply bytes the socket has not yet accepted *)
   mutable closing : bool;
 }
-
-(* Consume complete lines from a connection buffer, leaving a partial
-   trailing line in place. *)
-let take_lines buf =
-  let s = Buffer.contents buf in
-  match String.rindex_opt s '\n' with
-  | None -> []
-  | Some last ->
-      Buffer.clear buf;
-      Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
-      String.split_on_char '\n' (String.sub s 0 last)
-      |> List.map (fun l ->
-             (* Tolerate CRLF clients. *)
-             if l <> "" && l.[String.length l - 1] = '\r' then
-               String.sub l 0 (String.length l - 1)
-             else l)
-      |> List.filter (fun l -> String.trim l <> "")
 
 let log t fmt =
   Printf.ksprintf (fun s -> if t.config.verbose then Printf.eprintf "glqld: %s\n%!" s) fmt
@@ -582,11 +623,37 @@ let queue_reply t conn s =
   flush_out t conn;
   if Buffer.length conn.outbuf > max_conn_outbuf then begin
     log t "dropping client with %d unsent reply bytes (not reading)" (Buffer.length conn.outbuf);
+    Metrics.conn_dropped t.metrics;
     Buffer.clear conn.outbuf;
     conn.closing <- true
   end
 
+(* Drop a peer for a governance violation: one structured error line,
+   best-effort (whatever one flush pushes out), then close. The unsent
+   tail is discarded so a peer that never reads cannot pin the
+   connection in "closing" forever. *)
+let drop_conn t conn err =
+  Metrics.conn_dropped t.metrics;
+  log t "dropping client: %s (%s)" err.P.message err.P.code;
+  Buffer.add_string conn.outbuf (P.err_line err ^ "\n");
+  flush_out t conn;
+  Buffer.clear conn.outbuf;
+  conn.closing <- true
+
 let serve t =
+  (* Graceful shutdown on SIGINT/SIGTERM; ignore SIGPIPE so writes to a
+     vanished client surface as EPIPE (handled in flush_out). Handlers
+     are installed before the boot-time snapshot restore: a signal that
+     lands during a long restore must set the stop flag (the serve loop
+     is then skipped and the shutdown path still writes metrics and the
+     exit snapshot) rather than kill the process with no cleanup. *)
+  let prev_handlers =
+    List.map
+      (fun signal ->
+        (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> Atomic.set t.stop_flag true))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (* Warm start: restore the snapshot before opening any socket, so the
      first client already sees the previous life's graphs and caches. A
      bad or missing snapshot is logged and the server comes up cold —
@@ -620,15 +687,6 @@ let serve t =
       log t "listening on tcp port %d" port
   | None -> ());
   if !listeners = [] then invalid_arg "Server.serve: no socket_path and no tcp_port";
-  (* Graceful shutdown on SIGINT/SIGTERM; ignore SIGPIPE so writes to a
-     vanished client surface as EPIPE (handled in flush_out). *)
-  let prev_handlers =
-    List.map
-      (fun signal ->
-        (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> Atomic.set t.stop_flag true))))
-      [ Sys.sigint; Sys.sigterm ]
-  in
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let chunk = Bytes.create 65536 in
   (* Run one batch of request lines through the pool and write replies in
@@ -651,15 +709,9 @@ let serve t =
           replies
   in
   let drain_and_close () =
-    (* Handle request lines already buffered before the stop arrived. *)
-    let pending =
-      Hashtbl.fold
-        (fun _ conn acc ->
-          List.fold_left (fun acc line -> (conn, line) :: acc) acc (take_lines conn.inbuf))
-        conns []
-      |> List.rev
-    in
-    process_batch pending;
+    (* Complete lines are framed (and dispatched) at read time, so at
+       this point connections hold at most a partial trailing line —
+       nothing left to process, only replies to flush. *)
     (* Give queued replies a bounded window to drain before closing. *)
     let drain_deadline = Clock.deadline_after 2.0 in
     let rec flush_remaining () =
@@ -707,10 +759,37 @@ let serve t =
         if List.mem fd !listeners then begin
           match Unix.accept fd with
           | client, _ ->
-              Unix.set_nonblock client;
-              Hashtbl.replace conns client
-                { fd = client; inbuf = Buffer.create 256; outbuf = Buffer.create 256; closing = false };
-              log t "client connected (%d live)" (Hashtbl.length conns)
+              if Hashtbl.length conns >= t.config.max_connections then begin
+                (* Refuse above the cap: one structured error, then
+                   close. The fresh fd is still blocking, but a ~60-byte
+                   write into an empty send buffer cannot block. *)
+                Metrics.conn_rejected t.metrics;
+                log t "rejecting connection (%d live, cap %d)" (Hashtbl.length conns)
+                  t.config.max_connections;
+                let line =
+                  P.err_line
+                    (P.error ~code:"ERR_LIMIT_CONNS"
+                       (Printf.sprintf "server is at its %d-connection limit"
+                          t.config.max_connections))
+                  ^ "\n"
+                in
+                (try ignore (Unix.write_substring client line 0 (String.length line))
+                 with Unix.Unix_error _ -> ());
+                try Unix.close client with Unix.Unix_error _ -> ()
+              end
+              else begin
+                Unix.set_nonblock client;
+                Hashtbl.replace conns client
+                  {
+                    fd = client;
+                    lines =
+                      Line_buf.create ~max_line_bytes:t.config.max_line_bytes
+                        ~max_buf_bytes:t.config.max_inbuf_bytes ();
+                    outbuf = Buffer.create 256;
+                    closing = false;
+                  };
+                log t "client connected (%d live)" (Hashtbl.length conns)
+              end
           | exception Unix.Unix_error _ -> ()
         end
         else
@@ -719,12 +798,27 @@ let serve t =
           | Some conn -> (
               match Unix.read fd chunk 0 (Bytes.length chunk) with
               | 0 -> conn.closing <- true
-              | nread ->
+              | nread -> (
                   Metrics.add_io t.metrics ~bytes_in:nread ~bytes_out:0;
-                  Buffer.add_subbytes conn.inbuf chunk 0 nread;
-                  List.iter
-                    (fun line -> pending := (conn, line) :: !pending)
-                    (take_lines conn.inbuf)
+                  match Line_buf.feed conn.lines chunk ~off:0 ~len:nread with
+                  | Ok lines ->
+                      List.iter
+                        (fun line ->
+                          if String.trim line <> "" then pending := (conn, line) :: !pending)
+                        lines
+                  | Error e ->
+                      let err =
+                        match e with
+                        | Line_buf.Line_too_long limit ->
+                            P.error ~code:"ERR_LIMIT_LINE"
+                              (Printf.sprintf "request line exceeds the %d-byte limit" limit)
+                        | Line_buf.Buffer_overflow limit ->
+                            P.error ~code:"ERR_LIMIT_INBUF"
+                              (Printf.sprintf
+                                 "connection buffered more than %d bytes without a newline"
+                                 limit)
+                      in
+                      drop_conn t conn err)
               | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
                 -> ()
               | exception Unix.Unix_error _ -> conn.closing <- true))

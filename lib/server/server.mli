@@ -12,8 +12,21 @@ type config = {
   tcp_port : int option;  (** optional TCP listener on localhost *)
   plan_cache_capacity : int;
   coloring_cache_capacity : int;
-  request_timeout_s : float;  (** cooperative per-request deadline; 0 = none *)
-  max_table_cells : int;  (** reject queries materialising more cells *)
+  plan_cache_bytes : int;  (** plan-cache byte budget; 0 = entries only *)
+  coloring_cache_bytes : int;  (** colouring-cache byte budget; 0 = entries only *)
+  request_timeout_s : float;
+      (** cooperative per-request deadline; 0 = none. Checked between
+          pipeline stages and inside the WL / k-WL / hom kernels
+          (per round / per pattern), so overruns abort with
+          [ERR_DEADLINE] instead of running to completion *)
+  max_table_cells : int;
+      (** reject queries materialising more cells; also bounds the k-WL
+          tuple count and the HOM profile's DP-cost estimate *)
+  max_connections : int;  (** accepts beyond this are refused ([ERR_LIMIT_CONNS]) *)
+  max_line_bytes : int;  (** cap on one request line; 0 = unlimited ([ERR_LIMIT_LINE]) *)
+  max_inbuf_bytes : int;
+      (** cap on bytes a peer may buffer without a newline; 0 = unlimited
+          ([ERR_LIMIT_INBUF] — the slow-loris guard) *)
   metrics_file : string option;  (** metrics JSON dumped here on shutdown *)
   snapshot_file : string option;
       (** snapshot restored at boot (if present) and written on shutdown;

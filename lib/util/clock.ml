@@ -17,3 +17,11 @@ let deadline_after timeout_s =
 let expired = function
   | None -> false
   | Some d -> Int64.compare (now_ns ()) d > 0
+
+(* Cooperative cancellation: long kernels (WL rounds, hom-count patterns)
+   call [check] at their natural step boundaries so a per-request timeout
+   bounds wall time instead of merely being noticed once the kernel is
+   already done. *)
+exception Deadline_exceeded
+
+let check d = if expired d then raise Deadline_exceeded

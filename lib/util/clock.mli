@@ -19,3 +19,12 @@ val deadline_after : float -> int64 option
 
 (** Has the deadline passed? [None] never expires. *)
 val expired : int64 option -> bool
+
+(** Raised by [check] when a deadline has passed — the cooperative
+    cancellation signal threaded through the long kernels (per-round in
+    colour refinement / k-WL, per-pattern in hom-count profiles). *)
+exception Deadline_exceeded
+
+(** [check d] raises {!Deadline_exceeded} when [d] has passed; a cheap
+    monotonic-clock read, safe to call at every kernel step boundary. *)
+val check : int64 option -> unit

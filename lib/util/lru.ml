@@ -1,31 +1,43 @@
 (* Bounded LRU map: a hash table from keys to nodes of a doubly-linked
    recency list, [first] being most- and [last] least-recently used. All
-   operations are O(1) expected. *)
+   operations are O(1) expected.
+
+   Besides the entry-count capacity, a cache can carry an optional byte
+   budget: [put ~bytes] records the caller's size estimate per entry and
+   eviction then also runs while the byte total is over budget, so caches
+   of wildly differently-sized values (compiled plans vs. full colouring
+   histories) are bounded by memory rather than cardinality. *)
 
 type ('k, 'v) node = {
   nkey : 'k;
   mutable nvalue : 'v;
+  mutable nbytes : int;
   mutable prev : ('k, 'v) node option;  (* towards [first] (more recent) *)
   mutable next : ('k, 'v) node option;  (* towards [last] (less recent) *)
 }
 
 type ('k, 'v) t = {
   cap : int;
+  max_bytes : int;  (* 0 = no byte budget *)
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
   mutable first : ('k, 'v) node option;
   mutable last : ('k, 'v) node option;
+  mutable bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ~capacity =
+let create ?(max_bytes = 0) ~capacity () =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be at least 1";
+  if max_bytes < 0 then invalid_arg "Lru.create: max_bytes must be >= 0";
   {
     cap = capacity;
+    max_bytes;
     tbl = Hashtbl.create (min capacity 64);
     first = None;
     last = None;
+    bytes = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -33,7 +45,11 @@ let create ~capacity =
 
 let capacity t = t.cap
 
+let max_bytes t = t.max_bytes
+
 let length t = Hashtbl.length t.tbl
+
+let bytes_used t = t.bytes
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
@@ -66,24 +82,40 @@ let get t k =
 
 let mem t k = Hashtbl.mem t.tbl k
 
-let evict_last t =
-  match t.last with
-  | None -> ()
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.tbl n.nkey;
-      t.evictions <- t.evictions + 1
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.nkey;
+  t.bytes <- t.bytes - n.nbytes;
+  t.evictions <- t.evictions + 1
 
-let put t k v =
-  match Hashtbl.find_opt t.tbl k with
-  | Some n ->
-      n.nvalue <- v;
-      touch t n
-  | None ->
-      let n = { nkey = k; nvalue = v; prev = None; next = None } in
-      Hashtbl.replace t.tbl k n;
-      push_front t n;
-      if Hashtbl.length t.tbl > t.cap then evict_last t
+let evict_last t = match t.last with None -> () | Some n -> drop t n
+
+let over_budget t =
+  Hashtbl.length t.tbl > t.cap || (t.max_bytes > 0 && t.bytes > t.max_bytes)
+
+let put ?(bytes = 0) t k v =
+  let bytes = if bytes < 0 then 0 else bytes in
+  if t.max_bytes > 0 && bytes > t.max_bytes then
+    (* A value larger than the whole budget is not cacheable; drop any
+       stale binding under the key rather than flushing unrelated
+       entries to make room that can never suffice. *)
+    match Hashtbl.find_opt t.tbl k with Some n -> drop t n | None -> ()
+  else begin
+    (match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+        n.nvalue <- v;
+        t.bytes <- t.bytes - n.nbytes + bytes;
+        n.nbytes <- bytes;
+        touch t n
+    | None ->
+        let n = { nkey = k; nvalue = v; nbytes = bytes; prev = None; next = None } in
+        Hashtbl.replace t.tbl k n;
+        push_front t n;
+        t.bytes <- t.bytes + bytes);
+    while over_budget t && Hashtbl.length t.tbl > 0 do
+      evict_last t
+    done
+  end
 
 let find_or_add t k ~compute =
   match get t k with
@@ -102,7 +134,8 @@ let evictions t = t.evictions
 let clear t =
   Hashtbl.reset t.tbl;
   t.first <- None;
-  t.last <- None
+  t.last <- None;
+  t.bytes <- 0
 
 let keys_mru_first t =
   let rec walk acc = function

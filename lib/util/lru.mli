@@ -7,14 +7,23 @@
 
 type ('k, 'v) t
 
-(** [create ~capacity] is an empty cache holding at most [capacity]
-    bindings; raises [Invalid_argument] when [capacity < 1]. *)
-val create : capacity:int -> ('k, 'v) t
+(** [create ~capacity ()] is an empty cache holding at most [capacity]
+    bindings; raises [Invalid_argument] when [capacity < 1].
+    [max_bytes] adds a byte budget (default [0] = none): entries inserted
+    with [put ~bytes] count towards it and the least-recently-used
+    entries are evicted while the total exceeds it. *)
+val create : ?max_bytes:int -> capacity:int -> unit -> ('k, 'v) t
 
 val capacity : ('k, 'v) t -> int
 
+(** The byte budget given at [create] ([0] = unbounded). *)
+val max_bytes : ('k, 'v) t -> int
+
 (** Number of live bindings. *)
 val length : ('k, 'v) t -> int
+
+(** Sum of the [~bytes] estimates of the live bindings. *)
+val bytes_used : ('k, 'v) t -> int
 
 (** [get t k] is the value bound to [k], marking it most-recently used and
     counting a hit; [None] counts a miss. *)
@@ -24,9 +33,13 @@ val get : ('k, 'v) t -> 'k -> 'v option
 val mem : ('k, 'v) t -> 'k -> bool
 
 (** [put t k v] binds [k] to [v] as the most-recently-used entry,
-    replacing any previous binding and evicting the least-recently-used
-    entry when over capacity. *)
-val put : ('k, 'v) t -> 'k -> 'v -> unit
+    replacing any previous binding and evicting least-recently-used
+    entries while over capacity or over the byte budget. [bytes]
+    (default [0]) is the caller's size estimate for this entry. A value
+    whose [bytes] alone exceeds the budget is not inserted at all (and
+    any stale binding under the key is dropped) — a fitting new entry,
+    by contrast, always survives its own insertion. *)
+val put : ?bytes:int -> ('k, 'v) t -> 'k -> 'v -> unit
 
 (** [find_or_add t k ~compute] is [get] with [compute ()] inserted (and
     returned) on a miss. *)

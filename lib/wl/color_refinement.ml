@@ -19,6 +19,7 @@ module Sig_hash = Glql_util.Sig_hash
 module Graph = Glql_graph.Graph
 module Pool = Glql_util.Pool
 module Trace = Glql_util.Trace
+module Clock = Glql_util.Clock
 
 type result = {
   graphs : Graph.t list;
@@ -34,7 +35,7 @@ let joint_color_count colorings =
   List.iter (fun colors -> Array.iter (fun c -> Hashtbl.replace seen c ()) colors) colorings;
   Hashtbl.length seen
 
-let run_joint ?max_rounds graphs =
+let run_joint ?max_rounds ?(deadline = None) graphs =
   Trace.with_span "wl.refine" @@ fun () ->
   let garr = Array.of_list graphs in
   let ng = Array.length garr in
@@ -71,6 +72,9 @@ let run_joint ?max_rounds graphs =
   let limit = match max_rounds with Some m -> m | None -> total + 1 in
   let continue_ = ref true in
   while !continue_ && !rounds < limit do
+    (* Cooperative cancellation: one clock read per round keeps a
+       per-request timeout binding on arbitrarily deep refinements. *)
+    Clock.check deadline;
     Trace.with_span ~args:[ ("round", string_of_int !rounds) ] "wl.round" @@ fun () ->
     let colors = Array.of_list !current in
     Pool.parallel_for ~n:total (fun idx ->
@@ -88,7 +92,7 @@ let run_joint ?max_rounds graphs =
   done;
   { graphs; history = List.rev !history; stable = !current; rounds = !rounds }
 
-let run ?max_rounds g = run_joint ?max_rounds [ g ]
+let run ?max_rounds ?deadline g = run_joint ?max_rounds ?deadline [ g ]
 
 let stable_colors result = result.stable
 

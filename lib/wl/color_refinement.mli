@@ -10,11 +10,14 @@ module Graph = Glql_graph.Graph
 type result
 
 (** Refine the given graphs together until the joint vertex partition is
-    stable (or [max_rounds] is hit; default: total vertex count). *)
-val run_joint : ?max_rounds:int -> Graph.t list -> result
+    stable (or [max_rounds] is hit; default: total vertex count).
+    [deadline] is a monotonic-clock deadline in the sense of
+    {!Glql_util.Clock}: it is checked once per round and refinement is
+    aborted by raising [Glql_util.Clock.Deadline_exceeded] when past. *)
+val run_joint : ?max_rounds:int -> ?deadline:int64 option -> Graph.t list -> result
 
 (** Solo run. *)
-val run : ?max_rounds:int -> Graph.t -> result
+val run : ?max_rounds:int -> ?deadline:int64 option -> Graph.t -> result
 
 (** Stable colour array per graph, in input order. *)
 val stable_colors : result -> int array list

@@ -134,7 +134,7 @@ let joint_color_count colorings =
   List.iter (fun colors -> Array.iter (fun c -> Hashtbl.replace seen c ()) colors) colorings;
   Hashtbl.length seen
 
-let run_joint ?max_rounds ~k ~variant graphs =
+let run_joint ?max_rounds ?(deadline = None) ~k ~variant graphs =
   if k < 1 then invalid_arg "Kwl.run_joint: k must be >= 1";
   Glql_util.Trace.with_span ~args:[ ("k", string_of_int k) ] "kwl.refine" @@ fun () ->
   let interner = Sig_hash.Interner.create () in
@@ -149,6 +149,10 @@ let run_joint ?max_rounds ~k ~variant graphs =
   in
   let continue_ = ref true in
   while !continue_ && !rounds < limit do
+    (* Cooperative cancellation: rounds cost O(n^{k+1}) each, so a
+       per-round check is the coarsest granularity that still lets a
+       request timeout bound wall time. *)
+    Glql_util.Clock.check deadline;
     let next = List.map (fun (g, colors) -> refine_graph interner variant g k colors)
         (List.combine graphs !current)
     in

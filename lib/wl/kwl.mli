@@ -9,8 +9,12 @@ type variant = Oblivious | Folklore
 type result
 
 (** Refine all graphs jointly until the tuple partition stabilises.
-    Cost is O(n^k) tuples per graph and O(n^{k+1}) work per round. *)
-val run_joint : ?max_rounds:int -> k:int -> variant:variant -> Graph.t list -> result
+    Cost is O(n^k) tuples per graph and O(n^{k+1}) work per round.
+    [deadline] ({!Glql_util.Clock} monotonic deadline) is checked once
+    per round; when past, refinement aborts by raising
+    [Glql_util.Clock.Deadline_exceeded]. *)
+val run_joint :
+  ?max_rounds:int -> ?deadline:int64 option -> k:int -> variant:variant -> Graph.t list -> result
 
 (** Stable tuple-colour array per graph (index = row-major tuple index). *)
 val stable_colors : result -> int array list

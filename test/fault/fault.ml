@@ -1,0 +1,403 @@
+(* Fault-injection harness for glqld, driven against real daemon
+   processes over raw Unix-domain sockets:
+
+     fault <glqld.exe>
+
+   Phase A throws protocol-level abuse at a governed daemon — random
+   bytes, a newline-less slow-loris flood, mid-request disconnects, a
+   connection-count pile-up, and requests engineered to trip the
+   deadline / cell / cost guards — asserting every fault produces a
+   structured ERR (machine-readable "code") or a clean drop, that RSS
+   stays bounded across repeated floods, and that the daemon still
+   answers afterwards.
+
+   Phase B attacks persistence: booting from garbage and truncated
+   snapshot files, and SIGKILL racing a SAVE, asserting the
+   atomic-rename discipline leaves every snapshot valid-or-absent and
+   the next boot healthy. *)
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok - %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL - %s\n%!" name
+  end
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* Daemons spawned so far; killed at exit so a failing harness never
+   leaves orphans holding the scratch directory's sockets. *)
+let live_daemons : int list ref = ref []
+
+let kill_all () =
+  List.iter (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) !live_daemons
+
+let spawn_daemon glqld args ~stdout_file =
+  let out_fd = Unix.openfile stdout_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  (* Pin the pool size so memory behaviour is stable across machines. *)
+  let env =
+    Array.append (Unix.environment ()) [| "GLQL_DOMAINS=2" |]
+  in
+  let pid =
+    Unix.create_process_env glqld (Array.of_list (glqld :: args)) env Unix.stdin out_fd
+      Unix.stderr
+  in
+  Unix.close out_fd;
+  live_daemons := pid :: !live_daemons;
+  pid
+
+let wait_exit pid =
+  live_daemons := List.filter (fun p -> p <> pid) !live_daemons;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> Some code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> None
+
+let wait_for_socket sock =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.05)
+  done
+
+(* --- raw client plumbing ------------------------------------------------- *)
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let send_raw fd s =
+  (* EPIPE / ECONNRESET just mean the server already dropped us — for a
+     fault harness that is an acceptable outcome of writing at it. *)
+  try ignore (Unix.write_substring fd s 0 (String.length s)) with Unix.Unix_error _ -> ()
+
+let send_line fd s = send_raw fd (s ^ "\n")
+
+(* Read one '\n'-terminated line, waiting up to [timeout] seconds.
+   Returns [`Line l] (without the newline), [`Eof], or [`Timeout]. *)
+let recv_line ?(timeout = 10.0) fd =
+  let buf = Buffer.create 256 in
+  let byte = Bytes.create 1 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then `Timeout
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> `Timeout
+      | _ -> (
+          match Unix.read fd byte 0 1 with
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+          | 0 -> `Eof
+          | _ ->
+              if Bytes.get byte 0 = '\n' then `Line (Buffer.contents buf)
+              else begin
+                Buffer.add_char buf (Bytes.get byte 0);
+                go ()
+              end)
+  in
+  go ()
+
+let recv_eof ?(timeout = 10.0) fd =
+  (* Drain until EOF; any stray bytes before it are fine. *)
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> false
+      | _ -> (
+          match Unix.read fd chunk 0 4096 with
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+          | 0 -> true
+          | _ -> go ())
+  in
+  go ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One-shot request on a fresh connection. *)
+let request sock line =
+  let fd = connect sock in
+  send_line fd line;
+  let reply = recv_line fd in
+  close_quiet fd;
+  reply
+
+let expect_ok sock name line =
+  match request sock line with
+  | `Line reply -> check name (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+  | `Eof | `Timeout -> check name false
+
+let expect_code sock name line code =
+  match request sock line with
+  | `Line reply ->
+      check name
+        (String.length reply >= 3
+        && String.sub reply 0 3 = "ERR"
+        && contains ~needle:(Printf.sprintf "\"code\":%S" code) reply)
+  | `Eof | `Timeout -> check name false
+
+(* VmRSS of a pid in kilobytes, from /proc (None off Linux). *)
+let vmrss_kb pid =
+  let path = Printf.sprintf "/proc/%d/status" pid in
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+              String.split_on_char ' ' line
+              |> List.filter_map int_of_string_opt
+              |> function
+              | kb :: _ -> Some kb
+              | [] -> None
+            else scan ()
+      in
+      let r = scan () in
+      close_in ic;
+      r
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- phase A: protocol abuse against a governed daemon ------------------- *)
+
+let phase_a glqld dir =
+  let sock = Filename.concat dir "fault_a.sock" in
+  let metrics_file = Filename.concat dir "metrics_a.json" in
+  let daemon =
+    spawn_daemon glqld
+      [
+        "--socket"; sock;
+        "--timeout"; "0.5";
+        "--max-conns"; "4";
+        "--max-inbuf"; "65536";
+        "--metrics-file"; metrics_file;
+      ]
+      ~stdout_file:(Filename.concat dir "daemon_a.out")
+  in
+  wait_for_socket sock;
+  check "A: daemon socket appears" (Sys.file_exists sock);
+  expect_ok sock "A: baseline PING" "PING";
+  expect_ok sock "A: LOAD petersen" "LOAD g petersen";
+  expect_ok sock "A: baseline QUERY" "QUERY g 'agg_sum{x2}([1] | E(x1,x2))'";
+
+  (* Random-byte lines: every one of them must come back as a structured
+     ERR on a live connection — never a hang, never a crash. *)
+  let rng = Random.State.make [| 0x5eed |] in
+  let fd = connect sock in
+  let garbage_ok = ref true in
+  for _ = 1 to 50 do
+    let len = 1 + Random.State.int rng 200 in
+    let line =
+      "Z"
+      ^ String.init len (fun _ ->
+            let c = Char.chr (Random.State.int rng 256) in
+            if c = '\n' || c = '\r' then '.' else c)
+    in
+    send_line fd line;
+    (match recv_line fd with
+    | `Line reply ->
+        if
+          not
+            (String.length reply >= 3
+            && String.sub reply 0 3 = "ERR"
+            && contains ~needle:"\"code\"" reply)
+        then garbage_ok := false
+    | `Eof | `Timeout -> garbage_ok := false)
+  done;
+  close_quiet fd;
+  check "A: 50 random-byte lines all answered with coded ERR" !garbage_ok;
+  expect_ok sock "A: daemon healthy after garbage" "PING";
+
+  (* Slow-loris: newline-less flood past --max-inbuf. The daemon must
+     send ERR_LIMIT_INBUF and close; writing stops just past the limit
+     so the error line is still readable before EOF. *)
+  let flood () =
+    let fd = connect sock in
+    let block = String.make 8192 'a' in
+    for _ = 1 to 9 do
+      (* 72 KiB > 64 KiB *)
+      send_raw fd block
+    done;
+    let got_err =
+      match recv_line fd with
+      | `Line reply -> contains ~needle:"\"code\":\"ERR_LIMIT_INBUF\"" reply
+      | `Eof | `Timeout -> false
+    in
+    let got_eof = recv_eof fd in
+    close_quiet fd;
+    (got_err, got_eof)
+  in
+  let err1, eof1 = flood () in
+  check "A: slow-loris flood gets ERR_LIMIT_INBUF" err1;
+  check "A: flooding connection is closed" eof1;
+  (* Repeat the flood; buffered garbage must not accumulate. *)
+  for _ = 1 to 4 do
+    ignore (flood ())
+  done;
+  (match vmrss_kb daemon with
+  | None -> check "A: RSS bounded after floods (skipped: no /proc)" true
+  | Some kb ->
+      check (Printf.sprintf "A: RSS bounded after floods (%d KB < 512 MB)" kb)
+        (kb < 512 * 1024));
+  expect_ok sock "A: daemon healthy after floods" "PING";
+
+  (* Mid-request disconnects: a half-written line, and a pipelined
+     request followed by an abrupt close, must both be absorbed. *)
+  let fd = connect sock in
+  send_raw fd "QUERY g 'agg_su";
+  close_quiet fd;
+  let fd = connect sock in
+  send_raw fd "PING\nQUERY g 'agg_sum{x2}([1] | E(x1,x2))'";
+  close_quiet fd;
+  ignore (Unix.select [] [] [] 0.1);
+  expect_ok sock "A: daemon healthy after mid-request disconnects" "PING";
+
+  (* Connection cap: with 4 idle connections parked, the 5th accept is
+     refused with ERR_LIMIT_CONNS and closed immediately. *)
+  ignore (Unix.select [] [] [] 0.3) (* let earlier closes be reaped *);
+  let parked = List.init 4 (fun _ -> connect sock) in
+  ignore (Unix.select [] [] [] 0.2);
+  let fd5 = connect sock in
+  (match recv_line fd5 with
+  | `Line reply ->
+      check "A: connection over the cap is refused with ERR_LIMIT_CONNS"
+        (contains ~needle:"\"code\":\"ERR_LIMIT_CONNS\"" reply)
+  | `Eof | `Timeout -> check "A: connection over the cap is refused with ERR_LIMIT_CONNS" false);
+  check "A: refused connection sees EOF" (recv_eof fd5);
+  close_quiet fd5;
+  List.iter close_quiet parked;
+  ignore (Unix.select [] [] [] 0.3);
+  expect_ok sock "A: daemon healthy after connection pile-up" "PING";
+
+  (* Guard trips over the wire: a graph big enough that WL overruns the
+     0.5 s deadline, 3-WL overruns the cell budget, and HOM the cost
+     budget — each with its own code, each leaving the daemon healthy. *)
+  expect_ok sock "A: LOAD path20000" "LOAD big path20000";
+  expect_code sock "A: WL past the deadline returns ERR_DEADLINE" "WL big" "ERR_DEADLINE";
+  expect_code sock "A: 3-WL past the cell budget returns ERR_LIMIT_CELLS" "KWL big 3"
+    "ERR_LIMIT_CELLS";
+  expect_code sock "A: HOM past the cost budget returns ERR_LIMIT_COST" "HOM big 9"
+    "ERR_LIMIT_COST";
+  expect_ok sock "A: small work still fine after guard trips" "WL g";
+
+  (* The governance counters surfaced in STATS. *)
+  (match request sock "STATS" with
+  | `Line stats ->
+      check "A: STATS counts rejected connections" (contains ~needle:"\"conns_rejected\":" stats);
+      check "A: STATS counts dropped connections" (contains ~needle:"\"conns_dropped\":" stats);
+      check "A: at least one rejection recorded"
+        (not (contains ~needle:"\"conns_rejected\":0" stats));
+      check "A: at least one drop recorded" (not (contains ~needle:"\"conns_dropped\":0" stats))
+  | `Eof | `Timeout -> check "A: STATS after faults" false);
+
+  Unix.kill daemon Sys.sigterm;
+  check "A: SIGTERM exits cleanly after all faults" (wait_exit daemon = Some 0);
+  check "A: metrics dumped after faults" (Sys.file_exists metrics_file)
+
+(* --- phase B: snapshot faults -------------------------------------------- *)
+
+let phase_b glqld dir =
+  let snap = Filename.concat dir "fault_b.glqs" in
+  let out n = Filename.concat dir (Printf.sprintf "daemon_b%d.out" n) in
+  let boot n =
+    let sock = Filename.concat dir (Printf.sprintf "fault_b%d.sock" n) in
+    let pid = spawn_daemon glqld [ "--socket"; sock; "--snapshot"; snap ] ~stdout_file:(out n) in
+    wait_for_socket sock;
+    (pid, sock)
+  in
+
+  (* Garbage where the snapshot should be: boot must come up cold. *)
+  let oc = open_out_bin snap in
+  output_string oc "JUNKJUNKJUNKJUNK this is not a snapshot";
+  close_out oc;
+  let pid1, sock1 = boot 1 in
+  expect_ok sock1 "B: boot survives a garbage snapshot" "PING";
+  (match request sock1 "STATS" with
+  | `Line stats ->
+      check "B: garbage snapshot boots cold" (contains ~needle:"\"restored\":null" stats)
+  | `Eof | `Timeout -> check "B: garbage snapshot boots cold" false);
+
+  (* Build some state and SAVE it; then race a second SAVE with SIGKILL.
+     The atomic tmp+rename write means the target stays the valid first
+     snapshot no matter where the kill lands. *)
+  expect_ok sock1 "B: LOAD cycle2000" "LOAD g cycle2000";
+  expect_ok sock1 "B: WL warms the coloring cache" "WL g";
+  expect_ok sock1 "B: LOAD petersen" "LOAD h petersen";
+  expect_ok sock1 "B: KWL warms the coloring cache" "KWL h 2";
+  expect_ok sock1 "B: first SAVE succeeds" (Printf.sprintf "SAVE %s" snap);
+  let fd = connect sock1 in
+  send_line fd (Printf.sprintf "SAVE %s" snap);
+  Unix.kill pid1 Sys.sigkill;
+  ignore (wait_exit pid1);
+  close_quiet fd;
+
+  (* Boot from whatever the kill left behind: must be the valid save. *)
+  let pid2, sock2 = boot 2 in
+  expect_ok sock2 "B: boot after kill-mid-SAVE" "PING";
+  (match request sock2 "STATS" with
+  | `Line stats ->
+      check "B: kill-mid-SAVE leaves a restorable snapshot"
+        (contains ~needle:"\"restored\":{" stats)
+  | `Eof | `Timeout -> check "B: kill-mid-SAVE leaves a restorable snapshot" false);
+  (match request sock2 "WL g" with
+  | `Line reply ->
+      check "B: restored coloring answers warm"
+        (String.sub reply 0 2 = "OK" && contains ~needle:"\"coloring_cache\":\"hit\"" reply)
+  | `Eof | `Timeout -> check "B: restored coloring answers warm" false);
+  Unix.kill pid2 Sys.sigkill;
+  ignore (wait_exit pid2);
+
+  (* Truncate the snapshot mid-container: the CRC framing must reject it
+     and the daemon boot cold, not crash. *)
+  let whole = read_file snap in
+  let oc = open_out_bin snap in
+  output_string oc (String.sub whole 0 (min 20 (String.length whole)));
+  close_out oc;
+  let pid3, sock3 = boot 3 in
+  expect_ok sock3 "B: boot survives a truncated snapshot" "PING";
+  (match request sock3 "STATS" with
+  | `Line stats ->
+      check "B: truncated snapshot boots cold" (contains ~needle:"\"restored\":null" stats)
+  | `Eof | `Timeout -> check "B: truncated snapshot boots cold" false);
+  Unix.kill pid3 Sys.sigterm;
+  check "B: clean exit after snapshot faults" (wait_exit pid3 = Some 0)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  at_exit kill_all;
+  let glqld =
+    match Sys.argv with
+    | [| _; d |] -> d
+    | _ ->
+        prerr_endline "usage: fault <glqld.exe>";
+        exit 2
+  in
+  let dir = Filename.temp_file "glqld_fault" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  phase_a glqld dir;
+  phase_b glqld dir;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d fault-injection check(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "all fault-injection checks passed"

@@ -599,6 +599,175 @@ let test_cache_clear_resets_entries () =
   check_int "colorings cleared" 0 (List.assoc "coloring_entries" after);
   check_int "miss counters survive" 1 (List.assoc "plan_misses" after)
 
+(* --- governance: error codes, deadlines, limits -------------------------- *)
+
+module Line_buf = Glql_server.Line_buf
+module Clock = Glql_util.Clock
+
+let code_of reply =
+  (* Replies look like: ERR {"code":"ERR_X","message":"..."} *)
+  let marker = "\"code\":\"" in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length reply then None
+    else if String.sub reply i ml = marker then
+      let j = String.index_from reply (i + ml) '"' in
+      Some (String.sub reply (i + ml) (j - i - ml))
+    else find (i + 1)
+  in
+  find 0
+
+let test_error_codes () =
+  let t = make_server () in
+  let expect line code =
+    let reply = Server.handle_line t line in
+    check_bool (Printf.sprintf "ERR reply for %S" line) false (P.is_ok reply);
+    Alcotest.(check (option string)) (Printf.sprintf "code for %S" line) (Some code)
+      (code_of reply)
+  in
+  expect "garbage request" "ERR_PARSE";
+  expect "QUERY nosuchgraph 'agg_sum{x2}([1] | E(x1,x2))'" "ERR_UNKNOWN_GRAPH";
+  expect "QUERY petersen 'agg_sum{x2}(['" "ERR_QUERY";
+  expect "LOAD g nosuchgenerator" "ERR_BAD_SPEC";
+  expect "KWL petersen 7" "ERR_BAD_ARG";
+  expect "HOM petersen 99" "ERR_BAD_ARG";
+  expect "RESTORE /nonexistent/snap.glqs" "ERR_SNAPSHOT";
+  (* The overflow-proof cell guard now carries its own code. *)
+  let big =
+    "agg_sum{x10}([1] | product(E(x1,x2), product(E(x3,x4), product(E(x5,x6), \
+     product(E(x7,x8), E(x9,x10))))))"
+  in
+  expect (Printf.sprintf "QUERY cycle150 '%s'" big) "ERR_LIMIT_CELLS";
+  (* OK replies are unchanged by the structured-error work. *)
+  check_bool "ok reply intact" true (P.is_ok (Server.handle_line t "PING"))
+
+let test_hom_cost_guard () =
+  let t = make_server () in
+  (* cycle5000 at pattern size 9: ~95 patterns x 9 vertices x (n + 2m) =
+     95 * 9 * 15000 = 1.28e7 cells of DP work per the guard's estimate —
+     over the 4M default budget, rejected before any evaluation. *)
+  let reply = Server.handle_line t "HOM cycle5000 9" in
+  check_bool "oversized HOM rejected" false (P.is_ok reply);
+  Alcotest.(check (option string)) "cost guard code" (Some "ERR_LIMIT_COST") (code_of reply);
+  (* Small graphs still pass the guard and evaluate. *)
+  check_bool "petersen HOM still ok" true (P.is_ok (Server.handle_line t "HOM petersen 9"))
+
+let test_deadline_cancels_kernels () =
+  (* A timeout far below the kernels' runtime: the cooperative checks
+     inside WL / k-WL / HOM must abort mid-computation with ERR_DEADLINE
+     (the pre-stage checks may also fire; either way the code is the
+     deadline code and the reply is prompt). *)
+  let t =
+    Server.create
+      { Server.default_config with Server.socket_path = None; request_timeout_s = 0.003 }
+  in
+  let expect_deadline line =
+    let reply = Server.handle_line t line in
+    check_bool (Printf.sprintf "cancelled: %s" line) false (P.is_ok reply);
+    Alcotest.(check (option string)) (Printf.sprintf "deadline code for %s" line)
+      (Some "ERR_DEADLINE") (code_of reply)
+  in
+  (* 3-WL on grid6x6 walks 46656 tuples per round — hundreds of ms. *)
+  expect_deadline "KWL grid6x6 3";
+  (* Colour refinement on path5000 stabilises only after ~2500 rounds. *)
+  expect_deadline "WL path5000";
+  (* grid30x30 at size 9 passes the cost guard (~3.7M < 4M) but the
+     per-pattern deadline check fires during profile evaluation. *)
+  expect_deadline "HOM grid30x30 9";
+  (* The same server still answers instant requests fine. *)
+  check_bool "cheap request unaffected" true (P.is_ok (Server.handle_line t "PING"));
+  check_bool "small graph unaffected" true (P.is_ok (Server.handle_line t "WL petersen"))
+
+let prop_parse_request_total =
+  qtest ~count:500 "parse_request never raises" QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match P.parse_request s with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+(* --- line framing --------------------------------------------------------- *)
+
+let feed_ok lb s =
+  match Line_buf.feed_string lb s with
+  | Ok lines -> lines
+  | Error _ -> Alcotest.fail "unexpected Line_buf error"
+
+let test_line_buf_framing () =
+  let lb = Line_buf.create () in
+  Alcotest.(check (list string)) "partial line held" [] (feed_ok lb "PI");
+  check_int "pending counted" 2 (Line_buf.pending_bytes lb);
+  Alcotest.(check (list string)) "completed on newline" [ "PING" ] (feed_ok lb "NG\n");
+  check_int "pending drained" 0 (Line_buf.pending_bytes lb);
+  Alcotest.(check (list string)) "many lines one chunk" [ "a"; "b"; "c" ]
+    (feed_ok lb "a\nb\nc\n");
+  Alcotest.(check (list string)) "crlf stripped" [ "HELLO" ] (feed_ok lb "HELLO\r\n");
+  Alcotest.(check (list string)) "tail kept after lines" [ "x" ] (feed_ok lb "x\nQUE");
+  Alcotest.(check (list string)) "tail completes later" [ "QUERY" ] (feed_ok lb "RY\n");
+  Alcotest.(check (list string)) "empty lines surface" [ ""; "" ] (feed_ok lb "\n\n")
+
+let test_line_buf_limits () =
+  (* Line limit: a complete line over the cap errors even when it arrives
+     in one gulp alongside the newline. *)
+  let lb = Line_buf.create ~max_line_bytes:8 () in
+  check_bool "long line rejected" true
+    (match Line_buf.feed_string lb "0123456789ABCDEF\n" with
+    | Error (Line_buf.Line_too_long 8) -> true
+    | _ -> false);
+  (* Poisoned: even a harmless feed keeps failing. *)
+  check_bool "poisoned after error" true
+    (match Line_buf.feed_string lb "ok\n" with Error _ -> true | Ok _ -> false);
+  (* Short lines under the same cap are fine. *)
+  let lb2 = Line_buf.create ~max_line_bytes:8 () in
+  Alcotest.(check (list string)) "short lines pass" [ "PING"; "STATS" ]
+    (feed_ok lb2 "PING\nSTATS\n");
+  (* Buffer limit: newline-less flood trips Buffer_overflow. *)
+  let lb3 = Line_buf.create ~max_buf_bytes:16 () in
+  check_bool "flood rejected" true
+    (match Line_buf.feed_string lb3 (String.make 64 'a') with
+    | Error (Line_buf.Buffer_overflow 16) -> true
+    | _ -> false);
+  (* A pipelined chunk bigger than max_buf_bytes is fine as long as the
+     unconsumed tail stays under the cap — limits meter buffered bytes,
+     not throughput. *)
+  let lb4 = Line_buf.create ~max_buf_bytes:16 () in
+  let payload = String.concat "" (List.init 10 (fun i -> Printf.sprintf "line%d\n" i)) in
+  check_int "big pipelined chunk ok" 10 (List.length (feed_ok lb4 payload))
+
+let prop_line_buf_reassembly =
+  (* However a '\n'-terminated payload is chunked, the reassembled lines
+     are exactly the split of the payload. *)
+  qtest ~count:200 "line_buf chunking invariant"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 8) (string_of_size Gen.(0 -- 12)))
+        (list_of_size Gen.(1 -- 12) (int_range 1 7)))
+    (fun (raw_lines, chunk_sizes) ->
+      let lines =
+        List.map
+          (String.map (fun c -> if c = '\n' || c = '\r' then '.' else c))
+          raw_lines
+      in
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let lb = Line_buf.create () in
+      let out = ref [] in
+      let pos = ref 0 in
+      let sizes = ref chunk_sizes in
+      while !pos < String.length payload do
+        let size =
+          match !sizes with
+          | s :: rest ->
+              sizes := rest @ [ s ];
+              s
+          | [] -> 1
+        in
+        let len = min size (String.length payload - !pos) in
+        (match Line_buf.feed_string lb (String.sub payload !pos len) with
+        | Ok ls -> out := !out @ ls
+        | Error _ -> Alcotest.fail "limits disabled: no error possible");
+        pos := !pos + len
+      done;
+      !out = lines && Line_buf.pending_bytes lb = 0)
+
 let suite =
   ( "server",
     [
@@ -630,4 +799,11 @@ let suite =
       case "persistence: malformed snapshot leaves state" test_restore_malformed_leaves_state;
       case "persistence: reload after restore stays fresh" test_restore_then_reload_stays_fresh;
       case "cache clear" test_cache_clear_resets_entries;
+      case "error codes are structured" test_error_codes;
+      case "HOM cost guard" test_hom_cost_guard;
+      case "deadline cancels kernels" test_deadline_cancels_kernels;
+      prop_parse_request_total;
+      case "line_buf framing" test_line_buf_framing;
+      case "line_buf limits" test_line_buf_limits;
+      prop_line_buf_reassembly;
     ] )

@@ -134,7 +134,7 @@ let test_fmt_float () =
   Alcotest.(check string) "fractional" "0.5000" (Tbl.fmt_float 0.5)
 
 let test_lru_eviction_order () =
-  let c = Lru.create ~capacity:3 in
+  let c = Lru.create ~capacity:3 () in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   Lru.put c "c" 3;
@@ -149,7 +149,7 @@ let test_lru_eviction_order () =
   Alcotest.(check (list string)) "mru order" [ "d"; "a"; "c" ] (Lru.keys_mru_first c)
 
 let test_lru_counters () =
-  let c = Lru.create ~capacity:2 in
+  let c = Lru.create ~capacity:2 () in
   check_bool "miss on empty" true (Lru.get c "x" = None);
   Lru.put c "x" 10;
   check_bool "hit" true (Lru.get c "x" = Some 10);
@@ -167,7 +167,7 @@ let test_lru_counters () =
   check_int "misses after find_or_add" 3 (Lru.misses c)
 
 let test_lru_update_moves_front () =
-  let c = Lru.create ~capacity:2 in
+  let c = Lru.create ~capacity:2 () in
   Lru.put c "a" 1;
   Lru.put c "b" 2;
   (* Re-putting "a" refreshes it, so "b" is the one evicted. *)
@@ -178,14 +178,14 @@ let test_lru_update_moves_front () =
   check_int "length at capacity" 2 (Lru.length c)
 
 let test_lru_capacity_one () =
-  let c = Lru.create ~capacity:1 in
+  let c = Lru.create ~capacity:1 () in
   Lru.put c 1 "one";
   Lru.put c 2 "two";
   check_bool "old gone" false (Lru.mem c 1);
   check_bool "new present" true (Lru.mem c 2);
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Lru.create: capacity must be at least 1") (fun () ->
-      ignore (Lru.create ~capacity:0));
+      ignore (Lru.create ~capacity:0 ()));
   Lru.clear c;
   check_int "cleared" 0 (Lru.length c);
   check_bool "clear keeps counters" true (Lru.misses c >= 0)
@@ -202,6 +202,57 @@ let test_clock_monotonic () =
   let d = Clock.deadline_after 3600.0 in
   check_bool "future deadline not expired" true (not (Clock.expired d));
   check_bool "past deadline expired" true (Clock.expired (Some (Int64.sub (Clock.now_ns ()) 1L)))
+
+let test_lru_byte_budget () =
+  (* Three 40-byte entries fit a 100-byte budget only two at a time. *)
+  let c = Lru.create ~max_bytes:100 ~capacity:10 () in
+  Lru.put ~bytes:40 c "a" 1;
+  Lru.put ~bytes:40 c "b" 2;
+  check_int "bytes accumulate" 80 (Lru.bytes_used c);
+  Lru.put ~bytes:40 c "c" 3;
+  check_bool "a evicted by byte budget" false (Lru.mem c "a");
+  check_bool "b survives" true (Lru.mem c "b");
+  check_bool "c survives" true (Lru.mem c "c");
+  check_int "bytes after eviction" 80 (Lru.bytes_used c);
+  check_int "byte eviction counted" 1 (Lru.evictions c);
+  check_int "budget accessor" 100 (Lru.max_bytes c)
+
+let test_lru_byte_replace () =
+  (* Replacing a key re-accounts its bytes rather than double-counting. *)
+  let c = Lru.create ~max_bytes:100 ~capacity:10 () in
+  Lru.put ~bytes:60 c "a" 1;
+  Lru.put ~bytes:20 c "a" 2;
+  check_int "replace re-accounts" 20 (Lru.bytes_used c);
+  check_bool "replaced value" true (Lru.get c "a" = Some 2);
+  Lru.put ~bytes:80 c "b" 3;
+  check_bool "both fit after shrink" true (Lru.mem c "a" && Lru.mem c "b");
+  check_int "full budget used" 100 (Lru.bytes_used c)
+
+let test_lru_oversized_rejected () =
+  (* An entry bigger than the whole budget must not flush the cache. *)
+  let c = Lru.create ~max_bytes:100 ~capacity:10 () in
+  Lru.put ~bytes:50 c "a" 1;
+  Lru.put ~bytes:500 c "huge" 2;
+  check_bool "oversized not inserted" false (Lru.mem c "huge");
+  check_bool "existing entry survives" true (Lru.mem c "a");
+  check_int "bytes unchanged" 50 (Lru.bytes_used c);
+  (* Re-putting an existing key with an oversized estimate drops the stale
+     binding instead of keeping the old value under a lying size. *)
+  Lru.put ~bytes:500 c "a" 3;
+  check_bool "stale binding dropped" false (Lru.mem c "a");
+  check_int "empty after drop" 0 (Lru.bytes_used c);
+  (* clear resets the byte gauge. *)
+  Lru.put ~bytes:30 c "x" 1;
+  Lru.clear c;
+  check_int "clear resets bytes" 0 (Lru.bytes_used c)
+
+let test_clock_check () =
+  (* Clock.check is the cooperative-cancellation primitive threaded
+     through the WL/k-WL/HOM kernels. *)
+  Clock.check None;
+  Clock.check (Clock.deadline_after 3600.0);
+  Alcotest.check_raises "past deadline raises" Clock.Deadline_exceeded (fun () ->
+      Clock.check (Some (Int64.sub (Clock.now_ns ()) 1L)))
 
 let suite =
   ( "util",
@@ -228,4 +279,8 @@ let suite =
       case "lru update refreshes" test_lru_update_moves_front;
       case "lru capacity edge cases" test_lru_capacity_one;
       case "clock helpers" test_clock_monotonic;
+      case "lru byte budget eviction" test_lru_byte_budget;
+      case "lru byte budget replace" test_lru_byte_replace;
+      case "lru oversized entries rejected" test_lru_oversized_rejected;
+      case "clock cooperative check" test_clock_check;
     ] )
