@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail when a fresh `bench --json` run regresses against the committed baseline.
+
+Usage: check_regression.py BASELINE.json FRESH.json
+           [--tolerance 0.30] [--min-ms 0.25] [--absolute]
+
+Both files are the row lists `bench --json` writes: objects with a "name"
+and a "time_ns" field (plus optional extras). Only rows present in both
+files are compared; rows that exist on one side only are reported but
+never fail the check (benchmarks come and go across PRs).
+
+CI runners and the machine that produced the committed baseline run at
+different speeds, so raw nanosecond comparisons would flag every row on a
+slower runner. By default the check therefore normalises by the median
+fresh/baseline ratio across all common rows — the machine-speed factor —
+and fails on rows whose *normalised* ratio exceeds 1 + tolerance: a real
+regression is a row that got slower relative to everything else. Pass
+--absolute to compare raw ratios instead (useful when baseline and fresh
+come from the same machine).
+
+Rows whose baseline time is below --min-ms (default 0.25 ms) are
+compared and printed but cannot fail the check: at that scale the
+run-to-run noise of a timing harness on a shared runner is comparable
+to the tolerance itself, so gating on them would flap. A real
+regression in a micro-kernel still shows up in the larger rows that
+call it.
+"""
+
+import json
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    for row in rows:
+        ns = row.get("time_ns")
+        if isinstance(ns, (int, float)) and ns == ns and ns > 0:  # drop NaN / n-a rows
+            out[row["name"]] = float(ns)
+    return out
+
+
+def main(argv):
+    tolerance = 0.30
+    min_ms = 0.25
+    absolute = False
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--tolerance":
+            tolerance = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--min-ms":
+            min_ms = float(argv[i + 1])
+            i += 2
+        elif argv[i] == "--absolute":
+            absolute = True
+            i += 1
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) != 2:
+        sys.exit(__doc__.strip())
+
+    baseline = load_rows(args[0])
+    fresh = load_rows(args[1])
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        sys.exit("no common benchmark rows between baseline and fresh run")
+    for name in sorted(set(baseline) ^ set(fresh)):
+        side = "baseline" if name in baseline else "fresh"
+        print(f"note: {name} only in {side} run, skipped")
+
+    ratios = {name: fresh[name] / baseline[name] for name in common}
+    speed = 1.0 if absolute else statistics.median(ratios.values())
+    print(f"{len(common)} common rows; machine-speed factor {speed:.3f} "
+          f"({'absolute' if absolute else 'median-normalised'}), tolerance {tolerance:.0%}")
+
+    failed = []
+    for name in common:
+        normalised = ratios[name] / speed
+        marker = ""
+        if normalised > 1.0 + tolerance:
+            if baseline[name] >= min_ms * 1e6:
+                failed.append(name)
+                marker = "  <-- REGRESSION"
+            else:
+                marker = "  (over tolerance, below floor — informational)"
+        print(f"{name:45s} {baseline[name] / 1e6:12.3f}ms -> {fresh[name] / 1e6:12.3f}ms"
+              f"  x{normalised:5.2f}{marker}")
+
+    if failed:
+        sys.exit(f"{len(failed)} row(s) regressed more than {tolerance:.0%}: "
+                 + ", ".join(failed))
+    print("no regression beyond tolerance")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

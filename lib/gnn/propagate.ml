@@ -10,7 +10,15 @@
    sequential loop order, results are bit-identical for every pool size.
    Adjacency lists are sorted, so the gather form of the mean backward
    also accumulates contributions in the same vertex order as the
-   textbook scatter form. *)
+   textbook scatter form.
+
+   The kernels iterate the graph's flat CSR view and the matrices'
+   row-major backing stores directly: neighbour rows are contiguous
+   slices of [adjacency], matrix rows are [v*d ..] slices of [Mat.data],
+   and all indices are in range by construction, so the inner loops are
+   plain unsafe float-array arithmetic. Accumulation order (sorted
+   neighbours outer, columns inner) is exactly the per-element order of
+   the [Mat.get]/[Mat.set] formulation, keeping results bit-identical. *)
 
 module Mat = Glql_tensor.Mat
 module Graph = Glql_graph.Graph
@@ -32,13 +40,18 @@ let add_sum_neighbors ~into g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
   if Mat.rows into <> n || Mat.cols into <> d then
     invalid_arg "Propagate.add_sum_neighbors: bad output shape";
+  let csr = Graph.csr g in
+  let offsets = csr.Graph.Csr.offsets and adjacency = csr.Graph.Csr.adjacency in
+  let src = Mat.data h and dst = Mat.data into in
   rows_over n d (fun v ->
-      Array.iter
-        (fun u ->
-          for j = 0 to d - 1 do
-            Mat.set into v j (Mat.get into v j +. Mat.get h u j)
-          done)
-        (Graph.neighbors g v))
+      let vb = v * d in
+      for i = offsets.(v) to offsets.(v + 1) - 1 do
+        let ub = Array.unsafe_get adjacency i * d in
+        for j = 0 to d - 1 do
+          Array.unsafe_set dst (vb + j)
+            (Array.unsafe_get dst (vb + j) +. Array.unsafe_get src (ub + j))
+        done
+      done)
 
 let sum_neighbors g h =
   let out = Mat.zeros (Graph.n_vertices g) (Mat.cols h) in
@@ -48,12 +61,17 @@ let sum_neighbors g h =
 (* Mean over neighbours; isolated vertices get the zero vector. *)
 let mean_neighbors g h =
   let out = sum_neighbors g h in
+  let d = Mat.cols h in
+  let degrees = (Graph.csr g).Graph.Csr.degrees in
+  let dst = Mat.data out in
   for v = 0 to Graph.n_vertices g - 1 do
-    let deg = Graph.degree g v in
-    if deg > 0 then
-      for j = 0 to Mat.cols h - 1 do
-        Mat.set out v j (Mat.get out v j /. float_of_int deg)
+    let deg = degrees.(v) in
+    if deg > 0 then begin
+      let vb = v * d and fdeg = float_of_int deg in
+      for j = 0 to d - 1 do
+        Array.unsafe_set dst (vb + j) (Array.unsafe_get dst (vb + j) /. fdeg)
       done
+    end
   done;
   out
 
@@ -62,14 +80,22 @@ let mean_neighbors g h =
 let mean_neighbors_backward g dz =
   let n = Graph.n_vertices g and d = Mat.cols dz in
   let out = Mat.zeros n d in
+  let csr = Graph.csr g in
+  let offsets = csr.Graph.Csr.offsets
+  and adjacency = csr.Graph.Csr.adjacency
+  and degrees = csr.Graph.Csr.degrees in
+  let src = Mat.data dz and dst = Mat.data out in
   rows_over n d (fun u ->
-      Array.iter
-        (fun v ->
-          let inv = 1.0 /. float_of_int (Graph.degree g v) in
-          for j = 0 to d - 1 do
-            Mat.set out u j (Mat.get out u j +. (inv *. Mat.get dz v j))
-          done)
-        (Graph.neighbors g u));
+      let ub = u * d in
+      for i = offsets.(u) to offsets.(u + 1) - 1 do
+        let v = Array.unsafe_get adjacency i in
+        let inv = 1.0 /. float_of_int (Array.unsafe_get degrees v) in
+        let vb = v * d in
+        for j = 0 to d - 1 do
+          Array.unsafe_set dst (ub + j)
+            (Array.unsafe_get dst (ub + j) +. (inv *. Array.unsafe_get src (vb + j)))
+        done
+      done);
   out
 
 (* Max over neighbours with the argmax cache (first max wins); isolated
@@ -78,13 +104,20 @@ let max_neighbors g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
   let out = Mat.zeros n d in
   let arg = Array.make_matrix n d (-1) in
+  let csr = Graph.csr g in
+  let offsets = csr.Graph.Csr.offsets and adjacency = csr.Graph.Csr.adjacency in
+  let src = Mat.data h and dst = Mat.data out in
   rows_over n d (fun v ->
-      let nb = Graph.neighbors g v in
-      if Array.length nb > 0 then
+      let lo = offsets.(v) and hi = offsets.(v + 1) in
+      if hi > lo then
         for j = 0 to d - 1 do
-          let best = ref nb.(0) in
-          Array.iter (fun u -> if Mat.get h u j > Mat.get h !best j then best := u) nb;
-          Mat.set out v j (Mat.get h !best j);
+          let best = ref adjacency.(lo) in
+          for i = lo to hi - 1 do
+            let u = Array.unsafe_get adjacency i in
+            if Array.unsafe_get src ((u * d) + j) > Array.unsafe_get src ((!best * d) + j)
+            then best := u
+          done;
+          Array.unsafe_set dst ((v * d) + j) (Array.unsafe_get src ((!best * d) + j));
           arg.(v).(j) <- !best
         done);
   (out, arg)
@@ -107,18 +140,27 @@ let max_neighbors_backward g arg dz =
    backward operator. *)
 let gcn_neighbors g h =
   let n = Graph.n_vertices g and d = Mat.cols h in
-  let inv_sqrt_deg = Array.init n (fun v -> 1.0 /. sqrt (float_of_int (Graph.degree g v + 1))) in
+  let csr = Graph.csr g in
+  let offsets = csr.Graph.Csr.offsets
+  and adjacency = csr.Graph.Csr.adjacency
+  and degrees = csr.Graph.Csr.degrees in
+  let inv_sqrt_deg = Array.init n (fun v -> 1.0 /. sqrt (float_of_int (degrees.(v) + 1))) in
   let out = Mat.zeros n d in
+  let src = Mat.data h and dst = Mat.data out in
   rows_over n d (fun v ->
-      let self_coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(v) in
+      let vb = v * d in
+      let isd_v = Array.unsafe_get inv_sqrt_deg v in
+      let self_coef = isd_v *. isd_v in
       for j = 0 to d - 1 do
-        Mat.set out v j (self_coef *. Mat.get h v j)
+        Array.unsafe_set dst (vb + j) (self_coef *. Array.unsafe_get src (vb + j))
       done;
-      Array.iter
-        (fun u ->
-          let coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(u) in
-          for j = 0 to d - 1 do
-            Mat.set out v j (Mat.get out v j +. (coef *. Mat.get h u j))
-          done)
-        (Graph.neighbors g v));
+      for i = offsets.(v) to offsets.(v + 1) - 1 do
+        let u = Array.unsafe_get adjacency i in
+        let coef = isd_v *. Array.unsafe_get inv_sqrt_deg u in
+        let ub = u * d in
+        for j = 0 to d - 1 do
+          Array.unsafe_set dst (vb + j)
+            (Array.unsafe_get dst (vb + j) +. (coef *. Array.unsafe_get src (ub + j)))
+        done
+      done);
   out

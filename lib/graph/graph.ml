@@ -6,11 +6,45 @@
 
 module Vec = Glql_tensor.Vec
 
+(* Flat CSR/SoA view: the compute core's input format. [offsets] has
+   length n+1 and vertex v's sorted neighbours occupy
+   [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)]; labels are
+   packed row-major into one Bigarray float matrix. Hot kernels (WL
+   rounds, propagation, the hom-count tree DP) iterate these flat arrays
+   instead of chasing the per-vertex [adj] rows, and the snapshot store
+   serialises exactly the [offsets]/[adjacency] pair. *)
+module Csr = struct
+  type t = {
+    offsets : int array;
+    adjacency : int array;
+    degrees : int array;
+    labels : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t;
+  }
+
+  (* Binary-search membership on the flat row of [u]; vertices must be in
+     range (out-of-range indices fail the array bounds check). *)
+  let has_edge c u v =
+    let lo = ref c.offsets.(u) and hi = ref c.offsets.(u + 1) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = c.adjacency.(mid) in
+      if w = v then found := true else if w < v then lo := mid + 1 else hi := mid
+    done;
+    !found
+end
+
 type t = {
   n : int;
   adj : int array array;
   labels : Vec.t array;
   label_dim : int;
+  (* Lazily-built flat view, memoized per graph. The graph is immutable
+     from the outside, so the memo can only go from None to Some of an
+     equal value; a concurrent double-build is benign (last write wins,
+     both values are correct). [with_labels] refreshes the label matrix
+     but keeps the structural arrays. *)
+  mutable csr_memo : Csr.t option;
 }
 
 let n_vertices g = g.n
@@ -78,10 +112,22 @@ let create ~n ~edges ~labels =
   Array.iter
     (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.create: ragged labels")
     labels;
-  { n; adj = normalize_adjacency n edges; labels = Array.map Vec.copy labels; label_dim }
+  { n; adj = normalize_adjacency n edges; labels = Array.map Vec.copy labels; label_dim;
+    csr_memo = None }
 
 let unlabelled ~n ~edges =
   create ~n ~edges ~labels:(Array.make n [| 1.0 |])
+
+(* Pack a label array into the CSR view's row-major float matrix. *)
+let pack_labels n label_dim labels =
+  let m = Bigarray.Array2.create Bigarray.float64 Bigarray.c_layout n label_dim in
+  for v = 0 to n - 1 do
+    let lv = labels.(v) in
+    for j = 0 to label_dim - 1 do
+      Bigarray.Array2.unsafe_set m v j lv.(j)
+    done
+  done;
+  m
 
 let with_labels g labels =
   if Array.length labels <> g.n then invalid_arg "Graph.with_labels: |labels| <> n";
@@ -89,7 +135,15 @@ let with_labels g labels =
   Array.iter
     (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.with_labels: ragged labels")
     labels;
-  { g with labels = Array.map Vec.copy labels; label_dim }
+  let copied = Array.map Vec.copy labels in
+  (* The structure is unchanged, so a built flat view stays valid with a
+     repacked label matrix; only a relabelling invalidates it. *)
+  let csr_memo =
+    match g.csr_memo with
+    | Some c -> Some { c with Csr.labels = pack_labels g.n label_dim copied }
+    | None -> None
+  in
+  { g with labels = copied; label_dim; csr_memo }
 
 (* One-hot encode a finite colour alphabet (slide 6's "hot-one encoding"). *)
 let with_one_hot_labels g colors ~n_colors =
@@ -103,21 +157,49 @@ let with_one_hot_labels g colors ~n_colors =
   in
   with_labels g labels
 
-(* CSR view: [offsets] of length n+1 and the concatenation of all (sorted)
-   neighbour lists — the packed form the snapshot store writes to disk. *)
-let to_csr g =
+(* Build the flat view from the per-vertex rows: one offsets pass, one
+   blit per row, labels packed into the float matrix. *)
+let build_csr g =
+  Glql_util.Trace.with_span
+    ~args:[ ("n", string_of_int g.n) ]
+    "csr.build"
+  @@ fun () ->
   let offsets = Array.make (g.n + 1) 0 in
   for v = 0 to g.n - 1 do
     offsets.(v + 1) <- offsets.(v) + Array.length g.adj.(v)
   done;
-  let adjacency = Array.concat (Array.to_list g.adj) in
-  (offsets, adjacency)
+  let adjacency = Array.make (max 1 offsets.(g.n)) 0 in
+  let adjacency = if offsets.(g.n) = 0 then [||] else adjacency in
+  for v = 0 to g.n - 1 do
+    Array.blit g.adj.(v) 0 adjacency offsets.(v) (Array.length g.adj.(v))
+  done;
+  let degrees = Array.init g.n (fun v -> Array.length g.adj.(v)) in
+  { Csr.offsets; adjacency; degrees; labels = pack_labels g.n g.label_dim g.labels }
+
+let csr g =
+  match g.csr_memo with
+  | Some c -> c
+  | None ->
+      let c = build_csr g in
+      g.csr_memo <- Some c;
+      c
+
+(* CSR view: [offsets] of length n+1 and the concatenation of all (sorted)
+   neighbour lists — the packed form the snapshot store writes to disk.
+   Served from the memoized flat view, so repeated calls are O(1); the
+   returned arrays are that view and must not be mutated. *)
+let to_csr g =
+  let c = csr g in
+  (c.Csr.offsets, c.Csr.adjacency)
 
 (* Rebuild a graph from a CSR view, validating every representation
    invariant (the input may come from an untrusted snapshot file):
    monotone offsets covering the adjacency array exactly, rows strictly
    increasing (sorted, deduplicated, no self-loop), entries in range, and
-   symmetry of the edge relation. Raises [Invalid_argument] otherwise. *)
+   symmetry of the edge relation. Raises [Invalid_argument] otherwise.
+   Rows are checked in place on the flat arrays (symmetry by binary
+   search on the mirror row), with no intermediate structures built
+   before validation passes. *)
 let of_csr ~n ~offsets ~adjacency ~labels =
   if n < 0 then invalid_arg "Graph.of_csr: negative vertex count";
   if Array.length offsets <> n + 1 then invalid_arg "Graph.of_csr: |offsets| <> n+1";
@@ -132,27 +214,39 @@ let of_csr ~n ~offsets ~adjacency ~labels =
   Array.iter
     (fun l -> if Vec.dim l <> label_dim then invalid_arg "Graph.of_csr: ragged labels")
     labels;
-  let adj =
-    Array.init n (fun v ->
-        let row = Array.sub adjacency offsets.(v) (offsets.(v + 1) - offsets.(v)) in
-        Array.iteri
-          (fun i u ->
-            if u < 0 || u >= n then invalid_arg "Graph.of_csr: neighbour out of range";
-            if u = v then invalid_arg "Graph.of_csr: self-loop";
-            if i > 0 && row.(i - 1) >= u then
-              invalid_arg "Graph.of_csr: row not strictly increasing")
-          row;
-        row)
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    for i = lo to hi - 1 do
+      let u = adjacency.(i) in
+      if u < 0 || u >= n then invalid_arg "Graph.of_csr: neighbour out of range";
+      if u = v then invalid_arg "Graph.of_csr: self-loop";
+      if i > lo && adjacency.(i - 1) >= u then
+        invalid_arg "Graph.of_csr: row not strictly increasing"
+    done
+  done;
+  (* Symmetry: every (v, u) arc must have its mirror, located by binary
+     search on u's flat row (rows are strictly increasing by now). *)
+  let mirror u v =
+    let lo = ref offsets.(u) and hi = ref offsets.(u + 1) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = adjacency.(mid) in
+      if w = v then found := true else if w < v then lo := mid + 1 else hi := mid
+    done;
+    !found
   in
-  let g = { n; adj; labels = Array.map Vec.copy labels; label_dim } in
-  (* Symmetry: every (v, u) arc must have its mirror. *)
-  Array.iteri
-    (fun v row ->
-      Array.iter
-        (fun u -> if not (has_edge g u v) then invalid_arg "Graph.of_csr: asymmetric edge")
-        row)
-    g.adj;
-  g
+  for v = 0 to n - 1 do
+    for i = offsets.(v) to offsets.(v + 1) - 1 do
+      if not (mirror adjacency.(i) v) then invalid_arg "Graph.of_csr: asymmetric edge"
+    done
+  done;
+  let adj = Array.init n (fun v -> Array.sub adjacency offsets.(v) (offsets.(v + 1) - offsets.(v))) in
+  (* The flat view is left to build lazily on first kernel use rather
+     than seeded from the input here: copying the caller's arrays into a
+     memo would bill every snapshot restore for views it may never
+     touch. *)
+  { n; adj; labels = Array.map Vec.copy labels; label_dim; csr_memo = None }
 
 let edges g =
   let out = ref [] in

@@ -4,6 +4,24 @@
 
 module Vec = Glql_tensor.Vec
 
+(** Flat CSR/SoA view of a graph: structure as two packed int arrays,
+    labels as one Bigarray-backed float matrix (row [v] is vertex [v]'s
+    label vector). Built lazily once per graph and memoized, so every
+    kernel iterating [adjacency.(offsets.(v)) .. offsets.(v+1) - 1]
+    shares one build. The arrays are the memoized view itself — treat
+    them as read-only. *)
+module Csr : sig
+  type t = {
+    offsets : int array;  (** length [n+1]; row [v] spans [offsets.(v) .. offsets.(v+1) - 1] *)
+    adjacency : int array;  (** all sorted neighbour rows, concatenated *)
+    degrees : int array;  (** [degrees.(v) = offsets.(v+1) - offsets.(v)] *)
+    labels : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array2.t;
+  }
+
+  (** Binary-search membership on the flat rows; no bounds validation. *)
+  val has_edge : t -> int -> int -> bool
+end
+
 type t
 
 (** [create ~n ~edges ~labels] builds a simple undirected graph. Self-loops
@@ -37,10 +55,16 @@ val has_edge : t -> int -> int -> bool
 (** Edge list with [u < v], sorted lexicographically. *)
 val edges : t -> (int * int) list
 
+(** The memoized flat view of [g]; built on first use (a [csr.build]
+    trace span), O(1) afterwards. *)
+val csr : t -> Csr.t
+
 (** CSR view: [(offsets, adjacency)] where [offsets] has length [n+1]
     and vertex [v]'s sorted neighbours are
     [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)]. The
-    packed form the snapshot store serialises. *)
+    packed form the snapshot store serialises. Served from the memoized
+    {!csr} view — repeated calls are O(1), and the returned arrays must
+    not be mutated. *)
 val to_csr : t -> int array * int array
 
 (** Rebuild a graph from a CSR view. Every representation invariant is

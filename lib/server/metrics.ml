@@ -29,6 +29,7 @@ type t = {
      not the service's, and are not carried across restarts. *)
   mutable conns_rejected : int;  (* accepts refused at the connection cap *)
   mutable conns_dropped : int;  (* peers dropped for input-limit violations *)
+  mutable batch_coalesced : int;  (* requests answered from a shared batch pass *)
   by_command : (string, int) Hashtbl.t;
   by_stage : (string, stage_stat) Hashtbl.t;
   ring : int array;  (* latencies in ns; valid up to [min requests window] *)
@@ -45,6 +46,7 @@ let create () =
     bytes_out = 0;
     conns_rejected = 0;
     conns_dropped = 0;
+    batch_coalesced = 0;
     by_command = Hashtbl.create 16;
     by_stage = Hashtbl.create 16;
     ring = Array.make window 0;
@@ -97,6 +99,13 @@ let conn_dropped t = with_lock t (fun () -> t.conns_dropped <- t.conns_dropped +
 let conns_rejected t = with_lock t (fun () -> t.conns_rejected)
 
 let conns_dropped t = with_lock t (fun () -> t.conns_dropped)
+
+(* Batch coalescing lives with the governance counters: a per-process
+   fact about this life of the daemon, outside the persisted [counters]
+   record so snapshots keep their format. *)
+let add_coalesced t n = with_lock t (fun () -> t.batch_coalesced <- t.batch_coalesced + n)
+
+let batch_coalesced t = with_lock t (fun () -> t.batch_coalesced)
 
 type counters = {
   c_requests : int;
@@ -164,6 +173,7 @@ let to_json t ~extra =
           ("bytes_out", Int t.bytes_out);
           ("conns_rejected", Int t.conns_rejected);
           ("conns_dropped", Int t.conns_dropped);
+          ("batch_coalesced", Int t.batch_coalesced);
           ("latency_p50_ms", Float p50);
           ("latency_p99_ms", Float p99);
           ( "by_command",

@@ -33,6 +33,13 @@ val conns_rejected : t -> int
 
 val conns_dropped : t -> int
 
+(** Count [n] requests answered from a shared batch pass (the select
+    loop coalesced same-graph queries into one refinement/profile).
+    Per-process only, like the connection-governance counters. *)
+val add_coalesced : t -> int -> unit
+
+val batch_coalesced : t -> int
+
 (** A copyable view of the cumulative counters, for snapshots. *)
 type counters = {
   c_requests : int;

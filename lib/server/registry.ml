@@ -28,9 +28,19 @@ let generator_names = List.map fst fixed
 let generator_patterns =
   [ "cycle<N>"; "path<N>"; "complete<N>"; "star<N>"; "grid<R>x<C>"; "circulant<N>c<S>c<S>..." ]
 
-let default_max_vertices = 100_000
+(* The default caps are env-overridable so benchmark and stress setups
+   can serve corpus-scale graphs (million-edge SBM/ER and beyond) from
+   the same daemon without a rebuild; a non-positive or malformed value
+   falls back to the built-in default. *)
+let env_cap var default =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some v when v > 0 -> v | _ -> default)
 
-let default_max_edges = 4_000_000
+let default_max_vertices = env_cap "GLQL_SPEC_MAX_VERTICES" 100_000
+
+let default_max_edges = env_cap "GLQL_SPEC_MAX_EDGES" 4_000_000
 
 (* Reject oversized specs before building anything. [ne] is a thunk: edge
    formulas like n*(n-1)/2 can overflow for absurd [n], so they are only

@@ -18,7 +18,11 @@ val generator_patterns : string list
 (** Build the graph a spec describes; [Error] explains what was wrong.
     Never raises. Specs whose predicted size exceeds [max_vertices]
     (default 100k) or [max_edges] (default 4M) are rejected {e before}
-    any construction, so an oversized spec costs nothing. *)
+    any construction, so an oversized spec costs nothing. The defaults
+    are overridable per process via the [GLQL_SPEC_MAX_VERTICES] and
+    [GLQL_SPEC_MAX_EDGES] environment variables (read once at startup),
+    so bench and stress rigs can serve corpus-scale graphs without a
+    rebuild. *)
 val graph_of_spec :
   ?max_vertices:int -> ?max_edges:int -> string -> (Graph.t, string) result
 

@@ -314,8 +314,18 @@ let kwl_result t deadline graph_name k =
          ("coloring_cache", hit_tag hit);
        ])
 
-let hom_result t deadline graph_name max_size =
-  let* g = tag "ERR_UNKNOWN_GRAPH" (Registry.find t.registry graph_name) in
+(* Hom profiles computed once for a whole select-loop batch: graph name
+   -> (generation, max tree size, full profile at that size).
+   [Tree.all_free_trees_up_to] enumerates patterns in size order, so the
+   profile for any smaller size is a prefix of a stored larger one. The
+   table is built before the batch fans out and only read afterwards, so
+   the parallel handlers share it without locking. *)
+type shared = (string, int * int * float array) Hashtbl.t
+
+let empty_shared : shared = Hashtbl.create 0
+
+let hom_result t deadline ~(shared : shared) graph_name max_size =
+  let* g, gen = tag "ERR_UNKNOWN_GRAPH" (Registry.find_entry t.registry graph_name) in
   let* () =
     if max_size < 1 || max_size > 9 then
       fail "ERR_BAD_ARG" "HOM: max tree size must be between 1 and 9"
@@ -341,7 +351,14 @@ let hom_result t deadline graph_name max_size =
     else Ok ()
   in
   let* () = check_deadline deadline "hom-profile computation" in
-  let profile = Count.profile ~deadline patterns g in
+  let profile =
+    match Hashtbl.find_opt shared graph_name with
+    | Some (sgen, ssize, full) when sgen = gen && ssize >= max_size ->
+        (* Same graph generation and the shared pass covered at least
+           this size: the requested profile is a prefix. *)
+        Array.sub full 0 (List.length patterns)
+    | _ -> Count.profile ~deadline patterns g
+  in
   Ok
     (P.Obj
        [
@@ -436,7 +453,7 @@ let explain_json ~t0 spans reply =
       ("stages", stages);
     ]
 
-let dispatch t deadline ~sink ~t0 req =
+let dispatch t deadline ~shared ~sink ~t0 req =
   match req with
   | P.Hello ->
       Ok
@@ -489,7 +506,7 @@ let dispatch t deadline ~sink ~t0 req =
       Ok (explain_json ~t0 (Trace.spans sink) reply)
   | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
-  | P.Hom (graph, size) -> hom_result t deadline graph size
+  | P.Hom (graph, size) -> hom_result t deadline ~shared graph size
   | P.Save requested ->
       let* path = tag "ERR_SNAPSHOT" (snapshot_path t requested) in
       let* path, s = tag "ERR_SNAPSHOT" (save_snapshot t path) in
@@ -526,7 +543,7 @@ let attach_trace ~t0 sink j =
   | P.Obj fields -> P.Obj (fields @ [ ("trace", trace) ])
   | other -> P.Obj [ ("value", other); ("trace", trace) ]
 
-let handle_line t line =
+let handle_line_with t ~shared line =
   let t0 = Clock.now_ns () in
   let deadline = Clock.deadline_after t.config.request_timeout_s in
   (* Every request gets a span sink: it feeds the cumulative per-stage
@@ -548,7 +565,7 @@ let handle_line t line =
         let run () =
           Trace.with_sink sink (fun () ->
               Trace.with_span ~args:[ ("command", command) ] "request" (fun () ->
-                  dispatch t deadline ~sink ~t0 req))
+                  dispatch t deadline ~shared ~sink ~t0 req))
         in
         match run () with
         | Ok j ->
@@ -570,6 +587,123 @@ let handle_line t line =
   in
   Metrics.record t.metrics ~command ~ok ~latency_ns:(Clock.elapsed_ns t0);
   reply
+
+let handle_line t line = handle_line_with t ~shared:empty_shared line
+
+(* --- server-side query batching ------------------------------------------ *)
+
+(* Scan a batch of request lines and coalesce the requests that share a
+   graph pass: two or more WL requests on one graph need one refinement
+   (every round is answered from the refinement history), two or more
+   KWL requests on one (graph, k) need one k-WL run, and HOM requests on
+   one graph share a single profile at the largest requested size. The
+   shared passes run here, before the batch fans out — WL/k-WL land in
+   the coloring cache (so the per-request handlers hit), profiles go
+   into the returned [shared] table. Groups of one are left alone: the
+   request computes (and reports its cache tag) exactly as before.
+
+   Guards mirror the per-request handlers — a pass that any member would
+   reject (k range, cell/cost limits) is not prewarmed, and failures
+   (unknown graph, deadline) are swallowed so each request still
+   produces its own structured error. Correctness does not depend on
+   this phase at all: it only warms caches the handlers consult under
+   their own (name, generation) keys. *)
+let plan_batch t lines =
+  let wl = Hashtbl.create 4 and kwl = Hashtbl.create 4 and hom = Hashtbl.create 4 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  Array.iter
+    (fun line ->
+      match P.parse_request line with
+      | Ok { P.req = P.Wl (name, _); _ } -> bump wl name
+      | Ok { P.req = P.Kwl (name, k); _ } -> bump kwl (name, k)
+      | Ok { P.req = P.Hom (name, size); _ } ->
+          let count, max_size = Option.value ~default:(0, 0) (Hashtbl.find_opt hom name) in
+          Hashtbl.replace hom name (count + 1, max size max_size)
+      | _ -> ())
+    lines;
+  let sorted_groups tbl keep =
+    Hashtbl.fold (fun k v acc -> if keep v then (k, v) :: acc else acc) tbl []
+    |> List.sort compare
+  in
+  let wl_groups = sorted_groups wl (fun count -> count >= 2) in
+  let kwl_groups = sorted_groups kwl (fun count -> count >= 2) in
+  let hom_groups = sorted_groups hom (fun (count, _) -> count >= 2) in
+  let shared : shared = Hashtbl.create 4 in
+  let coalesced =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 wl_groups
+    + List.fold_left (fun acc (_, c) -> acc + c) 0 kwl_groups
+    + List.fold_left (fun acc (_, (c, _)) -> acc + c) 0 hom_groups
+  in
+  if coalesced > 0 then begin
+    let deadline = Clock.deadline_after t.config.request_timeout_s in
+    (* Skippable by design: any failure (unknown graph, guard, deadline)
+       leaves the corresponding requests to run — and report — solo. *)
+    let attempt f = try f () with _ -> () in
+    (* The prewarm runs outside any per-request sink, so give it one:
+       kernel spans (wl.refine, kwl.refine, hom.profile, csr.build) must
+       land in the STATS stage histograms exactly like per-request work. *)
+    let sink =
+      Trace.make_sink
+        ~on_span:(fun sp ->
+          Metrics.record_stage t.metrics ~stage:sp.Trace.name
+            ~dur_ns:(Int64.to_int sp.Trace.dur_ns))
+        ()
+    in
+    Trace.with_sink sink (fun () ->
+        Trace.with_span
+          ~args:
+            [
+              ("requests", string_of_int coalesced);
+              ( "passes",
+                string_of_int
+                  (List.length wl_groups + List.length kwl_groups + List.length hom_groups) );
+            ]
+          "batch.coalesce"
+        @@ fun () ->
+        List.iter
+          (fun (name, _) ->
+            attempt (fun () ->
+                match Registry.find_entry t.registry name with
+                | Ok (g, gen) -> ignore (Cache.cr t.cache ~graph_name:name ~gen ~deadline g)
+                | Error _ -> ()))
+          wl_groups;
+        List.iter
+          (fun ((name, k), _) ->
+            attempt (fun () ->
+                if k >= 1 && k <= 3 then
+                  match Registry.find_entry t.registry name with
+                  | Ok (g, gen) ->
+                      if Kwl.tuple_count (Graph.n_vertices g) k <= t.config.max_table_cells
+                      then ignore (Cache.kwl t.cache ~graph_name:name ~gen ~k ~deadline g)
+                  | Error _ -> ()))
+          kwl_groups;
+        List.iter
+          (fun (name, (_, max_size)) ->
+            attempt (fun () ->
+                if max_size >= 1 && max_size <= 9 then
+                  match Registry.find_entry t.registry name with
+                  | Ok (g, gen) ->
+                      let patterns = Tree.all_free_trees_up_to max_size in
+                      let work = float_of_int (Graph.n_vertices g + (2 * Graph.n_edges g)) in
+                      let cost =
+                        float_of_int (List.length patterns) *. float_of_int max_size *. work
+                      in
+                      if cost <= float_of_int t.config.max_table_cells then
+                        Hashtbl.replace shared name
+                          (gen, max_size, Count.profile ~deadline patterns g)
+                  | Error _ -> ()))
+          hom_groups);
+    Metrics.add_coalesced t.metrics coalesced
+  end;
+  shared
+
+(* One select-loop batch: coalesce shared passes, then fan the lines out
+   on the pool. Replies come back in input order. *)
+let handle_lines t lines =
+  let shared = plan_batch t lines in
+  Pool.parallel_map_array (fun line -> handle_line_with t ~shared line) lines
 
 (* --- socket loop --------------------------------------------------------- *)
 
@@ -689,18 +823,17 @@ let serve t =
   if !listeners = [] then invalid_arg "Server.serve: no socket_path and no tcp_port";
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let chunk = Bytes.create 65536 in
-  (* Run one batch of request lines through the pool and write replies in
-     order; returns the connections that asked to QUIT. *)
+  (* Run one batch of request lines through the coalescing planner and
+     the pool, and write replies back in arrival order. *)
   let process_batch pending =
     match pending with
     | [] -> ()
     | _ ->
         let batch = Array.of_list pending in
-        let replies =
-          Pool.parallel_map_array (fun (conn, line) -> (conn, line, handle_line t line)) batch
-        in
-        Array.iter
-          (fun (conn, line, reply) ->
+        let replies = handle_lines t (Array.map snd batch) in
+        Array.iteri
+          (fun i reply ->
+            let conn, line = batch.(i) in
             queue_reply t conn (reply ^ "\n");
             match P.parse_request line with
             | Ok { P.req = P.Quit; _ } -> conn.closing <- true

@@ -44,6 +44,16 @@ val create : config -> t
     line; never raises, always records metrics. *)
 val handle_line : t -> string -> string
 
+(** Handle one select-loop batch of request lines: requests sharing a
+    graph pass are coalesced first — one WL/k-WL refinement (or one hom
+    profile at the largest requested size) serves every matching request
+    in the batch, counted by the [batch_coalesced] STATS counter and
+    traced as a [batch.coalesce] span — then the lines fan out on the
+    domain pool. Replies are returned in input order; replies are
+    byte-identical to serving each line alone (modulo cache-hit tags,
+    which report the shared pass as a hit). *)
+val handle_lines : t -> string array -> string array
+
 (** The server's caches (for stats inspection and bench cache-clearing). *)
 val caches : t -> Cache.t
 

@@ -34,6 +34,8 @@ let set m i j x = m.data.((i * m.cols) + j) <- x
 
 let copy m = { m with data = Array.copy m.data }
 
+let data m = m.data
+
 let of_rows rows_list =
   match rows_list with
   | [] -> invalid_arg "Mat.of_rows: empty"

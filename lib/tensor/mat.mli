@@ -16,6 +16,12 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val copy : t -> t
 
+(** The matrix's row-major backing store (row [i] starts at [i * cols]);
+    the array itself, not a copy. Flat kernels read and write it
+    directly to skip per-element bounds/closure overhead — only touch it
+    for a matrix the caller owns. *)
+val data : t -> float array
+
 (** Build from a non-empty list of equal-length rows. *)
 val of_rows : float array list -> t
 

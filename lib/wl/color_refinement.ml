@@ -8,18 +8,70 @@
    why comparing stable colourings of a joint run decides CR-equivalence.
 
    Each round runs in two phases so a corpus refines in parallel without
-   losing determinism: phase one builds every vertex's signature string
+   losing determinism: phase one builds every vertex's signature key
    (pure, embarrassingly parallel over all (graph, vertex) items via the
-   domain pool); phase two interns the strings sequentially in graph-major
+   domain pool); phase two interns the keys sequentially in graph-major
    vertex order.  Interned ids depend only on the first-encounter order of
    distinct keys, which phase two fixes, so colourings are identical for
-   every pool size. *)
+   every pool size.
+
+   Signature keys are binary: a '\001' tag byte, the vertex's own colour
+   as little-endian 64-bit, then the sorted neighbour colours likewise —
+   a fixed-width injective encoding of exactly the (own colour, neighbour
+   multiset) pair the old decimal strings spelled out, read straight off
+   the graph's flat CSR view. Two keys are equal iff the old string keys
+   were (round-0 label keys keep their 'L' prefix, disjoint from the
+   tag), so interned colour sequences — and hence colourings — are
+   bit-identical to the string implementation. *)
 
 module Sig_hash = Glql_util.Sig_hash
 module Graph = Glql_graph.Graph
 module Pool = Glql_util.Pool
 module Trace = Glql_util.Trace
 module Clock = Glql_util.Clock
+
+(* In-place ascending int sort without a comparator closure (Array.sort
+   pays an indirect call per comparison): insertion sort for short rows,
+   median-of-three quicksort above. Ints have no distinguishable
+   duplicates, so every correct ascending sort produces the identical
+   array — output-equivalent to [Array.sort Int.compare]. *)
+let rec qsort_ints (a : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let x = Array.unsafe_get a i in
+      let j = ref (i - 1) in
+      while !j >= lo && Array.unsafe_get a !j > x do
+        Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+        decr j
+      done;
+      Array.unsafe_set a (!j + 1) x
+    done
+  else begin
+    let swap i j =
+      let t = Array.unsafe_get a i in
+      Array.unsafe_set a i (Array.unsafe_get a j);
+      Array.unsafe_set a j t
+    in
+    let mid = (lo + hi) / 2 in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while Array.unsafe_get a !i < pivot do incr i done;
+      while Array.unsafe_get a !j > pivot do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    qsort_ints a lo !j;
+    qsort_ints a !i hi
+  end
+
+let sort_ints a = if Array.length a > 1 then qsort_ints a 0 (Array.length a - 1)
 
 type result = {
   graphs : Graph.t list;
@@ -61,6 +113,8 @@ let run_joint ?max_rounds ?(deadline = None) graphs =
     done;
     Array.to_list out
   in
+  (* Flat views, built (or fetched from the memo) once per run. *)
+  let csrs = Array.map Graph.csr garr in
   Pool.parallel_for ~n:total (fun idx ->
       let gi = owner.(idx) in
       let v = idx - offsets.(gi) in
@@ -81,8 +135,21 @@ let run_joint ?max_rounds ?(deadline = None) graphs =
         let gi = owner.(idx) in
         let v = idx - offsets.(gi) in
         let c = colors.(gi) in
-        let nb = Array.map (fun u -> c.(u)) (Graph.neighbors garr.(gi) v) in
-        keys.(idx) <- string_of_int c.(v) ^ "|" ^ Sig_hash.of_int_multiset nb);
+        let csr = csrs.(gi) in
+        let row = csr.Graph.Csr.offsets.(v) in
+        let deg = csr.Graph.Csr.offsets.(v + 1) - row in
+        let nb = Array.make deg 0 in
+        for j = 0 to deg - 1 do
+          nb.(j) <- Array.unsafe_get c (Array.unsafe_get csr.Graph.Csr.adjacency (row + j))
+        done;
+        sort_ints nb;
+        let b = Bytes.create (9 + (8 * deg)) in
+        Bytes.unsafe_set b 0 '\001';
+        Bytes.set_int64_le b 1 (Int64.of_int c.(v));
+        for j = 0 to deg - 1 do
+          Bytes.set_int64_le b (9 + (8 * j)) (Int64.of_int (Array.unsafe_get nb j))
+        done;
+        keys.(idx) <- Bytes.unsafe_to_string b);
     let next = intern_all () in
     let count' = joint_color_count next in
     current := next;

@@ -16,6 +16,7 @@
 
 module Sig_hash = Glql_util.Sig_hash
 module Graph = Glql_graph.Graph
+module Pool = Glql_util.Pool
 
 type variant = Oblivious | Folklore
 
@@ -61,7 +62,7 @@ let strides ~n ~k =
 (* Atomic type (initial colour) of a tuple: per-position label classes plus
    the equality and adjacency pattern among positions (slide 65: the
    "isomorphism type" of the tuple). *)
-let atomic_key g label_color t =
+let atomic_key csr label_color t =
   let buf = Buffer.create 32 in
   Buffer.add_char buf 'A';
   Array.iter
@@ -73,61 +74,85 @@ let atomic_key g label_color t =
   for i = 0 to k - 1 do
     for j = i + 1 to k - 1 do
       Buffer.add_char buf (if t.(i) = t.(j) then '=' else '.');
-      Buffer.add_char buf (if Graph.has_edge g t.(i) t.(j) then 'E' else '-')
+      Buffer.add_char buf (if Graph.Csr.has_edge csr t.(i) t.(j) then 'E' else '-')
     done
   done;
   Buffer.contents buf
 
 let initial_colors interner label_interner g k =
   let n = Graph.n_vertices g in
+  let csr = Graph.csr g in
   let label_color =
     Array.init n (fun v ->
         Sig_hash.Interner.intern label_interner (Sig_hash.of_float_vector (Graph.label g v)))
   in
   Array.init (tuple_count n k) (fun idx ->
-      Sig_hash.Interner.intern interner (atomic_key g label_color (decode_tuple ~n ~k idx)))
+      Sig_hash.Interner.intern interner (atomic_key csr label_color (decode_tuple ~n ~k idx)))
 
+(* Each refinement runs in two phases, mirroring [Color_refinement]: the
+   key strings are built in parallel over tuple indices (pure), then
+   interned sequentially in increasing index order — the exact call
+   sequence the one-phase implementation made, so interned ids (and
+   hence colourings) are identical for every pool size. *)
 let refine_graph interner variant g k colors =
   let n = Graph.n_vertices g in
-  if k = 1 then
+  let csr = Graph.csr g in
+  let adjacency = csr.Graph.Csr.adjacency and coffsets = csr.Graph.Csr.offsets in
+  if k = 1 then (
     (* For k = 1 the substitution scheme would aggregate over *all*
        vertices and learn nothing; both variants are defined to be colour
        refinement (slide 65's convention rho(CR) ⊇ rho(1-WL)). *)
-    Array.init n (fun v ->
-        let nb = Array.map (fun u -> colors.(u)) (Graph.neighbors g v) in
-        let key = string_of_int colors.(v) ^ "|" ^ Sig_hash.of_int_multiset nb in
-        Sig_hash.Interner.intern interner key)
+    let keys = Array.make n "" in
+    Pool.parallel_for ~n (fun v ->
+        let row = coffsets.(v) in
+        let deg = coffsets.(v + 1) - row in
+        let nb = Array.make deg 0 in
+        for j = 0 to deg - 1 do
+          nb.(j) <- colors.(adjacency.(row + j))
+        done;
+        keys.(v) <- string_of_int colors.(v) ^ "|" ^ Sig_hash.of_int_multiset nb);
+    let out = Array.make n 0 in
+    for v = 0 to n - 1 do
+      out.(v) <- Sig_hash.Interner.intern interner keys.(v)
+    done;
+    out)
   else
-  let st = strides ~n ~k in
-  let count = tuple_count n k in
-  Array.init count (fun idx ->
-      let t = decode_tuple ~n ~k idx in
-      let buf = Buffer.create 64 in
-      Buffer.add_string buf (string_of_int colors.(idx));
-      Buffer.add_char buf '|';
-      (match variant with
-      | Oblivious ->
-          (* Per-position multisets. *)
-          for j = 0 to k - 1 do
-            let base = idx - (t.(j) * st.(j)) in
-            let ms = Array.init n (fun w -> colors.(base + (w * st.(j)))) in
-            Buffer.add_string buf (Sig_hash.of_int_multiset ms);
-            Buffer.add_char buf '|'
-          done
-      | Folklore ->
-          (* One multiset of k-vectors, packed into ints. *)
-          let ms =
-            Array.init n (fun w ->
-                let packed = ref 0 in
-                for j = 0 to k - 1 do
-                  let c = colors.(idx - (t.(j) * st.(j)) + (w * st.(j))) in
-                  if c >= pack_limit then failwith "Kwl: colour space exceeded packing limit";
-                  packed := (!packed lsl pack_bits) lor c
-                done;
-                !packed)
-          in
-          Buffer.add_string buf (Sig_hash.of_int_multiset ms));
-      Sig_hash.Interner.intern interner (Buffer.contents buf))
+    let st = strides ~n ~k in
+    let count = tuple_count n k in
+    let keys = Array.make count "" in
+    Pool.parallel_for ~n:count (fun idx ->
+        let t = decode_tuple ~n ~k idx in
+        let buf = Buffer.create 64 in
+        Buffer.add_string buf (string_of_int colors.(idx));
+        Buffer.add_char buf '|';
+        (match variant with
+        | Oblivious ->
+            (* Per-position multisets. *)
+            for j = 0 to k - 1 do
+              let base = idx - (t.(j) * st.(j)) in
+              let ms = Array.init n (fun w -> colors.(base + (w * st.(j)))) in
+              Buffer.add_string buf (Sig_hash.of_int_multiset ms);
+              Buffer.add_char buf '|'
+            done
+        | Folklore ->
+            (* One multiset of k-vectors, packed into ints. *)
+            let ms =
+              Array.init n (fun w ->
+                  let packed = ref 0 in
+                  for j = 0 to k - 1 do
+                    let c = colors.(idx - (t.(j) * st.(j)) + (w * st.(j))) in
+                    if c >= pack_limit then failwith "Kwl: colour space exceeded packing limit";
+                    packed := (!packed lsl pack_bits) lor c
+                  done;
+                  !packed)
+            in
+            Buffer.add_string buf (Sig_hash.of_int_multiset ms));
+        keys.(idx) <- Buffer.contents buf);
+    let out = Array.make count 0 in
+    for idx = 0 to count - 1 do
+      out.(idx) <- Sig_hash.Interner.intern interner keys.(idx)
+    done;
+    out
 
 let joint_color_count colorings =
   let seen = Hashtbl.create 1024 in

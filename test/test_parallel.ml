@@ -204,6 +204,203 @@ let prop_propagate_deterministic =
       in
       List.for_all (fun (p, s) -> mat_eq p s) pairs)
 
+(* --- flat kernels vs pre-refactor references ------------------------------ *)
+
+(* The string-key / adjacency-list implementations the flat CSR kernels
+   replaced, kept as executable specifications: the library must
+   reproduce their outputs bit for bit, under every pool size (this
+   executable runs at GLQL_DOMAINS=1 and 4). *)
+module Reference = struct
+  module Sig_hash = Glql_util.Sig_hash
+  module Graph = Glql_graph.Graph
+
+  let joint_color_count colorings =
+    let seen = Hashtbl.create 64 in
+    List.iter (fun colors -> Array.iter (fun c -> Hashtbl.replace seen c ()) colors) colorings;
+    Hashtbl.length seen
+
+  (* Joint colour refinement with decimal string signature keys and
+     [Graph.neighbors] walks — the exact pre-flat implementation. *)
+  let run_joint graphs =
+    let garr = Array.of_list graphs in
+    let ng = Array.length garr in
+    let offsets = Array.make (ng + 1) 0 in
+    for i = 0 to ng - 1 do
+      offsets.(i + 1) <- offsets.(i) + Graph.n_vertices garr.(i)
+    done;
+    let total = offsets.(ng) in
+    let owner = Array.make total 0 in
+    for i = 0 to ng - 1 do
+      Array.fill owner offsets.(i) (Graph.n_vertices garr.(i)) i
+    done;
+    let interner = Sig_hash.Interner.create () in
+    let keys = Array.make total "" in
+    let intern_all () =
+      let out = Array.init ng (fun gi -> Array.make (Graph.n_vertices garr.(gi)) 0) in
+      for idx = 0 to total - 1 do
+        let gi = owner.(idx) in
+        out.(gi).(idx - offsets.(gi)) <- Sig_hash.Interner.intern interner keys.(idx)
+      done;
+      Array.to_list out
+    in
+    for idx = 0 to total - 1 do
+      let gi = owner.(idx) in
+      let v = idx - offsets.(gi) in
+      keys.(idx) <- "L" ^ Sig_hash.of_float_vector (Graph.label garr.(gi) v)
+    done;
+    let current = ref (intern_all ()) in
+    let history = ref [ !current ] in
+    let count = ref (joint_color_count !current) in
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < total + 1 do
+      let colors = Array.of_list !current in
+      for idx = 0 to total - 1 do
+        let gi = owner.(idx) in
+        let v = idx - offsets.(gi) in
+        let c = colors.(gi) in
+        let nb = Array.map (fun u -> c.(u)) (Graph.neighbors garr.(gi) v) in
+        keys.(idx) <- string_of_int c.(v) ^ "|" ^ Sig_hash.of_int_multiset nb
+      done;
+      let next = intern_all () in
+      let count' = joint_color_count next in
+      current := next;
+      history := next :: !history;
+      incr rounds;
+      if count' = !count then continue_ := false else count := count'
+    done;
+    (List.rev !history, !current, !rounds)
+
+  let sum_neighbors g h =
+    let n = Graph.n_vertices g and d = Mat.cols h in
+    let out = Mat.zeros n d in
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun u ->
+          for j = 0 to d - 1 do
+            Mat.set out v j (Mat.get out v j +. Mat.get h u j)
+          done)
+        (Graph.neighbors g v)
+    done;
+    out
+
+  let mean_neighbors g h =
+    let out = sum_neighbors g h in
+    for v = 0 to Graph.n_vertices g - 1 do
+      let deg = Graph.degree g v in
+      if deg > 0 then
+        for j = 0 to Mat.cols h - 1 do
+          Mat.set out v j (Mat.get out v j /. float_of_int deg)
+        done
+    done;
+    out
+
+  let mean_neighbors_backward g dz =
+    let n = Graph.n_vertices g and d = Mat.cols dz in
+    let out = Mat.zeros n d in
+    for u = 0 to n - 1 do
+      Array.iter
+        (fun v ->
+          let inv = 1.0 /. float_of_int (Graph.degree g v) in
+          for j = 0 to d - 1 do
+            Mat.set out u j (Mat.get out u j +. (inv *. Mat.get dz v j))
+          done)
+        (Graph.neighbors g u)
+    done;
+    out
+
+  let max_neighbors g h =
+    let n = Graph.n_vertices g and d = Mat.cols h in
+    let out = Mat.zeros n d in
+    let arg = Array.make_matrix n d (-1) in
+    for v = 0 to n - 1 do
+      let nb = Graph.neighbors g v in
+      if Array.length nb > 0 then
+        for j = 0 to d - 1 do
+          let best = ref nb.(0) in
+          Array.iter (fun u -> if Mat.get h u j > Mat.get h !best j then best := u) nb;
+          Mat.set out v j (Mat.get h !best j);
+          arg.(v).(j) <- !best
+        done
+    done;
+    (out, arg)
+
+  let gcn_neighbors g h =
+    let n = Graph.n_vertices g and d = Mat.cols h in
+    let inv_sqrt_deg =
+      Array.init n (fun v -> 1.0 /. sqrt (float_of_int (Graph.degree g v + 1)))
+    in
+    let out = Mat.zeros n d in
+    for v = 0 to n - 1 do
+      let self_coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(v) in
+      for j = 0 to d - 1 do
+        Mat.set out v j (self_coef *. Mat.get h v j)
+      done;
+      Array.iter
+        (fun u ->
+          let coef = inv_sqrt_deg.(v) *. inv_sqrt_deg.(u) in
+          for j = 0 to d - 1 do
+            Mat.set out v j (Mat.get out v j +. (coef *. Mat.get h u j))
+          done)
+        (Graph.neighbors g v)
+    done;
+    out
+
+  let hom_tree_rooted pattern root g =
+    let n = Graph.n_vertices g in
+    let rec down t parent =
+      let children =
+        Array.to_list (Graph.neighbors pattern t) |> List.filter (fun u -> u <> parent)
+      in
+      let child_tables = List.map (fun c -> down c t) children in
+      Array.init n (fun v ->
+          List.fold_left
+            (fun acc table ->
+              if acc = 0.0 then 0.0
+              else begin
+                let s = ref 0.0 in
+                Array.iter (fun u -> s := !s +. table.(u)) (Graph.neighbors g v);
+                acc *. !s
+              end)
+            1.0 child_tables)
+    in
+    down root (-1)
+
+  let hom_tree pattern g =
+    Array.fold_left ( +. ) 0.0 (hom_tree_rooted pattern 0 g)
+
+  let profile patterns g = Array.of_list (List.map (fun p -> hom_tree p g) patterns)
+end
+
+let prop_wl_matches_reference =
+  qtest "flat WL == string-key reference (history, rounds)" seed_arb (fun seed ->
+      let corpus =
+        List.init 3 (fun i -> random_graph (seed + (11 * i)) ~n:(6 + ((seed + i) mod 9)) ~p:0.3)
+      in
+      let flat = Cr.run_joint corpus in
+      let ref_history, ref_stable, ref_rounds = Reference.run_joint corpus in
+      Cr.history flat = ref_history
+      && Cr.stable_colors flat = ref_stable
+      && Cr.rounds flat = ref_rounds)
+
+let prop_propagate_matches_reference =
+  qtest "flat propagate == adjacency-list reference (bit-equal)" seed_arb (fun seed ->
+      let g = random_graph seed ~n:40 ~p:0.2 in
+      let h = random_mat (seed + 2) 40 64 in
+      mat_eq (Propagate.sum_neighbors g h) (Reference.sum_neighbors g h)
+      && mat_eq (Propagate.mean_neighbors g h) (Reference.mean_neighbors g h)
+      && mat_eq (Propagate.mean_neighbors_backward g h) (Reference.mean_neighbors_backward g h)
+      && mat_eq (Propagate.gcn_neighbors g h) (Reference.gcn_neighbors g h)
+      &&
+      let fo, fa = Propagate.max_neighbors g h in
+      let ro, ra = Reference.max_neighbors g h in
+      mat_eq fo ro && fa = ra)
+
+let prop_hom_matches_reference =
+  qtest "flat hom profile == reference tree DP (bit-equal)" seed_arb (fun seed ->
+      let g = random_graph seed ~n:(5 + (seed mod 8)) ~p:0.4 in
+      float_array_eq (Count.profile trees6 g) (Reference.profile trees6 g))
+
 (* --- ERM training --------------------------------------------------------- *)
 
 let molecules = Dataset.molecules (Rng.create 4) ~n_graphs:8 ~n_atoms:8 ~n_atom_types:3
@@ -276,6 +473,12 @@ let () =
           case "equal_approx" test_equal_approx_short_circuit;
         ] );
       ("propagate", [ prop_propagate_deterministic ]);
+      ( "flat-core",
+        [
+          prop_wl_matches_reference;
+          prop_propagate_matches_reference;
+          prop_hom_matches_reference;
+        ] );
       ( "erm",
         [
           case "graph classifier deterministic" test_erm_classifier_deterministic;

@@ -678,6 +678,50 @@ let test_deadline_cancels_kernels () =
   check_bool "cheap request unaffected" true (P.is_ok (Server.handle_line t "PING"));
   check_bool "small graph unaffected" true (P.is_ok (Server.handle_line t "WL petersen"))
 
+let test_batch_coalescing () =
+  let t = make_server () in
+  check_bool "load g" true (P.is_ok (Server.handle_line t "LOAD g petersen"));
+  (* One select-loop batch: two WL, two KWL, two HOM requests on the
+     same graph. The planner must run one refinement / one k-WL run /
+     one profile pass and answer every request from it. *)
+  let replies = Server.handle_lines t [| "WL g"; "WL g 1"; "KWL g 2"; "KWL g 2"; "HOM g 4"; "HOM g 3" |] in
+  Array.iteri
+    (fun i r -> check_bool (Printf.sprintf "batched reply %d ok" i) true (P.is_ok r))
+    replies;
+  check_bool "first WL served from the shared pass" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" replies.(0));
+  check_bool "second WL served from the shared pass" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" replies.(1));
+  let stats = Server.handle_line t "STATS" in
+  check_bool "six requests coalesced" true (contains ~needle:"\"batch_coalesced\":6" stats);
+  (* Exactly one pass of each kernel ran for the whole batch: the
+     cumulative stage histograms saw a single wl.refine / kwl.refine /
+     hom.profile span. *)
+  check_bool "one WL refinement" true (contains ~needle:"\"wl.refine\":{\"count\":1," stats);
+  check_bool "one k-WL refinement" true (contains ~needle:"\"kwl.refine\":{\"count\":1," stats);
+  check_bool "one hom profile" true (contains ~needle:"\"hom.profile\":{\"count\":1," stats);
+  check_bool "coalesce pass traced" true (contains ~needle:"\"batch.coalesce\"" stats);
+  (* A singleton group is not prewarmed: the solo request computes and
+     reports its own cache miss exactly as before batching existed. *)
+  check_bool "load h" true (P.is_ok (Server.handle_line t "LOAD h cycle5"));
+  let solo = Server.handle_lines t [| "WL h" |] in
+  check_bool "singleton batch is a plain miss" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" solo.(0));
+  let stats2 = Server.handle_line t "STATS" in
+  check_bool "coalesced counter unchanged by singleton" true
+    (contains ~needle:"\"batch_coalesced\":6" stats2);
+  (* Batched replies carry the same values as solo ones (WL petersen is
+     CR-homogeneous; the profile of size <= 3 is a prefix of size 4). *)
+  check_bool "batched WL classes" true (contains ~needle:"\"classes\":1" replies.(0));
+  let solo_hom = Server.handle_line t "HOM g 3" in
+  let profile_of r =
+    match String.index_opt r '[' with
+    | Some i -> String.sub r i (String.length r - i)
+    | None -> r
+  in
+  check_bool "shared-prefix HOM equals solo HOM" true
+    (profile_of solo_hom = profile_of replies.(5))
+
 let prop_parse_request_total =
   qtest ~count:500 "parse_request never raises" QCheck.(string_of_size Gen.(0 -- 200))
     (fun s ->
@@ -802,6 +846,7 @@ let suite =
       case "error codes are structured" test_error_codes;
       case "HOM cost guard" test_hom_cost_guard;
       case "deadline cancels kernels" test_deadline_cancels_kernels;
+      case "handle_lines: batch coalescing" test_batch_coalescing;
       prop_parse_request_total;
       case "line_buf framing" test_line_buf_framing;
       case "line_buf limits" test_line_buf_limits;
