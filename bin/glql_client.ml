@@ -25,6 +25,26 @@ let connect ~socket ~tcp =
       Unix.connect fd (Unix.ADDR_UNIX socket);
       fd
 
+(* A restarting server (the sharded router relaunching, a daemon
+   rolling over) refuses connections for a moment; retry with linear
+   backoff (0.2s, 0.4s, 0.6s) before giving up, so supervised restarts
+   don't flake scripted clients. ENOENT covers a unix socket the server
+   unlinked but has not re-bound yet. Any other failure — or exhausted
+   retries — still exits 1 with the error on stderr. *)
+let connect_with_retry ~socket ~tcp =
+  let rec go attempt =
+    match connect ~socket ~tcp with
+    | fd -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT), _, _)
+      when attempt < 3 ->
+        let delay = 0.2 *. float_of_int attempt in
+        Printf.eprintf "glql_client: connect failed, retrying in %.1fs\n%!" delay;
+        ignore (Unix.select [] [] [] delay);
+        go (attempt + 1)
+  in
+  go 1
+
 (* Pull the integer after ["protocol_version":] out of a HELLO reply
    without a JSON parser (replies are one-line JSON objects). *)
 let scan_protocol_version reply =
@@ -80,60 +100,94 @@ let () =
           prerr_endline "glql_client: --tcp expects HOST:PORT";
           exit 1
   in
-  match connect ~socket:!socket ~tcp:tcp_target with
+  (* Connect plus version handshake: HELLO first, compare the server's
+     protocol_version with ours and warn (stderr only — stdout carries
+     exactly the replies to the user's requests). *)
+  let open_session () =
+    let fd = connect_with_retry ~socket:!socket ~tcp:tcp_target in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       output_string oc "HELLO\n";
+       flush oc;
+       let reply = input_line ic in
+       match scan_protocol_version reply with
+       | Some v when v <> P.protocol_version ->
+           Printf.eprintf
+             "glql_client: warning: server speaks protocol v%d, client expects v%d\n%!" v
+             P.protocol_version
+       | Some _ -> ()
+       | None ->
+           Printf.eprintf
+             "glql_client: warning: server did not report a protocol version (expected v%d)\n%!"
+             P.protocol_version
+     with End_of_file | Sys_error _ ->
+       prerr_endline "glql_client: warning: server closed the connection during handshake");
+    (fd, ic, oc)
+  in
+  match open_session () with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "glql_client: cannot connect (%s)\n" (Unix.error_message e);
       exit 1
   | exception Failure msg ->
       Printf.eprintf "glql_client: %s\n" msg;
       exit 1
-  | fd -> (
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      (* Version handshake: HELLO first, compare the server's
-         protocol_version with ours and warn (stderr only — stdout
-         carries exactly the replies to the user's requests). *)
-      (try
-         output_string oc "HELLO\n";
-         flush oc;
-         let reply = input_line ic in
-         match scan_protocol_version reply with
-         | Some v when v <> P.protocol_version ->
-             Printf.eprintf
-               "glql_client: warning: server speaks protocol v%d, client expects v%d\n%!" v
-               P.protocol_version
-         | Some _ -> ()
-         | None ->
-             Printf.eprintf
-               "glql_client: warning: server did not report a protocol version (expected v%d)\n%!"
-               P.protocol_version
-       with End_of_file | Sys_error _ ->
-         prerr_endline "glql_client: warning: server closed the connection during handshake");
-      let roundtrip line =
+  | fd, ic, oc -> (
+      let roundtrip ic oc line =
         output_string oc (line ^ "\n");
         flush oc;
         match input_line ic with
         | reply ->
             print_endline reply;
-            P.is_ok reply
-        | exception End_of_file ->
-            prerr_endline "glql_client: server closed the connection";
-            false
+            Some (P.is_ok reply)
+        | exception End_of_file -> None
       in
       match words with
       | [] ->
-          (* REPL: one request per stdin line until EOF. *)
+          (* REPL: one request per stdin line until EOF. Requests the
+             server died on are not replayed — a REPL stream may hold
+             non-idempotent state the user must re-drive themselves. *)
           let ok = ref true in
           (try
              while true do
                let line = input_line stdin in
-               if String.trim line <> "" then ok := roundtrip line && !ok
+               if String.trim line <> "" then
+                 match roundtrip ic oc line with
+                 | Some r -> ok := r && !ok
+                 | None ->
+                     prerr_endline "glql_client: server closed the connection";
+                     ok := false;
+                     raise End_of_file
              done
            with End_of_file -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ());
           exit (if !ok then 0 else 1)
       | words ->
           let line = String.concat " " (List.map quote_word words) in
-          let ok = roundtrip line in
+          let ok =
+            match roundtrip ic oc line with
+            | Some r -> r
+            | None -> (
+                (* The server vanished mid-request (router restarting a
+                   worker, daemon rolling over). One request is safe to
+                   replay, so reconnect — with the same backoff — and
+                   resend once. *)
+                prerr_endline "glql_client: server closed the connection; resending once";
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                match open_session () with
+                | exception Unix.Unix_error (e, _, _) ->
+                    Printf.eprintf "glql_client: cannot reconnect (%s)\n" (Unix.error_message e);
+                    false
+                | fd2, ic2, oc2 ->
+                    let r =
+                      match roundtrip ic2 oc2 line with
+                      | Some r -> r
+                      | None ->
+                          prerr_endline "glql_client: server closed the connection";
+                          false
+                    in
+                    (try Unix.close fd2 with Unix.Unix_error _ -> ());
+                    r)
+          in
           (try Unix.close fd with Unix.Unix_error _ -> ());
           exit (if ok then 0 else 1))

@@ -7,11 +7,16 @@
    "Serving" for the protocol grammar and an example session. *)
 
 module Server = Glql_server.Server
+module Router = Glql_server.Router
+module Shard = Glql_server.Shard
 
 let () =
   let socket = ref "glqld.sock" in
   let no_socket = ref false in
   let tcp = ref 0 in
+  let router = ref false in
+  let workers = ref 3 in
+  let respawn = ref false in
   let plan_cache = ref Server.default_config.Server.plan_cache_capacity in
   let coloring_cache = ref Server.default_config.Server.coloring_cache_capacity in
   let plan_cache_bytes = ref Server.default_config.Server.plan_cache_bytes in
@@ -52,6 +57,15 @@ let () =
       ( "--max-inbuf",
         Arg.Set_int max_inbuf,
         "N drop clients buffering N bytes without a newline, 0 disables (default 8 MiB)" );
+      ( "--router",
+        Arg.Set router,
+        " sharded mode: spawn worker glqlds and route protocol v4 to them by graph name" );
+      ( "--workers",
+        Arg.Set_int workers,
+        "N shard count in --router mode (default 3); workers listen on SOCKET.shard<i>" );
+      ( "--respawn",
+        Arg.Set respawn,
+        " in --router mode, restart a dead worker from its last snapshot" );
       ("--metrics-file", Arg.Set_string metrics_file, "PATH dump metrics JSON here on shutdown");
       ( "--snapshot",
         Arg.Set_string snapshot_file,
@@ -81,7 +95,49 @@ let () =
       verbose = !verbose;
     }
   in
-  match Server.serve (Server.create config) with
+  let run () =
+    if not !router then Server.serve (Server.create config)
+    else begin
+      (* Router front: N worker glqlds on SOCKET.shard<i>, each with a
+         snapshot path next to its socket (so --respawn and SIGTERM
+         leave warm-restart state), governed by the same flags. *)
+      let exe = Sys.executable_name in
+      let base_socket = !socket in
+      let extra =
+        [
+          "--plan-cache"; string_of_int !plan_cache;
+          "--coloring-cache"; string_of_int !coloring_cache;
+          "--plan-cache-bytes"; string_of_int !plan_cache_bytes;
+          "--coloring-cache-bytes"; string_of_int !coloring_cache_bytes;
+          "--timeout"; Printf.sprintf "%g" !timeout;
+          "--max-cells"; string_of_int !max_cells;
+          "--max-conns"; string_of_int !max_conns;
+          "--max-line-bytes"; string_of_int !max_line_bytes;
+          "--max-inbuf"; string_of_int !max_inbuf;
+        ]
+        @ (if !verbose then [ "--verbose" ] else [])
+      in
+      let specs = Shard.plan ~exe ~base_socket ~extra ~shards:(max 1 !workers) in
+      let router_config =
+        {
+          Router.socket_path = (if !no_socket then None else Some !socket);
+          tcp_port = (if !tcp > 0 then Some !tcp else None);
+          shards = max 1 !workers;
+          respawn = !respawn;
+          max_connections = max 1 !max_conns;
+          max_line_bytes = max 0 !max_line_bytes;
+          max_inbuf_bytes = max 0 !max_inbuf;
+          boot_timeout_s = Router.default_config.Router.boot_timeout_s;
+          drain_timeout_s = Router.default_config.Router.drain_timeout_s;
+          make_replica =
+            Some (fun ~shard ~index -> Shard.replica_spec ~exe ~base_socket ~extra ~shard ~index);
+          verbose = !verbose;
+        }
+      in
+      Router.serve (Router.create router_config specs)
+    end
+  in
+  match run () with
   | _served -> exit 0
   | exception Unix.Unix_error (e, fn, arg) ->
       Printf.eprintf "glqld: %s(%s): %s\n" fn arg (Unix.error_message e);

@@ -53,8 +53,14 @@ val ok : json -> string
 (** A classified failure: [code] is one of the stable [ERR_*] codes
     (ERR_PARSE, ERR_BAD_ARG, ERR_UNKNOWN_GRAPH, ERR_BAD_SPEC, ERR_QUERY,
     ERR_LIMIT_CELLS, ERR_LIMIT_COST, ERR_LIMIT_LINE, ERR_LIMIT_INBUF,
-    ERR_LIMIT_CONNS, ERR_DEADLINE, ERR_SNAPSHOT, ERR_INTERNAL) and
-    [message] is human-readable prose. *)
+    ERR_LIMIT_CONNS, ERR_DEADLINE, ERR_SNAPSHOT, ERR_SHARD_DOWN,
+    ERR_INTERNAL) and [message] is human-readable prose.
+
+    [ERR_SHARD_DOWN] is emitted only by the sharded router front
+    ({!Router}): the worker owning the named graph's shard is dead or
+    still (re)connecting, while other shards keep serving. The code —
+    like the rest of the reply grammar — is still protocol v4: a
+    single-process glqld simply never has a shard to lose. *)
 type error = { code : string; message : string }
 
 val error : code:string -> string -> error

@@ -1,0 +1,1085 @@
+(* The router front of the sharded glqld topology.
+
+   Speaks protocol v4 *unchanged* to clients on one select loop and
+   multiplexes every request onto persistent nonblocking connections to
+   N shard workers (each a full glqld owning the graph names that
+   stable-hash to its shard, see {!Shard}). Graph-keyed commands (LOAD /
+   QUERY / EXPLAIN / WL / KWL / HOM) forward verbatim to the owning
+   shard, so their replies are byte-identical to a single-process glqld
+   holding the same registry. Registry-wide commands (GRAPHS / STATS /
+   VERSION / SAVE / RESTORE) fan out and the replies are merged by the
+   pure functions below.
+
+   Ordering: a client's replies must come back in request order even
+   though shards answer at their own pace, so every request takes a
+   [slot] in the client's FIFO; replies land in their slot and the queue
+   flushes head-first. Upstream, each member connection keeps its own
+   FIFO of reply destinations — workers answer in request order on one
+   connection, which pairs replies to destinations with no tagging and
+   no protocol change.
+
+   Failure: a member EOF/write-error marks it down and fails its
+   in-flight destinations with ERR_SHARD_DOWN; requests for that shard's
+   graphs keep failing fast while every other shard keeps serving. With
+   [respawn] the router relaunches the worker from its argv — the worker
+   boots from its last snapshot ([--snapshot] is in the argv) — and
+   reconnects asynchronously; reads for the shard resume once it is up.
+
+   Read replicas: REPLICA <shard> ships a snapshot (SAVE on the primary
+   to the replica's snapshot path), spawns a fresh worker booting from
+   it, and adds it to the shard's member list; read commands round-robin
+   across primary + live replicas, and LOAD / RESTORE broadcast to
+   replicas so they stay in sync. *)
+
+module P = Protocol
+module Json = Glql_util.Json
+module Clock = Glql_util.Clock
+
+type config = {
+  socket_path : string option;  (** front unix socket clients connect to *)
+  tcp_port : int option;
+  shards : int;
+  respawn : bool;  (** relaunch dead managed workers from their argv *)
+  max_connections : int;
+  max_line_bytes : int;
+  max_inbuf_bytes : int;
+  boot_timeout_s : float;  (** window for a spawned worker to accept *)
+  drain_timeout_s : float;  (** shutdown window for in-flight replies *)
+  make_replica : (shard:int -> index:int -> Shard.spec) option;
+      (** builds the spec of a fresh replica; [None] disables REPLICA *)
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    shards = 3;
+    respawn = false;
+    max_connections = 256;
+    max_line_bytes = 1024 * 1024;
+    max_inbuf_bytes = 8 * 1024 * 1024;
+    boot_timeout_s = 15.0;
+    drain_timeout_s = 3.0;
+    make_replica = None;
+    verbose = false;
+  }
+
+let shard_down_code = "ERR_SHARD_DOWN"
+
+let shard_down_line shard =
+  P.err_line (P.error ~code:shard_down_code (Printf.sprintf "shard %d is down" shard))
+
+(* --- pure reply merging -------------------------------------------------- *)
+
+(* Fan-out merges are pure (json in, json out) so the unit tests cover
+   them without sockets or processes. *)
+
+(* GRAPHS: concatenate the per-shard lists and re-sort by (name,
+   vertices, edges) — the exact order [Registry.list] yields in a
+   single process, so the merged reply is byte-identical to one. *)
+let merge_graphs parts =
+  let entries =
+    List.concat_map (function P.List items -> items | other -> [ other ]) parts
+  in
+  let key = function
+    | P.Obj _ as o ->
+        let str k = match Json.member k o with Some (P.Str s) -> s | _ -> "" in
+        let int k = match Json.int_member k o with Some i -> i | None -> 0 in
+        (str "name", int "vertices", int "edges")
+    | _ -> ("", 0, 0)
+  in
+  P.List (List.sort (fun a b -> compare (key a) (key b)) entries)
+
+(* STATS: the per-shard primaries' integer counters sum field-by-field
+   (in the first primary's field order, so the merged layout is stable),
+   "by_command" sums key-by-key, and non-summable fields (latency
+   percentiles, stages, restored) stay per-member under "members".
+   [protocol_version] is consensus, not a sum. Replica counters are
+   reported per-member but excluded from the sums: a replica serves
+   copies of its primary's graphs, so summing it would double-count
+   registry-shaped fields like [graphs_registered]. *)
+let merge_stats ~router ~shards ~parts =
+  let primaries =
+    List.filter_map
+      (fun (_, role, j) -> match j with Some j when role = "primary" -> Some j | _ -> None)
+      parts
+  in
+  let int_field j k = match Json.int_member k j with Some i -> i | None -> 0 in
+  let summed =
+    match primaries with
+    | [] -> []
+    | first :: _ ->
+        let fields = match first with P.Obj fs -> fs | _ -> [] in
+        List.filter_map
+          (fun (k, v) ->
+            match (k, v) with
+            | "protocol_version", v -> Some (k, v)
+            | "by_command", P.Obj _ ->
+                let keys =
+                  List.concat_map
+                    (fun j ->
+                      match Json.member "by_command" j with
+                      | Some (P.Obj fs) -> List.map fst fs
+                      | _ -> [])
+                    primaries
+                in
+                let keys = List.sort_uniq compare keys in
+                Some
+                  ( k,
+                    P.Obj
+                      (List.map
+                         (fun cmd ->
+                           ( cmd,
+                             P.Int
+                               (List.fold_left
+                                  (fun acc j ->
+                                    match Json.member "by_command" j with
+                                    | Some bc -> acc + int_field bc cmd
+                                    | None -> acc)
+                                  0 primaries) ))
+                         keys) )
+            | _, P.Int _ ->
+                Some (k, P.Int (List.fold_left (fun acc j -> acc + int_field j k) 0 primaries))
+            | _ -> None)
+          fields
+  in
+  let member_json (shard, role, j) =
+    P.Obj
+      [
+        ("shard", P.Int shard);
+        ("role", P.Str role);
+        ("up", P.Bool (j <> None));
+        ("stats", match j with Some j -> j | None -> P.Null);
+      ]
+  in
+  P.Obj
+    (summed
+    @ [
+        ("shards", P.Int shards);
+        ("router", router);
+        ("members", P.List (List.map member_json parts));
+      ])
+
+(* SAVE / RESTORE: per-shard summaries listed under "shards", size
+   counters summed at the top level. *)
+let merge_snapshots parts =
+  let sum k =
+    List.fold_left
+      (fun acc (_, j) -> acc + match Json.int_member k j with Some i -> i | None -> 0)
+      0 parts
+  in
+  let entry (shard, j) =
+    let fields = match j with P.Obj fs -> fs | other -> [ ("value", other) ] in
+    P.Obj (("shard", P.Int shard) :: fields)
+  in
+  P.Obj
+    [
+      ("shards", P.List (List.map entry parts));
+      ("bytes", P.Int (sum "bytes"));
+      ("graphs", P.Int (sum "graphs"));
+      ("colorings", P.Int (sum "colorings"));
+      ("plans", P.Int (sum "plans"));
+    ]
+
+(* --- topology state ------------------------------------------------------ *)
+
+type up = {
+  u_fd : Unix.file_descr;
+  u_lines : Line_buf.t;  (* reply framing from the worker *)
+  u_out : Buffer.t;  (* request bytes the worker socket has not accepted *)
+}
+
+type mstate =
+  | Down
+  | Connecting of int64  (* give-up deadline *)
+  | Up of up
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_lines : Line_buf.t;
+  c_out : Buffer.t;
+  mutable c_closing : bool;  (* QUIT / EOF: close once slots drain *)
+  mutable c_dead : bool;  (* dropped: discard any late replies *)
+  c_slots : slot Queue.t;  (* replies owed, in request order *)
+}
+
+and slot = {
+  mutable s_reply : string option;
+  s_client : client;
+  s_cmd : string;
+  s_t0 : int64;
+}
+
+type dest =
+  | To_slot of slot  (* forward the worker's reply line verbatim *)
+  | Part of agg * int  (* one piece of a fan-out *)
+  | Discard  (* replica write mirror: reply checked for nothing *)
+  | Replica_save of slot * Shard.spec  (* SAVE-on-primary step of REPLICA *)
+
+and agg = {
+  a_slot : slot;
+  a_parts : (int * string * string option) array;  (* shard, role, raw reply *)
+  mutable a_remaining : int;
+  a_finish : (int * string * string option) array -> string;
+}
+
+type member = {
+  m_spec : Shard.spec;
+  mutable m_pid : int option;
+  mutable m_state : mstate;
+  mutable m_respawns : int;
+  m_pending : dest Queue.t;
+  mutable m_notify : slot option;  (* REPLICA caller waiting for first accept *)
+}
+
+type group = {
+  g_shard : int;
+  mutable g_members : member list;  (* primary first, then replicas *)
+  mutable g_rr : int;  (* read round-robin cursor *)
+}
+
+type t = {
+  config : config;
+  groups : group array;
+  metrics : Metrics.t;
+  stop_flag : bool Atomic.t;
+}
+
+let create config specs =
+  if config.shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  let groups =
+    Array.init config.shards (fun i -> { g_shard = i; g_members = []; g_rr = 0 })
+  in
+  List.iter
+    (fun spec ->
+      let m =
+        {
+          m_spec = spec;
+          m_pid = None;
+          m_state = Down;
+          m_respawns = 0;
+          m_pending = Queue.create ();
+          m_notify = None;
+        }
+      in
+      let g = groups.(spec.Shard.sp_shard) in
+      (* Keep the primary at the head regardless of spec order. *)
+      match spec.Shard.sp_role with
+      | Shard.Primary -> g.g_members <- (m :: g.g_members)
+      | Shard.Replica _ -> g.g_members <- g.g_members @ [ m ])
+    specs;
+  Array.iter
+    (fun g ->
+      let primaries, replicas =
+        List.partition (fun m -> m.m_spec.Shard.sp_role = Shard.Primary) g.g_members
+      in
+      g.g_members <- primaries @ replicas;
+      if primaries = [] then
+        invalid_arg (Printf.sprintf "Router.create: shard %d has no primary" g.g_shard))
+    groups;
+  { config; groups; metrics = Metrics.create (); stop_flag = Atomic.make false }
+
+let stop t = Atomic.set t.stop_flag true
+
+let log t fmt =
+  Printf.ksprintf (fun s -> if t.config.verbose then Printf.eprintf "glqld-router: %s\n%!" s) fmt
+
+let all_members t =
+  Array.to_list t.groups |> List.concat_map (fun g -> g.g_members)
+
+let is_up m = match m.m_state with Up _ -> true | _ -> false
+
+let role_label m = Shard.role_label m.m_spec.Shard.sp_role
+
+(* --- client side --------------------------------------------------------- *)
+
+(* Identical push-what-the-socket-accepts discipline as the server's
+   client loop: one slow reader can never wedge the select loop. *)
+let flush_buffer t fd buf ~on_fail =
+  let pending = Buffer.length buf in
+  if pending > 0 then begin
+    let s = Buffer.contents buf in
+    let written = ref 0 in
+    let failed = ref false in
+    let stop_ = ref false in
+    while (not !stop_) && !written < pending do
+      match Unix.write_substring fd s !written (pending - !written) with
+      | 0 -> stop_ := true
+      | n -> written := !written + n
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+          stop_ := true
+      | exception Unix.Unix_error _ ->
+          failed := true;
+          stop_ := true
+    done;
+    if !written > 0 then Metrics.add_io t.metrics ~bytes_in:0 ~bytes_out:!written;
+    Buffer.clear buf;
+    if !failed then on_fail ()
+    else if !written < pending then Buffer.add_string buf (String.sub s !written (pending - !written))
+  end
+
+let max_client_outbuf = 8 * 1024 * 1024
+
+let flush_client t c =
+  flush_buffer t c.c_fd c.c_out ~on_fail:(fun () ->
+      c.c_dead <- true;
+      c.c_closing <- true)
+
+(* Move completed head slots into the outbuf; later slots wait their turn. *)
+let pump_client t c =
+  if not c.c_dead then begin
+    let moved = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      match Queue.peek_opt c.c_slots with
+      | Some { s_reply = Some line; _ } ->
+          ignore (Queue.pop c.c_slots);
+          Buffer.add_string c.c_out line;
+          Buffer.add_char c.c_out '\n';
+          moved := true
+      | _ -> continue_ := false
+    done;
+    if !moved then begin
+      flush_client t c;
+      if Buffer.length c.c_out > max_client_outbuf then begin
+        log t "dropping client with %d unsent reply bytes (not reading)" (Buffer.length c.c_out);
+        Metrics.conn_dropped t.metrics;
+        Buffer.clear c.c_out;
+        c.c_dead <- true;
+        c.c_closing <- true
+      end
+    end
+  end
+
+let fill_slot t slot line =
+  if slot.s_reply = None then begin
+    slot.s_reply <- Some line;
+    Metrics.record t.metrics ~command:slot.s_cmd ~ok:(P.is_ok line)
+      ~latency_ns:(Int64.sub (Clock.now_ns ()) slot.s_t0);
+    pump_client t slot.s_client
+  end
+
+let new_slot c cmd =
+  let slot = { s_reply = None; s_client = c; s_cmd = cmd; s_t0 = Clock.now_ns () } in
+  Queue.push slot c.c_slots;
+  slot
+
+(* --- upstream side ------------------------------------------------------- *)
+
+(* Worker replies are single lines but can be large (query tables up to
+   the cell cap); the upstream framing caps are deliberately generous. *)
+let upstream_line_cap = 256 * 1024 * 1024
+
+let complete_part t agg i reply =
+  let shard, role, _ = agg.a_parts.(i) in
+  agg.a_parts.(i) <- (shard, role, reply);
+  agg.a_remaining <- agg.a_remaining - 1;
+  if agg.a_remaining = 0 then fill_slot t agg.a_slot (agg.a_finish agg.a_parts)
+
+let fail_dest t shard dest =
+  match dest with
+  | To_slot slot -> fill_slot t slot (shard_down_line shard)
+  | Part (agg, i) -> complete_part t agg i None
+  | Discard -> ()
+  | Replica_save (slot, _) ->
+      fill_slot t slot
+        (P.err_line
+           (P.error ~code:shard_down_code
+              (Printf.sprintf "shard %d primary died during replica snapshot" shard)))
+
+let rec member_down t m reason =
+  (match m.m_state with
+  | Up u -> ( try Unix.close u.u_fd with Unix.Unix_error _ -> ())
+  | _ -> ());
+  m.m_state <- Down;
+  let shard = m.m_spec.Shard.sp_shard in
+  log t "shard %d %s down: %s (%d in-flight failed)" shard (role_label m) reason
+    (Queue.length m.m_pending);
+  Queue.iter (fun dest -> fail_dest t shard dest) m.m_pending;
+  Queue.clear m.m_pending;
+  (match m.m_notify with
+  | Some slot ->
+      m.m_notify <- None;
+      fill_slot t slot
+        (P.err_line (P.error ~code:shard_down_code (Printf.sprintf "shard %d member died booting" shard)))
+  | None -> ());
+  if t.config.respawn && m.m_spec.Shard.sp_argv <> None && m.m_respawns < 5 then begin
+    m.m_respawns <- m.m_respawns + 1;
+    let argv = Option.get m.m_spec.Shard.sp_argv in
+    let pid = Shard.spawn argv in
+    m.m_pid <- Some pid;
+    m.m_state <-
+      Connecting (Int64.add (Clock.now_ns ()) (Int64.of_float (t.config.boot_timeout_s *. 1e9)));
+    log t "shard %d %s respawned as pid %d (attempt %d)" shard (role_label m) pid m.m_respawns
+  end
+
+and flush_member t m =
+  match m.m_state with
+  | Up u ->
+      flush_buffer t u.u_fd u.u_out ~on_fail:(fun () -> member_down t m "write failed")
+  | _ -> ()
+
+let send_upstream t m line dest =
+  match m.m_state with
+  | Up u ->
+      Buffer.add_string u.u_out line;
+      Buffer.add_char u.u_out '\n';
+      Queue.push dest m.m_pending;
+      flush_member t m
+  | _ -> fail_dest t m.m_spec.Shard.sp_shard dest
+
+(* One nonblocking connection attempt per tick while Connecting. *)
+let try_connect t m =
+  match m.m_state with
+  | Connecting deadline ->
+      let sock = m.m_spec.Shard.sp_socket in
+      let connected =
+        if Sys.file_exists sock then begin
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX sock) with
+          | () ->
+              Unix.set_nonblock fd;
+              m.m_state <-
+                Up
+                  {
+                    u_fd = fd;
+                    u_lines =
+                      Line_buf.create ~max_line_bytes:upstream_line_cap
+                        ~max_buf_bytes:upstream_line_cap ();
+                    u_out = Buffer.create 256;
+                  };
+              log t "shard %d %s up on %s" m.m_spec.Shard.sp_shard (role_label m) sock;
+              (match m.m_notify with
+              | Some slot ->
+                  m.m_notify <- None;
+                  fill_slot t slot
+                    (P.ok
+                       (P.Obj
+                          [
+                            ("shard", P.Int m.m_spec.Shard.sp_shard);
+                            ("role", P.Str (role_label m));
+                            ("socket", P.Str sock);
+                          ]))
+              | None -> ());
+              true
+          | exception Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              false
+        end
+        else false
+      in
+      if (not connected) && Int64.compare (Clock.now_ns ()) deadline > 0 then begin
+        m.m_state <- Down;
+        log t "shard %d %s failed to come up within %.1fs" m.m_spec.Shard.sp_shard (role_label m)
+          t.config.boot_timeout_s;
+        match m.m_notify with
+        | Some slot ->
+            m.m_notify <- None;
+            fill_slot t slot
+              (P.err_line
+                 (P.error ~code:shard_down_code
+                    (Printf.sprintf "shard %d replica failed to start" m.m_spec.Shard.sp_shard)))
+        | None -> ()
+      end
+  | _ -> ()
+
+(* Reap exited children so a killed worker can't linger as a zombie. *)
+let reap t =
+  List.iter
+    (fun m ->
+      match m.m_pid with
+      | Some pid -> (
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _, _ -> m.m_pid <- None
+          | exception Unix.Unix_error _ -> m.m_pid <- None)
+      | None -> ())
+    (all_members t)
+
+(* --- request routing ----------------------------------------------------- *)
+
+let quote_word w =
+  if w <> "" && String.for_all (fun c -> c <> ' ' && c <> '\'' && c <> '"') w then w
+  else "\"" ^ w ^ "\""
+
+let pick_read g =
+  let ups = List.filter is_up g.g_members in
+  match ups with
+  | [] -> None
+  | _ ->
+      let m = List.nth ups (g.g_rr mod List.length ups) in
+      g.g_rr <- g.g_rr + 1;
+      Some m
+
+let group_for t name = t.groups.(Shard.id_of_name ~shards:t.config.shards name)
+
+let member_json m =
+  P.Obj
+    [
+      ("shard", P.Int m.m_spec.Shard.sp_shard);
+      ("role", P.Str (role_label m));
+      ("socket", P.Str m.m_spec.Shard.sp_socket);
+      ("pid", match m.m_pid with Some pid -> P.Int pid | None -> P.Null);
+      ( "state",
+        P.Str (match m.m_state with Up _ -> "up" | Connecting _ -> "connecting" | Down -> "down")
+      );
+      ("pending", P.Int (Queue.length m.m_pending));
+    ]
+
+let topology_json t =
+  P.Obj
+    [
+      ("shards", P.Int t.config.shards);
+      ("respawn", P.Bool t.config.respawn);
+      ("members", P.List (List.map member_json (all_members t)));
+    ]
+
+let router_stats_json t =
+  Metrics.to_json t.metrics
+    ~extra:
+      [
+        ("protocol_version", P.Int P.protocol_version);
+        ("role", P.Str "router");
+        ("shards", P.Int t.config.shards);
+      ]
+
+(* Fan one request line (or a per-target rewrite of it) to [targets];
+   down members contribute a [None] part immediately. *)
+let fanout t slot targets ~line_for ~finish =
+  match targets with
+  | [] -> fill_slot t slot (P.err_line (P.error ~code:shard_down_code "no shards are up"))
+  | _ ->
+      let parts =
+        Array.of_list
+          (List.map (fun m -> (m.m_spec.Shard.sp_shard, role_label m, None)) targets)
+      in
+      let agg = { a_slot = slot; a_parts = parts; a_remaining = List.length targets; a_finish = finish } in
+      List.iteri
+        (fun i m ->
+          match m.m_state with
+          | Up _ -> send_upstream t m (line_for m) (Part (agg, i))
+          | _ -> complete_part t agg i None)
+        targets
+
+(* Parse the payload of an OK reply line; None for ERR / absent / unparsable. *)
+let payload_of = function
+  | None -> None
+  | Some line ->
+      if P.is_ok line && String.length line > 3 then
+        match Json.parse (String.sub line 3 (String.length line - 3)) with
+        | Ok j -> Some j
+        | Error _ -> None
+      else None
+
+let finish_version parts =
+  let oks = Array.to_list parts |> List.filter_map (fun (_, _, r) -> r) |> List.filter P.is_ok in
+  match oks with
+  | [] -> P.err_line (P.error ~code:shard_down_code "no shards are up")
+  | first :: rest ->
+      if List.for_all (( = ) first) rest then first
+      else
+        (* Mixed worker builds mid-upgrade: expose the disagreement. *)
+        P.ok
+          (P.Obj
+             [
+               ( "shards",
+                 P.List
+                   (Array.to_list parts
+                   |> List.map (fun (shard, _, r) ->
+                          P.Obj
+                            [
+                              ("shard", P.Int shard);
+                              ("version", match payload_of r with Some j -> j | None -> P.Null);
+                            ])) );
+             ])
+
+let finish_graphs parts =
+  let payloads = Array.to_list parts |> List.filter_map (fun (_, _, r) -> payload_of r) in
+  if payloads = [] then P.err_line (P.error ~code:shard_down_code "no shards are up")
+  else P.ok (merge_graphs payloads)
+
+let finish_stats t parts =
+  let jparts =
+    Array.to_list parts |> List.map (fun (shard, role, r) -> (shard, role, payload_of r))
+  in
+  P.ok (merge_stats ~router:(router_stats_json t) ~shards:t.config.shards ~parts:jparts)
+
+let finish_snapshots parts =
+  (* Any failing shard fails the whole operation: a partial snapshot set
+     silently missing a shard would restore into silent data loss. The
+     first failure line (already a classified ERR) forwards verbatim. *)
+  let first_err =
+    Array.to_list parts
+    |> List.find_map (fun (shard, _, r) ->
+           match r with
+           | None -> Some (shard_down_line shard)
+           | Some line when not (P.is_ok line) -> Some line
+           | Some _ -> None)
+  in
+  match first_err with
+  | Some line -> line
+  | None ->
+      let payloads =
+        Array.to_list parts
+        |> List.filter_map (fun (shard, _, r) ->
+               match payload_of r with Some j -> Some (shard, j) | None -> None)
+      in
+      P.ok (merge_snapshots payloads)
+
+let primaries t = Array.to_list t.groups |> List.map (fun g -> List.hd g.g_members)
+
+let start_replica t slot shard =
+  if shard < 0 || shard >= t.config.shards then
+    fill_slot t slot
+      (P.err_line
+         (P.error ~code:"ERR_BAD_ARG" (Printf.sprintf "no such shard %d (0..%d)" shard (t.config.shards - 1))))
+  else
+    match t.config.make_replica with
+    | None ->
+        fill_slot t slot
+          (P.err_line (P.error ~code:"ERR_BAD_ARG" "replica spawning is not available here"))
+    | Some make ->
+        let g = t.groups.(shard) in
+        let primary = List.hd g.g_members in
+        if not (is_up primary) then fill_slot t slot (shard_down_line shard)
+        else begin
+          let index = List.length (List.tl g.g_members) + 1 in
+          let spec = make ~shard ~index in
+          match spec.Shard.sp_snapshot with
+          | None ->
+              fill_slot t slot
+                (P.err_line (P.error ~code:"ERR_INTERNAL" "replica spec has no snapshot path"))
+          | Some snap ->
+              (* Snapshot shipping: SAVE on the primary straight into the
+                 replica's boot snapshot path, then spawn the replica on
+                 it. The reply waits until the replica accepts. *)
+              send_upstream t primary
+                (Printf.sprintf "SAVE %s" (quote_word snap))
+                (Replica_save (slot, spec))
+        end
+
+let handle_replica_saved t slot spec line =
+  if not (P.is_ok line) then fill_slot t slot line
+  else begin
+    let m =
+      {
+        m_spec = spec;
+        m_pid = None;
+        m_state = Down;
+        m_respawns = 0;
+        m_pending = Queue.create ();
+        m_notify = Some slot;
+      }
+    in
+    (match spec.Shard.sp_argv with
+    | Some argv ->
+        let pid = Shard.spawn argv in
+        m.m_pid <- Some pid;
+        m.m_state <-
+          Connecting (Int64.add (Clock.now_ns ()) (Int64.of_float (t.config.boot_timeout_s *. 1e9)));
+        log t "shard %d %s spawning as pid %d" spec.Shard.sp_shard (Shard.role_label spec.Shard.sp_role) pid
+    | None ->
+        m.m_state <-
+          Connecting (Int64.add (Clock.now_ns ()) (Int64.of_float (t.config.boot_timeout_s *. 1e9))));
+    let g = t.groups.(spec.Shard.sp_shard) in
+    g.g_members <- g.g_members @ [ m ]
+  end
+
+let dispatch_reply t m dest line =
+  match dest with
+  | To_slot slot -> fill_slot t slot line
+  | Part (agg, i) -> complete_part t agg i (Some line)
+  | Discard -> ()
+  | Replica_save (slot, spec) ->
+      ignore m;
+      handle_replica_saved t slot spec line
+
+(* Router-local commands (TOPOLOGY / ROUTE / REPLICA) are deliberately
+   *not* in {!Protocol}: the client protocol is v4 unchanged, and these
+   are operator commands of the topology layer only. *)
+type router_cmd = Topology | Route of string | Replica_of of int
+
+let router_cmd_of_tokens = function
+  | [ cmd ] when String.uppercase_ascii cmd = "TOPOLOGY" -> Some Topology
+  | [ cmd; name ] when String.uppercase_ascii cmd = "ROUTE" -> Some (Route name)
+  | [ cmd; shard ] when String.uppercase_ascii cmd = "REPLICA" -> (
+      match int_of_string_opt shard with Some s -> Some (Replica_of s) | None -> None)
+  | _ -> None
+
+let handle_client_line t c line =
+  let cmd_label =
+    match String.index_opt line ' ' with
+    | Some i -> String.uppercase_ascii (String.sub line 0 i)
+    | None -> String.uppercase_ascii line
+  in
+  let slot = new_slot c cmd_label in
+  let local reply = fill_slot t slot reply in
+  match P.tokenize line with
+  | Error msg -> local (P.err_line (P.error ~code:"ERR_PARSE" msg))
+  | Ok tokens -> (
+      match router_cmd_of_tokens tokens with
+      | Some Topology -> local (P.ok (topology_json t))
+      | Some (Route name) ->
+          let shard = Shard.id_of_name ~shards:t.config.shards name in
+          local
+            (P.ok
+               (P.Obj
+                  [
+                    ("graph", P.Str name);
+                    ("shard", P.Int shard);
+                    ("members", P.List (List.map member_json t.groups.(shard).g_members));
+                  ]))
+      | Some (Replica_of shard) -> start_replica t slot shard
+      | None -> (
+          match P.parse_request line with
+          | Error msg -> local (P.err_line (P.error ~code:"ERR_PARSE" msg))
+          | Ok { P.req; _ } -> (
+              match req with
+              | P.Hello ->
+                  local
+                    (P.ok
+                       (P.Obj
+                          [
+                            ("server", P.Str "glqld");
+                            ("version", P.Str Server.version);
+                            ("protocol_version", P.Int P.protocol_version);
+                            ("role", P.Str "router");
+                            ("shards", P.Int t.config.shards);
+                          ]))
+              | P.Ping -> local (P.ok (P.Str "pong"))
+              | P.Quit ->
+                  local (P.ok (P.Str "bye"));
+                  c.c_closing <- true
+              | P.Shutdown ->
+                  List.iter
+                    (fun m -> if is_up m then send_upstream t m "SHUTDOWN" Discard)
+                    (all_members t);
+                  local (P.ok (P.Str "shutting down"));
+                  Atomic.set t.stop_flag true
+              | P.Version ->
+                  fanout t slot (primaries t) ~line_for:(fun _ -> "VERSION") ~finish:finish_version
+              | P.Graphs ->
+                  fanout t slot (primaries t) ~line_for:(fun _ -> "GRAPHS") ~finish:finish_graphs
+              | P.Stats ->
+                  fanout t slot (all_members t) ~line_for:(fun _ -> "STATS")
+                    ~finish:(fun parts -> finish_stats t parts)
+              | P.Generators -> (
+                  match List.find_opt is_up (all_members t) with
+                  | Some m -> send_upstream t m line (To_slot slot)
+                  | None ->
+                      local (P.err_line (P.error ~code:shard_down_code "no shards are up")))
+              | P.Load (name, _) ->
+                  let g = group_for t name in
+                  let primary = List.hd g.g_members in
+                  (* Mirror writes to live replicas so they stay in sync;
+                     the client's reply is the primary's, verbatim. *)
+                  List.iter
+                    (fun m -> if is_up m then send_upstream t m line Discard)
+                    (List.tl g.g_members);
+                  send_upstream t primary line (To_slot slot)
+              | P.Query (name, _) | P.Explain (name, _) | P.Wl (name, _) | P.Kwl (name, _)
+              | P.Hom (name, _) -> (
+                  let g = group_for t name in
+                  match pick_read g with
+                  | Some m -> send_upstream t m line (To_slot slot)
+                  | None -> local (shard_down_line g.g_shard))
+              | P.Save requested ->
+                  (* Each shard snapshots to its own file: <path>.shardI
+                     when a path was given, the worker's own --snapshot
+                     default otherwise. Primaries only — a replica
+                     writing the same per-shard file would race it. *)
+                  fanout t slot (primaries t)
+                    ~line_for:(fun m ->
+                      match requested with
+                      | Some path ->
+                          Printf.sprintf "SAVE %s"
+                            (quote_word (Printf.sprintf "%s.shard%d" path m.m_spec.Shard.sp_shard))
+                      | None -> "SAVE")
+                    ~finish:finish_snapshots
+              | P.Restore requested ->
+                  (* Replicas restore the same per-shard file so the whole
+                     shard group converges on the restored state. *)
+                  let line_for m =
+                    match requested with
+                    | Some path ->
+                        Printf.sprintf "RESTORE %s"
+                          (quote_word (Printf.sprintf "%s.shard%d" path m.m_spec.Shard.sp_shard))
+                    | None -> "RESTORE"
+                  in
+                  List.iter
+                    (fun m ->
+                      if m.m_spec.Shard.sp_role <> Shard.Primary && is_up m then
+                        send_upstream t m (line_for m) Discard)
+                    (all_members t);
+                  fanout t slot (primaries t) ~line_for ~finish:finish_snapshots)))
+
+(* --- select loop --------------------------------------------------------- *)
+
+let spawn_managed t =
+  List.iter
+    (fun m ->
+      (match m.m_spec.Shard.sp_argv with
+      | Some argv ->
+          let pid = Shard.spawn argv in
+          m.m_pid <- Some pid;
+          log t "shard %d %s spawned as pid %d" m.m_spec.Shard.sp_shard (role_label m) pid
+      | None -> ());
+      m.m_state <-
+        Connecting (Int64.add (Clock.now_ns ()) (Int64.of_float (t.config.boot_timeout_s *. 1e9))))
+    (all_members t)
+
+(* Block until every member is up (or its boot deadline passed) before
+   opening the front socket: a client that can connect should find the
+   topology serving, not racing its own boot. *)
+let wait_boot t =
+  let rec loop () =
+    List.iter (fun m -> try_connect t m) (all_members t);
+    if List.exists (fun m -> match m.m_state with Connecting _ -> true | _ -> false) (all_members t)
+    then begin
+      ignore (Unix.select [] [] [] 0.05);
+      loop ()
+    end
+  in
+  loop ()
+
+let terminate_children t =
+  List.iter
+    (fun m ->
+      match m.m_pid with
+      | Some pid -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      | None -> ())
+    (all_members t);
+  let deadline = Clock.deadline_after 10.0 in
+  let rec wait_all () =
+    reap t;
+    if List.exists (fun m -> m.m_pid <> None) (all_members t) then
+      if Clock.expired deadline then
+        List.iter
+          (fun m ->
+            match m.m_pid with
+            | Some pid ->
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                m.m_pid <- None
+            | None -> ())
+          (all_members t)
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait_all ()
+      end
+  in
+  wait_all ()
+
+let serve t =
+  let prev_handlers =
+    List.map
+      (fun signal ->
+        (signal, Sys.signal signal (Sys.Signal_handle (fun _ -> Atomic.set t.stop_flag true))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  spawn_managed t;
+  wait_boot t;
+  let listeners = ref [] in
+  (match t.config.socket_path with
+  | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      listeners := fd :: !listeners;
+      log t "routing on unix socket %s" path
+  | None -> ());
+  (match t.config.tcp_port with
+  | Some port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      listeners := fd :: !listeners;
+      log t "routing on tcp port %d" port
+  | None -> ());
+  if !listeners = [] then invalid_arg "Router.serve: no socket_path and no tcp_port";
+  let conns : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+  let chunk = Bytes.create 65536 in
+  let member_fd m = match m.m_state with Up u -> Some u.u_fd | _ -> None in
+  let member_by_fd fd =
+    List.find_opt (fun m -> member_fd m = Some fd) (all_members t)
+  in
+  let read_member m =
+    match m.m_state with
+    | Up u -> (
+        match Unix.read u.u_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> member_down t m "EOF"
+        | nread -> (
+            Metrics.add_io t.metrics ~bytes_in:nread ~bytes_out:0;
+            match Line_buf.feed u.u_lines chunk ~off:0 ~len:nread with
+            | Ok lines ->
+                List.iter
+                  (fun line ->
+                    match Queue.take_opt m.m_pending with
+                    | Some dest -> dispatch_reply t m dest line
+                    | None -> log t "shard %d sent an unsolicited line" m.m_spec.Shard.sp_shard)
+                  lines
+            | Error _ -> member_down t m "reply overflowed the framing caps")
+        | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+        | exception Unix.Unix_error _ -> member_down t m "read failed")
+    | _ -> ()
+  in
+  let read_client c =
+    match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> c.c_closing <- true
+    | nread -> (
+        Metrics.add_io t.metrics ~bytes_in:nread ~bytes_out:0;
+        match Line_buf.feed c.c_lines chunk ~off:0 ~len:nread with
+        | Ok lines ->
+            List.iter (fun line -> if String.trim line <> "" then handle_client_line t c line) lines
+        | Error e ->
+            let err =
+              match e with
+              | Line_buf.Line_too_long limit ->
+                  P.error ~code:"ERR_LIMIT_LINE"
+                    (Printf.sprintf "request line exceeds the %d-byte limit" limit)
+              | Line_buf.Buffer_overflow limit ->
+                  P.error ~code:"ERR_LIMIT_INBUF"
+                    (Printf.sprintf "connection buffered more than %d bytes without a newline" limit)
+            in
+            Metrics.conn_dropped t.metrics;
+            Buffer.add_string c.c_out (P.err_line err ^ "\n");
+            flush_client t c;
+            Buffer.clear c.c_out;
+            c.c_dead <- true;
+            c.c_closing <- true)
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        c.c_dead <- true;
+        c.c_closing <- true
+  in
+  let accept_on fd =
+    match Unix.accept fd with
+    | client_fd, _ ->
+        if Hashtbl.length conns >= t.config.max_connections then begin
+          Metrics.conn_rejected t.metrics;
+          let line =
+            P.err_line
+              (P.error ~code:"ERR_LIMIT_CONNS"
+                 (Printf.sprintf "router is at its %d-connection limit" t.config.max_connections))
+            ^ "\n"
+          in
+          (try ignore (Unix.write_substring client_fd line 0 (String.length line))
+           with Unix.Unix_error _ -> ());
+          try Unix.close client_fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Unix.set_nonblock client_fd;
+          Hashtbl.replace conns client_fd
+            {
+              c_fd = client_fd;
+              c_lines =
+                Line_buf.create ~max_line_bytes:t.config.max_line_bytes
+                  ~max_buf_bytes:t.config.max_inbuf_bytes ();
+              c_out = Buffer.create 256;
+              c_closing = false;
+              c_dead = false;
+              c_slots = Queue.create ();
+            }
+        end
+    | exception Unix.Unix_error _ -> ()
+  in
+  let one_tick ~accepting =
+    let watched_read =
+      (if accepting then !listeners else [])
+      @ Hashtbl.fold (fun fd c acc -> if c.c_closing then acc else fd :: acc) conns []
+      @ List.filter_map member_fd (all_members t)
+    in
+    let watched_write =
+      Hashtbl.fold (fun fd c acc -> if Buffer.length c.c_out > 0 then fd :: acc else acc) conns []
+      @ List.filter_map
+          (fun m ->
+            match m.m_state with
+            | Up u when Buffer.length u.u_out > 0 -> Some u.u_fd
+            | _ -> None)
+          (all_members t)
+    in
+    let readable, writable =
+      match Unix.select watched_read watched_write [] 0.25 with
+      | readable, writable, _ -> (readable, writable)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with
+        | Some c -> flush_client t c
+        | None -> ( match member_by_fd fd with Some m -> flush_member t m | None -> ()))
+      writable;
+    List.iter
+      (fun fd ->
+        if accepting && List.mem fd !listeners then accept_on fd
+        else
+          match Hashtbl.find_opt conns fd with
+          | Some c -> read_client c
+          | None -> ( match member_by_fd fd with Some m -> read_member m | None -> ()))
+      readable;
+    reap t;
+    List.iter (fun m -> try_connect t m) (all_members t);
+    (* Reap clients whose replies are fully delivered. *)
+    let dead =
+      Hashtbl.fold
+        (fun fd c acc ->
+          let finished = c.c_dead || (c.c_closing && Queue.is_empty c.c_slots) in
+          if finished && Buffer.length c.c_out = 0 then (fd, c) :: acc else acc)
+        conns []
+    in
+    List.iter
+      (fun (fd, c) ->
+        (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove conns fd)
+      dead
+  in
+  while not (Atomic.get t.stop_flag) do
+    one_tick ~accepting:true
+  done;
+  (* Drain: stop accepting, give in-flight shard replies a bounded window
+     to land in their slots and flush, then fail the stragglers. *)
+  let drain_deadline = Clock.deadline_after t.config.drain_timeout_s in
+  let in_flight () = List.exists (fun m -> not (Queue.is_empty m.m_pending)) (all_members t) in
+  while in_flight () && not (Clock.expired drain_deadline) do
+    one_tick ~accepting:false
+  done;
+  List.iter
+    (fun m ->
+      Queue.iter (fun dest -> fail_dest t m.m_spec.Shard.sp_shard dest) m.m_pending;
+      Queue.clear m.m_pending)
+    (all_members t);
+  (* Last flush of client outbufs, bounded like the server's. *)
+  let flush_deadline = Clock.deadline_after 2.0 in
+  let rec flush_remaining () =
+    let waiting =
+      Hashtbl.fold
+        (fun fd c acc -> if Buffer.length c.c_out > 0 then (fd, c) :: acc else acc)
+        conns []
+    in
+    if waiting <> [] && not (Clock.expired flush_deadline) then begin
+      (match Unix.select [] (List.map fst waiting) [] 0.1 with
+      | _, writable, _ ->
+          List.iter (fun (fd, c) -> if List.mem fd writable then flush_client t c) waiting
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      flush_remaining ()
+    end
+  in
+  flush_remaining ();
+  Hashtbl.iter (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) conns;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+  (match t.config.socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter
+    (fun m -> match m.m_state with Up u -> (try Unix.close u.u_fd with Unix.Unix_error _ -> ()) | _ -> ())
+    (all_members t);
+  terminate_children t;
+  List.iter (fun (signal, h) -> try Sys.set_signal signal h with Invalid_argument _ -> ()) prev_handlers;
+  let served = Metrics.requests t.metrics in
+  Printf.eprintf "glqld-router: routed %d requests (%d errors), shutting down cleanly\n%!" served
+    (Metrics.errors t.metrics);
+  served

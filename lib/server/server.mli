@@ -36,6 +36,10 @@ type config = {
 
 val default_config : config
 
+(** Server build version, reported by HELLO/VERSION (and echoed by the
+    sharded router so front and workers report one version). *)
+val version : string
+
 type t
 
 val create : config -> t

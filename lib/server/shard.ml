@@ -1,0 +1,75 @@
+(* Shard placement and worker-process plumbing for the sharded topology.
+
+   A shard is one full glqld worker process owning a slice of the graph
+   namespace. Placement is a pure function of the graph name: the
+   FNV-1a stable hash of the *canonical spec form* of the name, so the
+   two spellings of one spec-as-name ("sbm10 + path3" / "sbm10+path3")
+   land on the same worker, and the mapping survives restarts and is
+   reproducible by external tooling. *)
+
+let id_of_name ~shards name = Glql_util.Stable_hash.shard ~shards (Registry.canonical_spec name)
+
+(* Path conventions: everything hangs off the router's front socket
+   path, so one --socket flag names the whole topology on disk. *)
+
+let worker_socket ~base ~shard = Printf.sprintf "%s.shard%d" base shard
+let replica_socket ~base ~shard ~index = Printf.sprintf "%s.shard%dr%d" base shard index
+let snapshot_of_socket sock = sock ^ ".glqs"
+
+type role = Primary | Replica of int
+
+let role_label = function
+  | Primary -> "primary"
+  | Replica i -> Printf.sprintf "replica%d" i
+
+type spec = {
+  sp_shard : int;
+  sp_role : role;
+  sp_socket : string;
+  sp_snapshot : string option;
+  sp_argv : string array option;
+      (* argv to (re)spawn the worker; [None] marks an externally managed
+         member the router only connects to (bench rigs). *)
+}
+
+(* Worker argv: a plain glqld serving one unix socket, with a snapshot
+   path so SIGTERM leaves warm-restart state behind and --respawn can
+   recover it. [extra] forwards governance flags from the router's own
+   command line (timeouts, cache budgets, limits). *)
+let worker_argv ~exe ~socket ~snapshot ~extra =
+  let snap = match snapshot with Some p -> [ "--snapshot"; p ] | None -> [] in
+  Array.of_list ((exe :: "--socket" :: socket :: snap) @ extra)
+
+let plan ~exe ~base_socket ~extra ~shards =
+  List.init shards (fun i ->
+      let socket = worker_socket ~base:base_socket ~shard:i in
+      let snapshot = snapshot_of_socket socket in
+      {
+        sp_shard = i;
+        sp_role = Primary;
+        sp_socket = socket;
+        sp_snapshot = Some snapshot;
+        sp_argv = Some (worker_argv ~exe ~socket ~snapshot:(Some snapshot) ~extra);
+      })
+
+let replica_spec ~exe ~base_socket ~extra ~shard ~index =
+  let socket = replica_socket ~base:base_socket ~shard ~index in
+  let snapshot = snapshot_of_socket socket in
+  {
+    sp_shard = shard;
+    sp_role = Replica index;
+    sp_socket = socket;
+    sp_snapshot = Some snapshot;
+    sp_argv = Some (worker_argv ~exe ~socket ~snapshot:(Some snapshot) ~extra);
+  }
+
+(* Spawn a worker; stdio is inherited so worker logs interleave with the
+   router's (each worker tags nothing — keep them quiet unless
+   --verbose was forwarded). Stale sockets from a previous unclean run
+   are unlinked first or bind would fail. *)
+let spawn argv =
+  let sock_idx = ref (-1) in
+  Array.iteri (fun i a -> if a = "--socket" then sock_idx := i + 1) argv;
+  if !sock_idx >= 0 && !sock_idx < Array.length argv then
+    (try Unix.unlink argv.(!sock_idx) with Unix.Unix_error _ -> ());
+  Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr

@@ -23,3 +23,17 @@ val to_string : t -> string
 
 (** Append a quoted, escaped JSON string literal to [buf]. *)
 val escape_to : Buffer.t -> string -> unit
+
+(** Parse one JSON document (the whole string; trailing garbage is an
+    error). Objects keep their fields in document order, so
+    [to_string] of a parsed value preserves the original field layout —
+    the property the sharded router relies on when it re-renders merged
+    per-shard replies. Numbers without a fraction or exponent parse as
+    [Int]. *)
+val parse : string -> (t, string) result
+
+(** [member k j] is field [k] of object [j], if present. *)
+val member : string -> t -> t option
+
+(** [int_member k j] is field [k] of [j] when it is an integer. *)
+val int_member : string -> t -> int option

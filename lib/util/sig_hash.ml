@@ -24,11 +24,11 @@ let of_int_array ints =
     ints;
   Buffer.contents b
 
-(* Multiset signature: sort a *copy* so callers keep their order. *)
-let of_int_multiset ints =
-  let a = Array.copy ints in
-  Array.sort compare a;
-  of_int_array a
+(* Multiset signature: sort a *copy* so callers keep their order. The
+   closure-free sort is output-equivalent to [Array.sort compare] on
+   ints, so signatures — and every colouring interned from them — stay
+   bit-identical. *)
+let of_int_multiset ints = of_int_array (Int_sort.sorted_copy ints)
 
 let of_string_list parts = String.concat ";" parts
 

@@ -1,0 +1,25 @@
+(* Process-independent string hashing for placement decisions.
+
+   [Hashtbl.hash] is free to change across compiler releases and says
+   nothing about its value being stable, which would silently re-shard a
+   registry across an upgrade. FNV-1a over the bytes is fully specified,
+   trivially reimplementable in any client, and well-mixed enough for
+   shard balancing over human-chosen graph names. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (String.unsafe_get s i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+(* Fold to a nonnegative OCaml int (drop the sign bit), then reduce. *)
+let to_nonneg h = Int64.to_int (Int64.logand h 0x3fff_ffff_ffff_ffffL)
+
+let shard ~shards s =
+  if shards <= 0 then invalid_arg "Stable_hash.shard: shards must be positive";
+  to_nonneg (hash64 s) mod shards

@@ -1,0 +1,14 @@
+(** Stable (process- and run-independent) string hashing for placement.
+
+    Used to map graph names to shard ids in the sharded server topology:
+    the assignment must survive daemon restarts and be reproducible by
+    external tooling, which rules out [Hashtbl.hash]. The function is
+    FNV-1a 64-bit over the raw bytes. *)
+
+(** FNV-1a 64-bit hash of the string's bytes. *)
+val hash64 : string -> int64
+
+(** [shard ~shards s] maps [s] to a shard id in [0 .. shards-1].
+    Deterministic for a fixed [shards]. Raises [Invalid_argument] when
+    [shards <= 0]. *)
+val shard : shards:int -> string -> int

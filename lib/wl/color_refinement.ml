@@ -30,48 +30,10 @@ module Pool = Glql_util.Pool
 module Trace = Glql_util.Trace
 module Clock = Glql_util.Clock
 
-(* In-place ascending int sort without a comparator closure (Array.sort
-   pays an indirect call per comparison): insertion sort for short rows,
-   median-of-three quicksort above. Ints have no distinguishable
-   duplicates, so every correct ascending sort produces the identical
-   array — output-equivalent to [Array.sort Int.compare]. *)
-let rec qsort_ints (a : int array) lo hi =
-  if hi - lo < 16 then
-    for i = lo + 1 to hi do
-      let x = Array.unsafe_get a i in
-      let j = ref (i - 1) in
-      while !j >= lo && Array.unsafe_get a !j > x do
-        Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
-        decr j
-      done;
-      Array.unsafe_set a (!j + 1) x
-    done
-  else begin
-    let swap i j =
-      let t = Array.unsafe_get a i in
-      Array.unsafe_set a i (Array.unsafe_get a j);
-      Array.unsafe_set a j t
-    in
-    let mid = (lo + hi) / 2 in
-    if a.(mid) < a.(lo) then swap mid lo;
-    if a.(hi) < a.(lo) then swap hi lo;
-    if a.(hi) < a.(mid) then swap hi mid;
-    let pivot = a.(mid) in
-    let i = ref lo and j = ref hi in
-    while !i <= !j do
-      while Array.unsafe_get a !i < pivot do incr i done;
-      while Array.unsafe_get a !j > pivot do decr j done;
-      if !i <= !j then begin
-        swap !i !j;
-        incr i;
-        decr j
-      end
-    done;
-    qsort_ints a lo !j;
-    qsort_ints a !i hi
-  end
-
-let sort_ints a = if Array.length a > 1 then qsort_ints a 0 (Array.length a - 1)
+(* Closure-free ascending int sort, shared with the k-WL tuple-key path
+   via [Glql_util.Int_sort] — output-equivalent to [Array.sort
+   Int.compare], so colourings are unchanged. *)
+let sort_ints = Glql_util.Int_sort.sort
 
 type result = {
   graphs : Graph.t list;

@@ -14,7 +14,13 @@
    Phase B attacks persistence: booting from garbage and truncated
    snapshot files, and SIGKILL racing a SAVE, asserting the
    atomic-rename discipline leaves every snapshot valid-or-absent and
-   the next boot healthy. *)
+   the next boot healthy.
+
+   Phase C attacks the sharded topology: SIGKILL of a shard worker under
+   `--respawn` (the victim's graphs must come back snapshot-warm while
+   the other shards never stop answering), and SIGKILL of the router
+   itself (the workers must survive as independently addressable daemons
+   on their own shard sockets). *)
 
 let failures = ref 0
 
@@ -172,6 +178,49 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+(* The integer after ["field":] in a one-line JSON reply. *)
+let json_int_field text field =
+  let tag = "\"" ^ field ^ "\":" in
+  let tl = String.length tag and n = String.length text in
+  let rec find i =
+    if i + tl > n then None else if String.sub text i tl = tag then Some (i + tl) else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while !stop < n && (text.[!stop] = '-' || (text.[!stop] >= '0' && text.[!stop] <= '9')) do
+        incr stop
+      done;
+      int_of_string_opt (String.sub text start (!stop - start))
+
+(* Shard [shard]'s primary pid in a TOPOLOGY reply: member objects
+   render shard, role, socket, pid in that order. *)
+let primary_pid topology shard =
+  let tag = Printf.sprintf "\"shard\":%d,\"role\":\"primary\"" shard in
+  let tl = String.length tag and n = String.length topology in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub topology i tl = tag then Some (i + tl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some after -> json_int_field (String.sub topology after (n - after)) "pid"
+
+let signature_of reply =
+  let key = "\"signature\":\"" in
+  let kl = String.length key and n = String.length reply in
+  let rec find i =
+    if i + kl > n then ""
+    else if String.sub reply i kl = key then (
+      match String.index_from_opt reply (i + kl) '"' with
+      | Some stop -> String.sub reply (i + kl) (stop - i - kl)
+      | None -> "")
+    else find (i + 1)
+  in
+  find 0
 
 (* --- phase A: protocol abuse against a governed daemon ------------------- *)
 
@@ -377,6 +426,132 @@ let phase_b glqld dir =
   Unix.kill pid3 Sys.sigterm;
   check "B: clean exit after snapshot faults" (wait_exit pid3 = Some 0)
 
+(* --- phase C: sharded-topology faults ------------------------------------ *)
+
+let phase_c glqld dir =
+  let sock = Filename.concat dir "fault_c.sock" in
+  let router =
+    spawn_daemon glqld
+      [ "--router"; "--workers"; "3"; "--respawn"; "--socket"; sock ]
+      ~stdout_file:(Filename.concat dir "router_c.out")
+  in
+  wait_for_socket sock;
+  check "C: router front socket appears" (Sys.file_exists sock);
+  expect_ok sock "C: baseline PING through the router" "PING";
+
+  (* Two graphs on two different shards: the victim's and a bystander's.
+     ROUTE is the router's own placement oracle, so the harness needs no
+     knowledge of the hash function. *)
+  let shard_of name =
+    match request sock (Printf.sprintf "ROUTE %s" name) with
+    | `Line reply -> json_int_field reply "shard"
+    | `Eof | `Timeout -> None
+  in
+  let candidates = [ "ga"; "gb"; "gc"; "gd"; "ge" ] in
+  let victim_graph = List.hd candidates in
+  let victim_shard = shard_of victim_graph in
+  let bystander =
+    List.find_opt (fun g -> shard_of g <> victim_shard && shard_of g <> None) (List.tl candidates)
+  in
+  check "C: two graphs land on different shards" (victim_shard <> None && bystander <> None);
+  let victim_shard = Option.value ~default:0 victim_shard in
+  let bystander = Option.value ~default:"gb" bystander in
+  expect_ok sock "C: LOAD victim graph" (Printf.sprintf "LOAD %s petersen" victim_graph);
+  expect_ok sock "C: LOAD bystander graph" (Printf.sprintf "LOAD %s cycle12" bystander);
+  let wl g =
+    match request sock (Printf.sprintf "WL %s" g) with
+    | `Line reply -> Some reply
+    | `Eof | `Timeout -> None
+  in
+  let sig_before =
+    match wl victim_graph with
+    | Some reply when String.length reply >= 2 && String.sub reply 0 2 = "OK" -> signature_of reply
+    | _ -> ""
+  in
+  check "C: victim WL answers before the kill" (sig_before <> "");
+  (* A bare SAVE fans out to every primary's own --snapshot default —
+     the same file `--respawn` restores from. *)
+  expect_ok sock "C: fleet-wide SAVE" "SAVE";
+
+  (* SIGKILL the victim's worker. With --respawn the router must bring a
+     replacement up from the snapshot; until then the victim's graphs
+     fail fast with ERR_SHARD_DOWN and the bystander never misses. *)
+  let topology =
+    match request sock "TOPOLOGY" with `Line reply -> reply | `Eof | `Timeout -> ""
+  in
+  let victim_pid = primary_pid topology victim_shard in
+  check "C: TOPOLOGY names the victim's pid" (victim_pid <> None);
+  (match victim_pid with Some pid -> Unix.kill pid Sys.sigkill | None -> ());
+  (match wl bystander with
+  | Some reply ->
+      check "C: bystander shard answers during the outage"
+        (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+  | None -> check "C: bystander shard answers during the outage" false);
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let recovered = ref None in
+  while !recovered = None && Unix.gettimeofday () < deadline do
+    (match wl victim_graph with
+    | Some reply when String.length reply >= 2 && String.sub reply 0 2 = "OK" ->
+        recovered := Some reply
+    | Some reply ->
+        (* The only acceptable failure during the window is the scoped
+           shard-down error — anything else is a bug. *)
+        if not (contains ~needle:"\"code\":\"ERR_SHARD_DOWN\"" reply) then begin
+          check (Printf.sprintf "C: outage error is ERR_SHARD_DOWN (got %s)" reply) false;
+          recovered := Some reply
+        end
+    | None -> ());
+    if !recovered = None then ignore (Unix.select [] [] [] 0.2)
+  done;
+  (match !recovered with
+  | Some reply when String.length reply >= 2 && String.sub reply 0 2 = "OK" ->
+      check "C: respawned worker recovers the victim's graphs" true;
+      check "C: recovery is snapshot-warm, not recomputed"
+        (contains ~needle:"\"coloring_cache\":\"hit\"" reply);
+      check "C: recovered WL signature matches pre-kill" (signature_of reply = sig_before)
+  | _ -> check "C: respawned worker recovers the victim's graphs" false);
+
+  (* SIGKILL the router itself: the workers are independent daemons and
+     must keep answering directly on their own shard sockets. *)
+  let topology2 =
+    match request sock "TOPOLOGY" with `Line reply -> reply | `Eof | `Timeout -> ""
+  in
+  let worker_pids = List.filter_map (fun s -> primary_pid topology2 s) [ 0; 1; 2 ] in
+  check "C: TOPOLOGY lists all three workers" (List.length worker_pids = 3);
+  List.iter (fun pid -> live_daemons := pid :: !live_daemons) worker_pids;
+  Unix.kill router Sys.sigkill;
+  ignore (wait_exit router);
+  ignore (Unix.select [] [] [] 0.3);
+  let victim_sock = Printf.sprintf "%s.shard%d" sock victim_shard in
+  expect_ok victim_sock "C: orphaned worker answers directly on its shard socket"
+    (Printf.sprintf "WL %s" victim_graph);
+  List.iter
+    (fun s ->
+      expect_ok
+        (Printf.sprintf "%s.shard%d" sock s)
+        (Printf.sprintf "C: worker for shard %d survives the router" s)
+        "PING")
+    [ 0; 1; 2 ];
+  (* Cleanup by pid: with the router gone, the harness is the only thing
+     that knows the workers exist. *)
+  List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) worker_pids;
+  (* The workers were reparented when the router died, so they cannot be
+     waited on — poll until each is gone (or a zombie awaiting init). *)
+  let gone pid =
+    match Unix.kill pid 0 with
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+    | exception Unix.Unix_error _ -> false
+    | () -> (
+        match read_file (Printf.sprintf "/proc/%d/stat" pid) with
+        | exception Sys_error _ -> false
+        | stat -> contains ~needle:") Z" stat)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (List.for_all gone worker_pids)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.2)
+  done;
+  check "C: workers drain on SIGTERM after the router is gone" (List.for_all gone worker_pids)
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   at_exit kill_all;
@@ -392,6 +567,7 @@ let () =
   Unix.mkdir dir 0o700;
   phase_a glqld dir;
   phase_b glqld dir;
+  phase_c glqld dir;
   Array.iter
     (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (Sys.readdir dir);

@@ -1,0 +1,270 @@
+(* End-to-end test of the sharded topology, driven through real
+   processes:
+
+     test_e2e_router <glqld.exe> <glql_client.exe>
+
+   Boots a single-process glqld (the reference) and a 3-shard
+   `glqld --router` side by side, runs the full v4 command set against
+   both through glql_client, and asserts the router's replies are
+   byte-identical for every deterministic command. Then SIGKILLs one
+   worker and asserts ERR_SHARD_DOWN is scoped to that shard's graphs
+   while the others keep answering; spawns a snapshot-warmed replica and
+   asserts it serves WL signatures identical to (and cache-warm from)
+   its primary; and finally SIGTERMs the router and asserts the clean
+   drain: exit 0, front socket unlinked, every worker terminated. *)
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok - %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL - %s\n%!" name
+  end
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let json_int_field text field =
+  let tag = "\"" ^ field ^ "\":" in
+  let tl = String.length tag and n = String.length text in
+  let rec find i =
+    if i + tl > n then None else if String.sub text i tl = tag then Some (i + tl) else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while !stop < n && (text.[!stop] = '-' || (text.[!stop] >= '0' && text.[!stop] <= '9')) do
+        incr stop
+      done;
+      int_of_string_opt (String.sub text start (!stop - start))
+
+(* The pid of shard [shard]'s primary in a TOPOLOGY reply: member
+   objects print shard, role, socket, pid in that order. *)
+let primary_pid topology shard =
+  let tag = Printf.sprintf "\"shard\":%d,\"role\":\"primary\"" shard in
+  let tl = String.length tag and n = String.length topology in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub topology i tl = tag then Some (i + tl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some after -> json_int_field (String.sub topology after (n - after)) "pid"
+
+let signature_of reply =
+  let key = "\"signature\":\"" in
+  let kl = String.length key and n = String.length reply in
+  let rec find i =
+    if i + kl > n then ""
+    else if String.sub reply i kl = key then (
+      match String.index_from_opt reply (i + kl) '"' with
+      | Some stop -> String.sub reply (i + kl) (stop - i - kl)
+      | None -> "")
+    else find (i + 1)
+  in
+  find 0
+
+let spawn exe args ~stdout_file =
+  let out_fd = Unix.openfile stdout_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let pid = Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin out_fd Unix.stderr in
+  Unix.close out_fd;
+  pid
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> Some code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> None
+
+let alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error _ -> true
+
+let () =
+  let glqld, client =
+    match Sys.argv with
+    | [| _; d; c |] -> (d, c)
+    | _ ->
+        prerr_endline "usage: test_e2e_router <glqld.exe> <glql_client.exe>";
+        exit 2
+  in
+  let dir = Filename.temp_file "glqld_e2e_router" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let single_sock = Filename.concat dir "single.sock" in
+  let router_sock = Filename.concat dir "router.sock" in
+  let counter = ref 0 in
+  let out () =
+    incr counter;
+    Filename.concat dir (Printf.sprintf "out%d.txt" !counter)
+  in
+  let wait_for path =
+    let deadline = Unix.gettimeofday () +. 20.0 in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.05)
+    done
+  in
+
+  let single =
+    spawn glqld [ "--socket"; single_sock ] ~stdout_file:(Filename.concat dir "single.out")
+  in
+  let router =
+    spawn glqld
+      [ "--router"; "--workers"; "3"; "--socket"; router_sock ]
+      ~stdout_file:(Filename.concat dir "router.out")
+  in
+  wait_for single_sock;
+  wait_for router_sock;
+  check "single daemon socket appears" (Sys.file_exists single_sock);
+  check "router front socket appears" (Sys.file_exists router_sock);
+
+  let run sock args =
+    let f = out () in
+    let pid = spawn client ([ "--socket"; sock ] @ args) ~stdout_file:f in
+    let code = wait_exit pid in
+    (code, String.trim (read_file f))
+  in
+
+  (* The full v4 command set, replies byte-identical to one process.
+     EXPLAIN and STATS carry timings and so are compared structurally
+     below; everything else must match to the byte. *)
+  let gel = "agg_sum{x2}([1] | E(x1,x2))" in
+  let deterministic =
+    [
+      [ "PING" ];
+      [ "LOAD"; "a"; "petersen" ];
+      [ "LOAD"; "b"; "grid5x5" ];
+      [ "LOAD"; "c"; "cycle12" ];
+      [ "LOAD"; "d"; "path30" ];
+      [ "QUERY"; "a"; gel ];
+      [ "QUERY"; "a"; gel ];
+      (* second run: plan-cache hit on both sides *)
+      [ "WL"; "b" ];
+      [ "KWL"; "a"; "2" ];
+      [ "HOM"; "c"; "5" ];
+      [ "WL"; "cycle6+cycle3" ];
+      (* spec-as-name routing *)
+      [ "GRAPHS" ];
+      [ "GENERATORS" ];
+      [ "VERSION" ];
+    ]
+  in
+  List.iter
+    (fun args ->
+      let label = String.concat " " args in
+      let code_s, reply_s = run single_sock args in
+      let code_r, reply_r = run router_sock args in
+      check (Printf.sprintf "[%s] exit codes agree" label) (code_s = Some 0 && code_r = code_s);
+      check (Printf.sprintf "[%s] byte-identical reply" label)
+        (reply_s = reply_r && String.length reply_r > 0))
+    deterministic;
+
+  (* EXPLAIN: timings differ between processes, shape must not. *)
+  let _, explain = run router_sock [ "EXPLAIN"; "a"; gel ] in
+  check "EXPLAIN through the router is ok" (contains ~needle:"OK {" explain);
+  check "EXPLAIN reports stages through the router"
+    (contains ~needle:"\"stage\":\"execute\"" explain);
+
+  (* STATS: merged across shards, with the per-shard counters summing to
+     the top-level mirror (4 graphs live in the fleet). *)
+  let _, stats = run router_sock [ "STATS" ] in
+  check "STATS through the router is ok" (contains ~needle:"OK {" stats);
+  check "STATS counts the fleet's graphs"
+    (json_int_field stats "graphs_registered" = Some 5);
+  check "STATS carries per-member detail" (contains ~needle:"\"members\":[" stats);
+  check "STATS carries the router section" (contains ~needle:"\"role\":\"router\"" stats);
+
+  (* Placement: find the victim (shard of "a") and a survivor graph on a
+     different shard. ROUTE is the router's own placement oracle. *)
+  let _, route_a = run router_sock [ "ROUTE"; "a" ] in
+  let shard_a = match json_int_field route_a "shard" with Some s -> s | None -> -1 in
+  check "ROUTE names a's shard" (shard_a >= 0);
+  let survivor =
+    List.find_opt
+      (fun g ->
+        let _, r = run router_sock [ "ROUTE"; g ] in
+        json_int_field r "shard" <> Some shard_a)
+      [ "b"; "c"; "d" ]
+  in
+  check "some graph lives on another shard" (survivor <> None);
+  let survivor = match survivor with Some g -> g | None -> "b" in
+  let _, route_s = run router_sock [ "ROUTE"; survivor ] in
+  let shard_s = match json_int_field route_s "shard" with Some s -> s | None -> -1 in
+
+  (* Warm the survivor's colouring so the replica snapshot ships it. *)
+  let _, wl_before = run router_sock [ "WL"; survivor ] in
+  check "survivor WL ok before the kill" (signature_of wl_before <> "");
+
+  (* SIGKILL the victim's worker: its graphs fail with ERR_SHARD_DOWN,
+     every other shard keeps answering. *)
+  let _, topology = run router_sock [ "TOPOLOGY" ] in
+  let victim_pid = primary_pid topology shard_a in
+  check "TOPOLOGY names the victim pid" (victim_pid <> None);
+  (match victim_pid with Some pid -> Unix.kill pid Sys.sigkill | None -> ());
+  ignore (Unix.select [] [] [] 0.6);
+  let code_dead, dead_reply = run router_sock [ "WL"; "a" ] in
+  check "dead shard's graph exits 1" (code_dead = Some 1);
+  check "dead shard's graph fails with ERR_SHARD_DOWN"
+    (contains ~needle:"ERR_SHARD_DOWN" dead_reply);
+  let code_live, live_reply = run router_sock [ "WL"; survivor ] in
+  check "other shards keep answering" (code_live = Some 0);
+  check "surviving WL signature unchanged" (signature_of live_reply = signature_of wl_before);
+  let code_graphs, graphs_degraded = run router_sock [ "GRAPHS" ] in
+  check "GRAPHS still answers degraded"
+    (code_graphs = Some 0 && contains ~needle:(Printf.sprintf "\"name\":\"%s\"" survivor) graphs_degraded);
+
+  (* Replica fan-out: REPLICA ships a snapshot from the survivor's
+     primary and boots a warm worker. Both round-robin targets must then
+     serve the identical WL signature — and both from their colouring
+     caches, proving the replica really booted from the shipped
+     snapshot rather than recomputing. *)
+  let code_rep, rep_reply = run router_sock [ "REPLICA"; string_of_int shard_s ] in
+  check "REPLICA replies ok" (code_rep = Some 0 && contains ~needle:"\"role\":\"replica1\"" rep_reply);
+  let _, wl_1 = run router_sock [ "WL"; survivor ] in
+  let _, wl_2 = run router_sock [ "WL"; survivor ] in
+  check "replica serves the primary's WL signature"
+    (signature_of wl_1 = signature_of wl_before && signature_of wl_2 = signature_of wl_before);
+  check "both round-robin targets answer from warm colouring caches"
+    (contains ~needle:"\"coloring_cache\":\"hit\"" wl_1
+    && contains ~needle:"\"coloring_cache\":\"hit\"" wl_2);
+
+  (* Collect the surviving pids, then SIGTERM the router: clean exit,
+     front socket unlinked, every child worker reaped. *)
+  let _, topology2 = run router_sock [ "TOPOLOGY" ] in
+  let worker_pids =
+    List.filter_map
+      (fun shard -> primary_pid topology2 shard)
+      [ 0; 1; 2 ]
+  in
+  Unix.kill router Sys.sigterm;
+  let router_code = wait_exit router in
+  check "router SIGTERM exits cleanly" (router_code = Some 0);
+  check "front socket unlinked" (not (Sys.file_exists router_sock));
+  ignore (Unix.select [] [] [] 0.2);
+  check "all workers terminated" (List.for_all (fun pid -> not (alive pid)) worker_pids);
+
+  Unix.kill single Sys.sigterm;
+  check "reference daemon exits cleanly" (wait_exit single = Some 0);
+
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d router end-to-end check(s) failed\n%!" !failures;
+    exit 1
+  end;
+  print_endline "all router end-to-end checks passed"

@@ -19,6 +19,7 @@ let () =
       Test_properties.suite;
       Test_parser.suite;
       Test_server.suite;
+      Test_router.suite;
       Test_store.suite;
       Test_trace.suite;
     ]

@@ -254,6 +254,80 @@ let test_clock_check () =
   Alcotest.check_raises "past deadline raises" Clock.Deadline_exceeded (fun () ->
       Clock.check (Some (Int64.sub (Clock.now_ns ()) 1L)))
 
+(* --- Int_sort: closure-free sort must equal Array.sort ------------------- *)
+
+let prop_int_sort_matches =
+  qtest ~count:200 "int_sort equals Array.sort"
+    QCheck.(list int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let b = Array.copy a in
+      Glql_util.Int_sort.sort a;
+      Array.sort compare b;
+      a = b)
+
+let test_int_sort_copy () =
+  let a = [| 5; 3; 9; 3; 1 |] in
+  let sorted = Glql_util.Int_sort.sorted_copy a in
+  check_bool "sorted" true (sorted = [| 1; 3; 3; 5; 9 |]);
+  check_bool "input preserved" true (a = [| 5; 3; 9; 3; 1 |])
+
+(* --- Stable_hash: pinned vectors and placement properties ---------------- *)
+
+let test_stable_hash_vectors () =
+  (* Published FNV-1a 64-bit reference values: the hash must never
+     change across builds or the sharded registry re-shards silently. *)
+  Alcotest.(check int64) "offset basis" 0xcbf29ce484222325L (Glql_util.Stable_hash.hash64 "");
+  Alcotest.(check int64) "'a'" 0xaf63dc4c8601ec8cL (Glql_util.Stable_hash.hash64 "a");
+  Alcotest.(check int64) "'foobar'" 0x85944171f73967e8L (Glql_util.Stable_hash.hash64 "foobar");
+  (* Placement pins: e2e and CI pick kill victims from these. *)
+  check_int "petersen @3" 0 (Glql_util.Stable_hash.shard ~shards:3 "petersen");
+  check_int "grid5x5 @3" 2 (Glql_util.Stable_hash.shard ~shards:3 "grid5x5")
+
+let prop_stable_hash_shard =
+  qtest ~count:200 "shard stable and in range"
+    QCheck.(pair string (int_range 1 64))
+    (fun (name, shards) ->
+      let s1 = Glql_util.Stable_hash.shard ~shards name in
+      let s2 = Glql_util.Stable_hash.shard ~shards name in
+      s1 = s2 && s1 >= 0 && s1 < shards)
+
+(* --- Json.parse: inverse of the printer --------------------------------- *)
+
+let json_roundtrip_cases () =
+  let module J = Glql_util.Json in
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int (-42);
+      J.Str "he said \"hi\"\n\ttab";
+      J.List [ J.Int 1; J.Str "x"; J.Null ];
+      J.Obj [ ("b", J.Int 2); ("a", J.List []); ("nested", J.Obj [ ("k", J.Bool false) ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match J.parse (J.to_string j) with
+      | Ok j' ->
+          Alcotest.(check string) "roundtrip" (J.to_string j) (J.to_string j')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    cases;
+  (* Field order is preserved — the router's merge relies on it. *)
+  (match J.parse "{\"z\":1,\"a\":2}" with
+  | Ok j -> Alcotest.(check string) "field order kept" "{\"z\":1,\"a\":2}" (J.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* Rejections. *)
+  check_bool "trailing garbage" true (Result.is_error (J.parse "{} x"));
+  check_bool "unterminated string" true (Result.is_error (J.parse "\"abc"));
+  check_bool "bare word" true (Result.is_error (J.parse "petersen"))
+
+let prop_json_int_roundtrip =
+  qtest ~count:200 "json int roundtrip" QCheck.int (fun i ->
+      match Glql_util.Json.parse (string_of_int i) with
+      | Ok (Glql_util.Json.Int j) -> i = j
+      | _ -> false)
+
 let suite =
   ( "util",
     [
@@ -283,4 +357,10 @@ let suite =
       case "lru byte budget replace" test_lru_byte_replace;
       case "lru oversized entries rejected" test_lru_oversized_rejected;
       case "clock cooperative check" test_clock_check;
+      prop_int_sort_matches;
+      case "int_sort sorted_copy" test_int_sort_copy;
+      case "stable hash pinned vectors" test_stable_hash_vectors;
+      prop_stable_hash_shard;
+      case "json parse roundtrip" json_roundtrip_cases;
+      prop_json_int_roundtrip;
     ] )
