@@ -3,6 +3,7 @@
      dune exec bin/gelq.exe -- '<expression>' [graph]
      dune exec bin/gelq.exe -- --load snap.glqs '<expression>' [graph]
      dune exec bin/gelq.exe -- --save snap.glqs '<expression>' [graph]
+     dune exec bin/gelq.exe -- --mutate 'ADD_EDGES 0 2' '<expression>' [graph]
      dune exec bin/gelq.exe -- --list-graphs
 
    where [graph] is any spec the server registry understands (see
@@ -27,6 +28,7 @@ module Vec = Glql_tensor.Vec
 module Registry = Glql_server.Registry
 module Cache = Glql_server.Cache
 module Persist = Glql_server.Persist
+module P = Glql_server.Protocol
 
 let die fmt =
   Printf.ksprintf
@@ -94,10 +96,39 @@ let run query graph_name =
   in
   print_table g table
 
-(* The --save/--load path: same query, but routed through the server's
-   registry + plan cache so snapshots round-trip through the exact
-   structures glqld persists. *)
-let run_cached ~load ~save query graph_name =
+(* --mutate OPS: parse the ops with the server's own MUTATE grammar and
+   apply them through Registry.mutate, so the command line exercises the
+   exact batch semantics of the wire protocol. *)
+let apply_mutation registry graph_name ops_src =
+  let ops =
+    match Result.bind (P.tokenize ops_src) P.parse_mutations with
+    | Ok ms ->
+        List.map
+          (function
+            | P.M_add_edge (u, v) -> Registry.Add_edge (u, v)
+            | P.M_del_edge (u, v) -> Registry.Del_edge (u, v)
+            | P.M_set_label (v, fs) -> Registry.Set_label (v, fs))
+          ms
+    | Error msg -> die "--mutate: %s" msg
+  in
+  match Registry.mutate registry ~name:graph_name ops with
+  | Error msg -> die "--mutate: %s" msg
+  | Ok o ->
+      Printf.printf "mutate   : +%d edges, -%d edges, %d labels (generation %d -> %d)\n"
+        o.Registry.m_added o.Registry.m_deleted o.Registry.m_relabeled o.Registry.m_old_gen
+        o.Registry.m_gen;
+      List.iter
+        (fun (r : Registry.rejected) ->
+          Printf.printf "mutate   : rejected op %d (%s): %s\n" r.Registry.r_index
+            r.Registry.r_op r.Registry.r_message)
+        o.Registry.m_rejected;
+      o.Registry.m_graph
+
+(* The --save/--load/--mutate path: same query, but routed through the
+   server's registry + plan cache so snapshots round-trip through the
+   exact structures glqld persists (and mutations through the exact
+   batch semantics glqld applies). *)
+let run_cached ~load ~save ~mutate query graph_name =
   let registry = Registry.create () in
   let cache = Cache.create ~plan_capacity:64 ~coloring_capacity:16 () in
   (match load with
@@ -109,6 +140,9 @@ let run_cached ~load ~save query graph_name =
             s.Persist.s_graphs s.Persist.s_plans s.Persist.s_colorings
       | Error msg -> die "%s: %s" path msg));
   let g = match Registry.find registry graph_name with Ok g -> g | Error msg -> die "%s" msg in
+  let g =
+    match mutate with None -> g | Some ops_src -> apply_mutation registry graph_name ops_src
+  in
   let plan, hit =
     match Cache.plan cache query with Ok r -> r | Error msg -> die "%s" msg
   in
@@ -138,6 +172,7 @@ let () =
   Glql_util.Trace.setup_from_env ();
   let save = ref None in
   let load = ref None in
+  let mutate = ref None in
   let rec strip = function
     | "--save" :: path :: rest ->
         save := Some path;
@@ -145,7 +180,11 @@ let () =
     | "--load" :: path :: rest ->
         load := Some path;
         strip rest
-    | ("--save" | "--load") :: [] -> die "%s expects a FILE argument" "--save/--load"
+    | "--mutate" :: ops :: rest ->
+        mutate := Some ops;
+        strip rest
+    | ("--save" | "--load" | "--mutate") :: [] ->
+        die "%s expects an argument" "--save/--load/--mutate"
     | a :: rest -> a :: strip rest
     | [] -> []
   in
@@ -153,11 +192,12 @@ let () =
   | "--list-graphs" :: _ -> list_graphs ()
   | query :: rest ->
       let graph_name = match rest with g :: _ -> g | [] -> "petersen" in
-      if !save = None && !load = None then run query graph_name
-      else run_cached ~load:!load ~save:!save query graph_name
+      if !save = None && !load = None && !mutate = None then run query graph_name
+      else run_cached ~load:!load ~save:!save ~mutate:!mutate query graph_name
   | [] ->
-      prerr_endline "usage: gelq [--save FILE] [--load FILE] '<expression>' [graph]";
+      prerr_endline "usage: gelq [--save FILE] [--load FILE] [--mutate 'OPS'] '<expression>' [graph]";
       prerr_endline "  e.g. gelq 'agg_sum{x2}([1] | E(x1,x2))' petersen";
       prerr_endline "  gelq --list-graphs lists the known graph specs";
       prerr_endline "  --save/--load write/read a glqld-compatible snapshot";
+      prerr_endline "  --mutate applies a MUTATE batch (e.g. 'ADD_EDGES 0 2 DEL_EDGES 0 1') first";
       exit 1

@@ -2,11 +2,19 @@
 
      glql_client [--socket PATH | --tcp HOST:PORT] <request words...>
      glql_client [--socket PATH | --tcp HOST:PORT]        # REPL on stdin
+     glql_client [...] --mutate GRAPH [op words...]       # one MUTATE batch
 
    With request words, sends one request (words containing blanks are
    re-quoted, so a shell-quoted GEL expression survives) and prints the
    reply; exits 0 on an OK reply, 1 otherwise. Without words, reads
-   requests line by line from stdin until EOF. *)
+   requests line by line from stdin until EOF.
+
+   --mutate GRAPH assembles one protocol-v5 MUTATE batch: the ops come
+   from the remaining request words when given, otherwise one section
+   per stdin line (e.g. "ADD_EDGES 0 1 1 2" / "SET_LABEL 3 1.0"), all
+   sent as a single atomic batch. Unlike other one-shot requests a
+   MUTATE is never replayed after a dropped connection — it is not
+   idempotent, and the server may have applied it before dying. *)
 
 module P = Glql_server.Protocol
 
@@ -75,11 +83,16 @@ let quote_word w =
 let () =
   let socket = ref "glqld.sock" in
   let tcp = ref "" in
+  let mutate = ref "" in
   let words = ref [] in
   let spec =
     [
       ("--socket", Arg.Set_string socket, "PATH Unix-domain socket of glqld (default glqld.sock)");
       ("--tcp", Arg.Set_string tcp, "HOST:PORT connect over TCP instead");
+      ( "--mutate",
+        Arg.Set_string mutate,
+        "GRAPH send one MUTATE batch (ops from remaining words, else one section per stdin line)"
+      );
     ]
   in
   let usage = "glql_client: talk to a glqld server.\nusage: glql_client [options] [request words]" in
@@ -142,8 +155,37 @@ let () =
             Some (P.is_ok reply)
         | exception End_of_file -> None
       in
-      match words with
-      | [] ->
+      (* Assemble the MUTATE batch line: ops from the request words when
+         given, otherwise one section per non-blank stdin line. *)
+      let mutate_line graph =
+        let ops =
+          match words with
+          | _ :: _ -> List.map quote_word words
+          | [] ->
+              let lines = ref [] in
+              (try
+                 while true do
+                   let l = String.trim (input_line stdin) in
+                   if l <> "" then lines := l :: !lines
+                 done
+               with End_of_file -> ());
+              List.rev !lines
+        in
+        if ops = [] then begin
+          prerr_endline "glql_client: --mutate needs ops (argument words or stdin lines)";
+          exit 1
+        end;
+        String.concat " " ("MUTATE" :: quote_word graph :: ops)
+      in
+      let request =
+        if !mutate <> "" then Some (mutate_line !mutate, false)
+        else
+          match words with
+          | [] -> None
+          | words -> Some (String.concat " " (List.map quote_word words), true)
+      in
+      match request with
+      | None ->
           (* REPL: one request per stdin line until EOF. Requests the
              server died on are not replayed — a REPL stream may hold
              non-idempotent state the user must re-drive themselves. *)
@@ -162,11 +204,16 @@ let () =
            with End_of_file -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ());
           exit (if !ok then 0 else 1)
-      | words ->
-          let line = String.concat " " (List.map quote_word words) in
+      | Some (line, replayable) ->
           let ok =
             match roundtrip ic oc line with
             | Some r -> r
+            | None when not replayable ->
+                (* A MUTATE may have been applied before the connection
+                   died; replaying could double-apply it. *)
+                prerr_endline
+                  "glql_client: server closed the connection (MUTATE is not replayed)";
+                false
             | None -> (
                 (* The server vanished mid-request (router restarting a
                    worker, daemon rolling over). One request is safe to

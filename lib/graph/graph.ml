@@ -248,6 +248,78 @@ let of_csr ~n ~offsets ~adjacency ~labels =
      touch. *)
   { n; adj; labels = Array.map Vec.copy labels; label_dim; csr_memo = None }
 
+(* Batched functional mutation: returns a new graph that shares every
+   untouched adjacency row (and every untouched label vector) with [g];
+   only rows incident to an added/deleted edge are rebuilt. Edge ops use
+   set semantics — adding a present edge or deleting an absent one is a
+   no-op — so callers that validated against an evolving batch state can
+   hand over the net delta. The memoized flat view is dropped
+   ([csr_memo = None]): this is the CSR invalidate/rebuild path, the next
+   kernel use rebuilds it lazily. *)
+let mutate g ~add_edges ~del_edges ~set_labels =
+  let check_edge (u, v) =
+    if u < 0 || u >= g.n || v < 0 || v >= g.n then
+      invalid_arg (Printf.sprintf "Graph.mutate: edge (%d,%d) out of range" u v);
+    if u = v then invalid_arg (Printf.sprintf "Graph.mutate: self-loop (%d,%d)" u v)
+  in
+  List.iter check_edge add_edges;
+  List.iter check_edge del_edges;
+  (* Per touched vertex: neighbours to add and to drop. *)
+  let delta : (int, int list ref * int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let cell v =
+    match Hashtbl.find_opt delta v with
+    | Some c -> c
+    | None ->
+        let c = (ref [], ref []) in
+        Hashtbl.add delta v c;
+        c
+  in
+  List.iter
+    (fun (u, v) ->
+      let au, _ = cell u and av, _ = cell v in
+      au := v :: !au;
+      av := u :: !av)
+    add_edges;
+  List.iter
+    (fun (u, v) ->
+      let _, du = cell u and _, dv = cell v in
+      du := v :: !du;
+      dv := u :: !dv)
+    del_edges;
+  let adj = Array.copy g.adj in
+  Hashtbl.iter
+    (fun v (adds, dels) ->
+      let drop = Hashtbl.create 4 in
+      List.iter (fun u -> Hashtbl.replace drop u ()) !dels;
+      (* Deletions win over additions of the same endpoint only through
+         set semantics on the final row: drop first, then union adds
+         minus drops. *)
+      let kept =
+        Array.to_list adj.(v) |> List.filter (fun u -> not (Hashtbl.mem drop u))
+      in
+      let row = Array.of_list (List.rev_append !adds kept) in
+      Array.sort compare row;
+      let out = ref [] in
+      Array.iteri (fun i x -> if i = 0 || row.(i - 1) <> x then out := x :: !out) row;
+      adj.(v) <- Array.of_list (List.rev !out))
+    delta;
+  let labels =
+    if set_labels = [] then g.labels
+    else begin
+      let labels = Array.copy g.labels in
+      List.iter
+        (fun (v, l) ->
+          validate_vertex g v "mutate";
+          if Vec.dim l <> g.label_dim then
+            invalid_arg
+              (Printf.sprintf "Graph.mutate: label dim %d <> %d" (Vec.dim l) g.label_dim);
+          labels.(v) <- Vec.copy l)
+        set_labels;
+      labels
+    end
+  in
+  { g with adj; labels; csr_memo = None }
+
 let edges g =
   let out = ref [] in
   for u = g.n - 1 downto 0 do

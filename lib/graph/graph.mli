@@ -55,6 +55,22 @@ val has_edge : t -> int -> int -> bool
 (** Edge list with [u < v], sorted lexicographically. *)
 val edges : t -> (int * int) list
 
+(** [mutate g ~add_edges ~del_edges ~set_labels] applies a batched
+    structural mutation functionally: the result is a new graph sharing
+    every untouched adjacency row and label vector with [g]; only rows
+    incident to a changed edge are rebuilt (sorted, deduplicated). Edge
+    ops use set semantics (adding a present edge / deleting an absent one
+    is a no-op); replacement labels must have dimension [label_dim g].
+    The memoized {!csr} view of the result is invalidated and rebuilt
+    lazily on first kernel use. Raises [Invalid_argument] on out-of-range
+    vertices, self-loops, or a label-dimension mismatch. *)
+val mutate :
+  t ->
+  add_edges:(int * int) list ->
+  del_edges:(int * int) list ->
+  set_labels:(int * Vec.t) list ->
+  t
+
 (** The memoized flat view of [g]; built on first use (a [csr.build]
     trace span), O(1) afterwards. *)
 val csr : t -> Csr.t

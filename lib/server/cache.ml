@@ -21,12 +21,26 @@ type plan = {
   layered : Normal_form.t option;
 }
 
-type coloring = C_cr of Cr.result | C_kwl of Kwl.result
+(* A superseded-generation colouring kept briefly as the seed for
+   incremental recolouring after a MUTATE: the pre-mutation result plus
+   the accumulated touched-vertex frontier. Seeds live in the colouring
+   LRU under "crseed:<gen>:<name>" keys — counted against the byte
+   budget, inserted cold so they are evicted before any live entry, and
+   invisible to snapshot export (see [parse_coloring_key]). *)
+type seed = {
+  seed_base : Cr.result;
+  seed_touched_adj : int list;
+  seed_touched_lab : int list;
+}
+
+type coloring = C_cr of Cr.result | C_kwl of Kwl.result | C_seed of seed
 
 type t = {
   plans : (string, plan) Lru.t;
   colorings : (string, coloring) Lru.t;
   mutex : Mutex.t;
+  mutable incremental_recolors : int;
+  mutable incremental_fallbacks : int;
 }
 
 let create ?(plan_bytes = 0) ?(coloring_bytes = 0) ~plan_capacity ~coloring_capacity () =
@@ -34,6 +48,8 @@ let create ?(plan_bytes = 0) ?(coloring_bytes = 0) ~plan_capacity ~coloring_capa
     plans = Lru.create ~max_bytes:plan_bytes ~capacity:plan_capacity ();
     colorings = Lru.create ~max_bytes:coloring_bytes ~capacity:coloring_capacity ();
     mutex = Mutex.create ();
+    incremental_recolors = 0;
+    incremental_fallbacks = 0;
   }
 
 (* Size estimates for the byte budgets. These are deliberately coarse —
@@ -47,12 +63,16 @@ let plan_cost (p : plan) = 256 + String.length p.key + (16 * String.length p.src
 
 let int_array_cost a = 64 + (8 * Array.length a)
 
-let coloring_cost = function
+let rec coloring_cost = function
   | C_cr r ->
       List.fold_left
         (fun acc round -> List.fold_left (fun acc a -> acc + int_array_cost a) acc round)
         256 (Cr.history r)
   | C_kwl r -> List.fold_left (fun acc a -> acc + int_array_cost a) 256 (Kwl.stable_colors r)
+  | C_seed s ->
+      coloring_cost (C_cr s.seed_base)
+      + (8 * List.length s.seed_touched_adj)
+      + (8 * List.length s.seed_touched_lab)
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -104,14 +124,35 @@ let coloring_entry t key compute =
    name bumps the generation, so entries computed on the old graph are
    unreachable (and age out of the LRU) rather than served stale. *)
 
+let seed_key gen graph_name = Printf.sprintf "crseed:%d:%s" gen graph_name
+
 let cr t ~graph_name ~gen ?(deadline = None) g =
-  match
-    coloring_entry t
-      (Printf.sprintf "cr:%d:%s" gen graph_name)
-      (fun () -> C_cr (Cr.run ~deadline g))
-  with
-  | C_cr r, hit -> (r, hit)
-  | C_kwl _, _ -> assert false (* "cr:" keys only ever hold C_cr *)
+  let key = Printf.sprintf "cr:%d:%s" gen graph_name in
+  with_lock t (fun () ->
+      match Lru.get t.colorings key with
+      | Some (C_cr r) -> (r, `Hit)
+      | Some _ -> assert false (* "cr:" keys only ever hold C_cr *)
+      | None ->
+          let skey = seed_key gen graph_name in
+          let result =
+            match Lru.peek t.colorings skey with
+            | Some (C_seed s) ->
+                (* A MUTATE left the superseded colouring as a seed:
+                   recolour the frontier instead of refining cold. The
+                   seed is consumed either way (on fallback it cannot
+                   help this generation any more either). *)
+                let r, incremental =
+                  Cr.run_incremental ~deadline ~base:s.seed_base
+                    ~touched_adj:s.seed_touched_adj ~touched_lab:s.seed_touched_lab g
+                in
+                Lru.remove t.colorings skey;
+                if incremental then t.incremental_recolors <- t.incremental_recolors + 1
+                else t.incremental_fallbacks <- t.incremental_fallbacks + 1;
+                r
+            | _ -> Cr.run ~deadline g
+          in
+          Lru.put ~bytes:(coloring_cost (C_cr result)) t.colorings key (C_cr result);
+          (result, `Miss))
 
 let kwl t ~graph_name ~gen ~k ?(deadline = None) g =
   match
@@ -120,7 +161,7 @@ let kwl t ~graph_name ~gen ~k ?(deadline = None) g =
       (fun () -> C_kwl (Kwl.run_joint ~deadline ~k ~variant:Kwl.Folklore [ g ]))
   with
   | C_kwl r, hit -> (r, hit)
-  | C_cr _, _ -> assert false
+  | (C_cr _ | C_seed _), _ -> assert false
 
 (* --- snapshot export / seeding ------------------------------------------ *)
 
@@ -157,6 +198,56 @@ let parse_coloring_key key =
           Option.bind (split_int rest) (fun (k, rest) ->
               Option.map (fun (gen, name) -> `Kwl (k, gen, name)) (split_int rest))
       | _ -> None)
+
+(* --- mutation turnover ---------------------------------------------- *)
+
+let merge_touched a b = List.sort_uniq compare (List.rev_append a b)
+
+(* Generation turnover after a MUTATE: the superseded generation's CR
+   entry (or an existing unconsumed seed — mutations can stack before
+   anyone recolours) becomes the incremental seed for the new
+   generation, re-inserted cold so it counts against the byte budget but
+   is evicted before any live entry. Stale entries of the old generation
+   are unreachable by key, so their bytes are reclaimed eagerly rather
+   than left to age out. *)
+let note_mutation t ~graph_name ~old_gen ~gen ~touched_adj ~touched_lab =
+  with_lock t (fun () ->
+      let old_cr = Printf.sprintf "cr:%d:%s" old_gen graph_name in
+      let old_seed = seed_key old_gen graph_name in
+      let seed =
+        match Lru.peek t.colorings old_cr with
+        | Some (C_cr r) ->
+            Some
+              {
+                seed_base = r;
+                seed_touched_adj = List.sort_uniq compare touched_adj;
+                seed_touched_lab = List.sort_uniq compare touched_lab;
+              }
+        | _ -> (
+            match Lru.peek t.colorings old_seed with
+            | Some (C_seed s) ->
+                Some
+                  {
+                    s with
+                    seed_touched_adj = merge_touched s.seed_touched_adj touched_adj;
+                    seed_touched_lab = merge_touched s.seed_touched_lab touched_lab;
+                  }
+            | _ -> None)
+      in
+      Lru.remove t.colorings old_cr;
+      Lru.remove t.colorings old_seed;
+      List.iter
+        (fun key ->
+          match parse_coloring_key key with
+          | Some (`Kwl (_, g, n)) when g = old_gen && n = graph_name ->
+              Lru.remove t.colorings key
+          | _ -> ())
+        (Lru.keys_mru_first t.colorings);
+      match seed with
+      | None -> ()
+      | Some s ->
+          let c = C_seed s in
+          Lru.put_cold ~bytes:(coloring_cost c) t.colorings (seed_key gen graph_name) c)
 
 let export_colorings t =
   with_lock t (fun () ->
@@ -197,6 +288,13 @@ let seed_kwl t ~graph_name ~gen ~k result =
 
 let stats t =
   with_lock t (fun () ->
+      let seed_entries, seed_bytes =
+        List.fold_left
+          (fun (n, b) (_, c) ->
+            match c with C_seed _ -> (n + 1, b + coloring_cost c) | _ -> (n, b))
+          (0, 0)
+          (Lru.bindings_mru_first t.colorings)
+      in
       [
         ("plan_entries", Lru.length t.plans);
         ("plan_capacity", Lru.capacity t.plans);
@@ -212,6 +310,10 @@ let stats t =
         ("coloring_evictions", Lru.evictions t.colorings);
         ("coloring_bytes", Lru.bytes_used t.colorings);
         ("coloring_byte_budget", Lru.max_bytes t.colorings);
+        ("seed_entries", seed_entries);
+        ("seed_bytes", seed_bytes);
+        ("incremental_recolors", t.incremental_recolors);
+        ("incremental_fallbacks", t.incremental_fallbacks);
       ])
 
 let clear t =

@@ -46,7 +46,14 @@ val plan : t -> string -> (plan * [ `Hit | `Miss ], string) result
     (name, registry generation) — see {!Registry.find_entry}.
     [deadline] is threaded into the kernel on a miss; a cancelled
     compute raises [Glql_util.Clock.Deadline_exceeded] out of the
-    lookup with the lock released and nothing cached. *)
+    lookup with the lock released and nothing cached.
+
+    A miss first looks for an incremental seed left by {!note_mutation}
+    for this generation: if one is present the colouring is rebuilt by
+    frontier recolouring from the superseded result
+    ({!Cr.run_incremental}) instead of cold refinement, the seed is
+    consumed, and the lookup still reports [`Miss] (reply bytes are
+    independent of how the colouring was computed). *)
 val cr :
   t -> graph_name:string -> gen:int -> ?deadline:int64 option -> Graph.t ->
   Cr.result * [ `Hit | `Miss ]
@@ -56,6 +63,23 @@ val cr :
 val kwl :
   t -> graph_name:string -> gen:int -> k:int -> ?deadline:int64 option -> Graph.t ->
   Kwl.result * [ `Hit | `Miss ]
+
+(** Record a generation turnover after a successful MUTATE: the
+    superseded generation's cached colouring (or its not-yet-consumed
+    seed — mutations can stack) becomes the incremental-recolouring seed
+    for [gen], stored cold under ["crseed:<gen>:<name>"] so it counts
+    against the colouring byte budget but is evicted before any live
+    entry. Stale entries keyed to [old_gen] are removed eagerly.
+    [touched_adj] / [touched_lab] are the frontier vertices from
+    {!Registry.mutation_outcome}. *)
+val note_mutation :
+  t ->
+  graph_name:string ->
+  old_gen:int ->
+  gen:int ->
+  touched_adj:int list ->
+  touched_lab:int list ->
+  unit
 
 (** {2 Snapshot export / seeding}
 
@@ -80,8 +104,11 @@ val seed_cr : t -> graph_name:string -> gen:int -> Cr.result -> unit
 
 val seed_kwl : t -> graph_name:string -> gen:int -> k:int -> Kwl.result -> unit
 
-(** Counter snapshot: plan/coloring hits, misses, evictions, sizes, and
-    byte gauges ([*_bytes] used vs [*_byte_budget]). *)
+(** Counter snapshot: plan/coloring hits, misses, evictions, sizes, byte
+    gauges ([*_bytes] used vs [*_byte_budget]), the live incremental
+    seeds ([seed_entries] / [seed_bytes], included in the coloring
+    gauges), and how mutated graphs were recoloured
+    ([incremental_recolors] vs [incremental_fallbacks]). *)
 val stats : t -> (string * int) list
 
 (** Empty both caches (counters survive); used by the cold-cache bench. *)

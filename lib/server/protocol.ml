@@ -10,8 +10,11 @@
    protocol_version + stage histograms in STATS. v3: SAVE/RESTORE
    commands and the "restored" section in STATS. v4: ERR replies carry a
    machine-readable {"code","message"} object instead of a bare string
-   (resource-governance limits need errors clients can branch on). *)
-let protocol_version = 4
+   (resource-governance limits need errors clients can branch on).
+   v5: the MUTATE command family — batched ADD_EDGES / DEL_EDGES /
+   SET_LABEL applied atomically with a generation bump; every v4
+   read-path reply is byte-unchanged. *)
+let protocol_version = 5
 
 (* The JSON tree lives in Glql_util.Json so bench, metrics and trace
    output share one printer; the aliased constructors keep P.Obj /
@@ -60,6 +63,12 @@ let err msg = err_line (error ~code:"ERR_INTERNAL" msg)
 let is_ok line =
   line = "OK" || (String.length line >= 3 && String.sub line 0 3 = "OK ")
 
+(* One mutation op inside a MUTATE batch (v5). *)
+type mutation =
+  | M_add_edge of int * int
+  | M_del_edge of int * int
+  | M_set_label of int * float array
+
 type request =
   | Hello
   | Ping
@@ -72,6 +81,7 @@ type request =
   | Wl of string * int option
   | Kwl of string * int
   | Hom of string * int
+  | Mutate of string * mutation list
   | Save of string option
   | Restore of string option
   | Stats
@@ -126,6 +136,85 @@ let int_arg name s =
   | Some k -> Ok k
   | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
 
+let mutate_usage =
+  "usage: MUTATE <graph> { ADD_EDGES <u> <v> ... | DEL_EDGES <u> <v> ... | \
+   SET_LABEL <v> <float> ... } ..."
+
+(* Parse the op tokens of a MUTATE batch: a sequence of sections, each
+   opened by a (case-insensitive) keyword — ADD_EDGES / DEL_EDGES take
+   vertex pairs, SET_LABEL takes a vertex and its full replacement label
+   vector. Sections may repeat; the batch must contain at least one op.
+   Shared with the offline clients' scriptable --mutate syntax. *)
+let parse_mutations tokens =
+  let keyword t =
+    match String.uppercase_ascii t with
+    | ("ADD_EDGES" | "DEL_EDGES" | "SET_LABEL") as k -> Some k
+    | _ -> None
+  in
+  let take_section tokens =
+    let rec go acc = function
+      | t :: _ as rest when keyword t <> None -> (List.rev acc, rest)
+      | t :: rest -> go (t :: acc) rest
+      | [] -> (List.rev acc, [])
+    in
+    go [] tokens
+  in
+  let rec ints name acc = function
+    | [] -> Ok (List.rev acc)
+    | t :: rest -> (
+        match int_arg name t with
+        | Ok k -> ints name (k :: acc) rest
+        | Error e -> Error e)
+  in
+  let rec floats name acc = function
+    | [] -> Ok (List.rev acc)
+    | t :: rest -> (
+        match float_of_string_opt t with
+        | Some f -> floats name (f :: acc) rest
+        | None -> Error (Printf.sprintf "%s: expected a float, got %S" name t))
+  in
+  let rec pair_up mk acc = function
+    | u :: v :: rest -> pair_up mk (mk u v :: acc) rest
+    | _ -> List.rev acc (* even length checked by the caller *)
+  in
+  let rec sections acc tokens =
+    match tokens with
+    | [] ->
+        if acc = [] then Error "MUTATE: at least one mutation op required"
+        else Ok (List.rev acc)
+    | kw :: rest -> (
+        match keyword kw with
+        | None -> Error (Printf.sprintf "MUTATE: expected a section keyword, got %S" kw)
+        | Some k -> (
+            let body, remaining = take_section rest in
+            match k with
+            | "ADD_EDGES" | "DEL_EDGES" -> (
+                let mk =
+                  if k = "ADD_EDGES" then fun u v -> M_add_edge (u, v)
+                  else fun u v -> M_del_edge (u, v)
+                in
+                if body = [] then Error (k ^ ": expected vertex pairs")
+                else if List.length body mod 2 <> 0 then
+                  Error (k ^ ": odd number of vertex tokens")
+                else
+                  match ints k [] body with
+                  | Error e -> Error e
+                  | Ok vs -> sections (List.rev_append (pair_up mk [] vs) acc) remaining)
+            | _ -> (
+                (* SET_LABEL *)
+                match body with
+                | v :: (_ :: _ as fs) -> (
+                    match int_arg "SET_LABEL vertex" v with
+                    | Error e -> Error e
+                    | Ok vtx -> (
+                        match floats "SET_LABEL value" [] fs with
+                        | Error e -> Error e
+                        | Ok fl ->
+                            sections (M_set_label (vtx, Array.of_list fl) :: acc) remaining))
+                | _ -> Error "SET_LABEL: expected <vertex> <float> ...")))
+  in
+  sections [] tokens
+
 (* A trailing bare TRACE token on any command asks for the per-request
    span breakdown in the reply; it is an option, not an argument, so it
    is stripped before command dispatch. *)
@@ -163,6 +252,9 @@ let parse_request line =
         | "HOM", [ graph; size ] ->
             Result.map (fun s -> Hom (graph, s)) (int_arg "max-tree-size" size)
         | "HOM", _ -> Error "usage: HOM <graph> <max-tree-size>"
+        | "MUTATE", graph :: (_ :: _ as ops) ->
+            Result.map (fun ms -> Mutate (graph, ms)) (parse_mutations ops)
+        | "MUTATE", _ -> Error mutate_usage
         | "SAVE", [] -> Ok (Save None)
         | "SAVE", [ path ] -> Ok (Save (Some path))
         | "SAVE", _ -> Error "usage: SAVE [path]"
@@ -186,6 +278,7 @@ let command_name = function
   | Wl _ -> "WL"
   | Kwl _ -> "KWL"
   | Hom _ -> "HOM"
+  | Mutate _ -> "MUTATE"
   | Save _ -> "SAVE"
   | Restore _ -> "RESTORE"
   | Stats -> "STATS"

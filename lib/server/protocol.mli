@@ -16,6 +16,7 @@
     WL <graph> [rounds]
     KWL <graph> <k>
     HOM <graph> <max-tree-size>
+    MUTATE <graph> { ADD_EDGES <u> <v> ... | DEL_EDGES <u> <v> ... | SET_LABEL <v> <float> ... } ...
     SAVE [path]
     RESTORE [path]
     STATS
@@ -59,7 +60,7 @@ val ok : json -> string
     [ERR_SHARD_DOWN] is emitted only by the sharded router front
     ({!Router}): the worker owning the named graph's shard is dead or
     still (re)connecting, while other shards keep serving. The code —
-    like the rest of the reply grammar — is still protocol v4: a
+    like the rest of the v4 reply grammar — is unchanged in v5: a
     single-process glqld simply never has a shard to lose. *)
 type error = { code : string; message : string }
 
@@ -75,6 +76,13 @@ val err : string -> string
 (** Is this reply line an [OK]? *)
 val is_ok : string -> bool
 
+(** One mutation op of a v5 MUTATE batch. [M_set_label] carries the full
+    replacement label vector of the vertex. *)
+type mutation =
+  | M_add_edge of int * int
+  | M_del_edge of int * int
+  | M_set_label of int * float array
+
 type request =
   | Hello
   | Ping
@@ -87,6 +95,7 @@ type request =
   | Wl of string * int option  (** graph name, max rounds *)
   | Kwl of string * int  (** graph name, k *)
   | Hom of string * int  (** graph name, max tree size *)
+  | Mutate of string * mutation list  (** graph name, atomic op batch (v5) *)
   | Save of string option  (** snapshot path; defaults to [--snapshot] *)
   | Restore of string option  (** snapshot path; defaults to [--snapshot] *)
   | Stats
@@ -103,6 +112,12 @@ val tokenize : string -> (string list, string) result
 
 (** Parse one request line; never raises. *)
 val parse_request : string -> (parsed, string) result
+
+(** Parse the op tokens of a MUTATE batch (everything after the graph
+    name): keyword-opened sections, repeatable, at least one op overall.
+    Shared by the wire grammar and the clients' scriptable [--mutate]
+    syntax. *)
+val parse_mutations : string list -> (mutation list, string) result
 
 (** The command word of a request, for metrics labels. *)
 val command_name : request -> string

@@ -230,6 +230,163 @@ let find_entry t name =
 
 let find t name = Result.map fst (find_entry t name)
 
+(* --- v5 mutations ---------------------------------------------------- *)
+
+type op =
+  | Add_edge of int * int
+  | Del_edge of int * int
+  | Set_label of int * float array
+
+type rejected = { r_index : int; r_op : string; r_code : string; r_message : string }
+
+type mutation_outcome = {
+  m_graph : Graph.t;
+  m_old_gen : int;
+  m_gen : int;
+  m_added : int;
+  m_deleted : int;
+  m_relabeled : int;
+  m_rejected : rejected list;
+  m_touched_adj : int list;
+  m_touched_lab : int list;
+}
+
+let op_name = function
+  | Add_edge _ -> "ADD_EDGE"
+  | Del_edge _ -> "DEL_EDGE"
+  | Set_label _ -> "SET_LABEL"
+
+(* Apply one MUTATE batch atomically: ops validate sequentially against
+   the evolving edge/label state (so ADD (u,v) then DEL (u,v) in one
+   batch is two applied ops), invalid ops are skipped and reported with
+   their index, and the binding advances in place to a fresh generation
+   iff at least one op applied — the explicit replacement for the old
+   "re-LOAD the name" shadow idiom, which rebuilt from scratch and threw
+   every cached colouring away. Everything runs under the registry lock,
+   so concurrent MUTATE/LOAD/find interleave at batch granularity. *)
+let mutate t ~name ops =
+  with_lock t @@ fun () ->
+  let found =
+    match Hashtbl.find_opt t.tbl name with
+    | Some e -> Some (name, e)
+    | None -> (
+        let canonical = canonical_spec name in
+        match Hashtbl.find_opt t.tbl canonical with
+        | Some e -> Some (canonical, e)
+        | None -> None)
+  in
+  match found with
+  | None ->
+      Error (Printf.sprintf "no graph named %S (LOAD it first; MUTATE does not build specs)" name)
+  | Some (key, e) ->
+      let g = e.graph in
+      let n = Graph.n_vertices g in
+      let dim = Graph.label_dim g in
+      let norm u v = if u < v then (u, v) else (v, u) in
+      (* Evolving overlay state: edge presence and pending labels. *)
+      let edge_delta : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
+      let lab_delta : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+      let present u v =
+        match Hashtbl.find_opt edge_delta (norm u v) with
+        | Some b -> b
+        | None -> Graph.has_edge g u v
+      in
+      let rejected = ref [] in
+      let added = ref 0 and deleted = ref 0 and relabeled = ref 0 in
+      let reject i op msg =
+        rejected :=
+          { r_index = i; r_op = op_name op; r_code = "ERR_BAD_ARG"; r_message = msg }
+          :: !rejected
+      in
+      List.iteri
+        (fun i op ->
+          match op with
+          | Add_edge (u, v) ->
+              if u < 0 || u >= n || v < 0 || v >= n then
+                reject i op (Printf.sprintf "edge (%d,%d): vertex out of range [0,%d)" u v n)
+              else if u = v then reject i op (Printf.sprintf "edge (%d,%d): self-loop" u v)
+              else if present u v then
+                reject i op (Printf.sprintf "edge (%d,%d) already present" u v)
+              else begin
+                Hashtbl.replace edge_delta (norm u v) true;
+                incr added
+              end
+          | Del_edge (u, v) ->
+              if u < 0 || u >= n || v < 0 || v >= n then
+                reject i op (Printf.sprintf "edge (%d,%d): vertex out of range [0,%d)" u v n)
+              else if u = v then reject i op (Printf.sprintf "edge (%d,%d): self-loop" u v)
+              else if not (present u v) then
+                reject i op (Printf.sprintf "edge (%d,%d) not present" u v)
+              else begin
+                Hashtbl.replace edge_delta (norm u v) false;
+                incr deleted
+              end
+          | Set_label (v, l) ->
+              if v < 0 || v >= n then
+                reject i op (Printf.sprintf "vertex %d out of range [0,%d)" v n)
+              else if Array.length l <> dim then
+                reject i op
+                  (Printf.sprintf "label dimension %d <> graph label dimension %d"
+                     (Array.length l) dim)
+              else begin
+                Hashtbl.replace lab_delta v l;
+                incr relabeled
+              end)
+        ops;
+      let rejected = List.rev !rejected in
+      if !added + !deleted + !relabeled = 0 then
+        Ok
+          {
+            m_graph = g;
+            m_old_gen = e.gen;
+            m_gen = e.gen;
+            m_added = 0;
+            m_deleted = 0;
+            m_relabeled = 0;
+            m_rejected = rejected;
+            m_touched_adj = [];
+            m_touched_lab = [];
+          }
+      else begin
+        (* Net structural delta against the base graph (a batch that adds
+           then deletes one edge nets out to nothing). *)
+        let add_edges = ref [] and del_edges = ref [] in
+        Hashtbl.iter
+          (fun (u, v) want ->
+            let have = Graph.has_edge g u v in
+            if want && not have then add_edges := (u, v) :: !add_edges
+            else if (not want) && have then del_edges := (u, v) :: !del_edges)
+          edge_delta;
+        let set_labels = Hashtbl.fold (fun v l acc -> (v, l) :: acc) lab_delta [] in
+        let g' = Graph.mutate g ~add_edges:!add_edges ~del_edges:!del_edges ~set_labels in
+        let gen = t.next_gen in
+        t.next_gen <- gen + 1;
+        (* The stored spec no longer describes the graph; mark it so
+           snapshots and operators see an honest provenance string. *)
+        let spec =
+          if String.length e.spec >= 8 && String.sub e.spec 0 8 = "mutated:" then e.spec
+          else "mutated:" ^ e.spec
+        in
+        Hashtbl.replace t.tbl key { graph = g'; spec; gen };
+        let touched_adj =
+          List.sort_uniq compare
+            (List.concat_map (fun (u, v) -> [ u; v ]) (!add_edges @ !del_edges))
+        in
+        let touched_lab = List.sort_uniq compare (List.map fst set_labels) in
+        Ok
+          {
+            m_graph = g';
+            m_old_gen = e.gen;
+            m_gen = gen;
+            m_added = !added;
+            m_deleted = !deleted;
+            m_relabeled = !relabeled;
+            m_rejected = rejected;
+            m_touched_adj = touched_adj;
+            m_touched_lab = touched_lab;
+          }
+      end
+
 let list t =
   with_lock t (fun () ->
       Hashtbl.fold

@@ -39,7 +39,13 @@ type t
 val create : unit -> t
 
 (** Build [spec] and bind it to [name] (replacing any previous binding
-    under a fresh generation). Returns the graph. *)
+    under a fresh generation). Returns the graph.
+
+    Re-LOADing a bound name still works but is {e deprecated} as an
+    update mechanism: it rebuilds from scratch and discards the old
+    graph's cached colourings. Use {!mutate} to evolve a bound graph in
+    place — it advances the generation and leaves the old colouring
+    usable as an incremental seed. *)
 val register : t -> name:string -> spec:string -> (Graph.t, string) result
 
 (** Bind an already-constructed graph to [name] under a fresh generation
@@ -58,6 +64,42 @@ val find : t -> string -> (Graph.t, string) result
     replaces the name can never be answered from entries computed on the
     old graph. *)
 val find_entry : t -> string -> (Graph.t * int, string) result
+
+(** One mutation op of a MUTATE batch, in registry terms. *)
+type op =
+  | Add_edge of int * int
+  | Del_edge of int * int
+  | Set_label of int * float array
+
+(** An op the batch skipped: its position in the batch, the op kind
+    ([ADD_EDGE] / [DEL_EDGE] / [SET_LABEL]), a v4-style error code
+    (always [ERR_BAD_ARG] today) and prose. *)
+type rejected = { r_index : int; r_op : string; r_code : string; r_message : string }
+
+(** Result of an applied MUTATE batch. [m_gen = m_old_gen] means nothing
+    applied (every op rejected) and the binding was left untouched.
+    [m_touched_adj] / [m_touched_lab] are the sorted, deduplicated
+    vertices whose adjacency row / label actually changed versus the
+    pre-batch graph — the incremental-recolouring frontier. *)
+type mutation_outcome = {
+  m_graph : Graph.t;
+  m_old_gen : int;
+  m_gen : int;
+  m_added : int;
+  m_deleted : int;
+  m_relabeled : int;
+  m_rejected : rejected list;
+  m_touched_adj : int list;
+  m_touched_lab : int list;
+}
+
+(** [mutate t ~name ops] applies one batch atomically under the registry
+    lock: ops validate {e sequentially against the evolving state} (an
+    edge added earlier in the batch can be deleted later in it), invalid
+    ops are skipped and reported, and the binding advances {e in place}
+    to a fresh generation iff at least one op applied. [Error] only when
+    [name] is not bound (MUTATE never builds specs). *)
+val mutate : t -> name:string -> op list -> (mutation_outcome, string) result
 
 (** Registered names with vertex/edge counts, sorted by name. *)
 val list : t -> (string * int * int) list

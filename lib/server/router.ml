@@ -778,6 +778,16 @@ let handle_client_line t c line =
                     (fun m -> if is_up m then send_upstream t m line Discard)
                     (List.tl g.g_members);
                   send_upstream t primary line (To_slot slot)
+              | P.Mutate (name, _) ->
+                  (* MUTATE is a write like LOAD: the primary answers, live
+                     replicas apply the same batch so their generation and
+                     graph state advance in lockstep. *)
+                  let g = group_for t name in
+                  let primary = List.hd g.g_members in
+                  List.iter
+                    (fun m -> if is_up m then send_upstream t m line Discard)
+                    (List.tl g.g_members);
+                  send_upstream t primary line (To_slot slot)
               | P.Query (name, _) | P.Explain (name, _) | P.Wl (name, _) | P.Kwl (name, _)
               | P.Hom (name, _) -> (
                   let g = group_for t name in

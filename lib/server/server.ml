@@ -507,6 +507,47 @@ let dispatch t deadline ~shared ~sink ~t0 req =
   | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline ~shared graph size
+  | P.Mutate (graph, ops) ->
+      let ops =
+        List.map
+          (function
+            | P.M_add_edge (u, v) -> Registry.Add_edge (u, v)
+            | P.M_del_edge (u, v) -> Registry.Del_edge (u, v)
+            | P.M_set_label (v, fs) -> Registry.Set_label (v, fs))
+          ops
+      in
+      let* o = tag "ERR_UNKNOWN_GRAPH" (Registry.mutate t.registry ~name:graph ops) in
+      if o.Registry.m_gen <> o.Registry.m_old_gen then
+        Cache.note_mutation t.cache ~graph_name:graph ~old_gen:o.Registry.m_old_gen
+          ~gen:o.Registry.m_gen ~touched_adj:o.Registry.m_touched_adj
+          ~touched_lab:o.Registry.m_touched_lab;
+      Ok
+        (P.Obj
+           [
+             ("graph", P.Str graph);
+             ("generation", P.Int o.Registry.m_gen);
+             ("vertices", P.Int (Graph.n_vertices o.Registry.m_graph));
+             ("edges", P.Int (Graph.n_edges o.Registry.m_graph));
+             ( "applied",
+               P.Obj
+                 [
+                   ("add_edges", P.Int o.Registry.m_added);
+                   ("del_edges", P.Int o.Registry.m_deleted);
+                   ("set_labels", P.Int o.Registry.m_relabeled);
+                 ] );
+             ( "rejected",
+               P.List
+                 (List.map
+                    (fun (r : Registry.rejected) ->
+                      P.Obj
+                        [
+                          ("index", P.Int r.r_index);
+                          ("op", P.Str r.r_op);
+                          ("code", P.Str r.r_code);
+                          ("message", P.Str r.r_message);
+                        ])
+                    o.Registry.m_rejected) );
+           ])
   | P.Save requested ->
       let* path = tag "ERR_SNAPSHOT" (snapshot_path t requested) in
       let* path, s = tag "ERR_SNAPSHOT" (save_snapshot t path) in

@@ -63,6 +63,12 @@ let push_front t n =
   (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
   t.first <- Some n
 
+let push_back t n =
+  n.prev <- t.last;
+  n.next <- None;
+  (match t.last with Some l -> l.next <- Some n | None -> t.first <- Some n);
+  t.last <- Some n
+
 let touch t n =
   match t.first with
   | Some f when f == n -> ()
@@ -82,6 +88,9 @@ let get t k =
 
 let mem t k = Hashtbl.mem t.tbl k
 
+(* Lookup touching neither recency nor the hit/miss counters. *)
+let peek t k = Option.map (fun n -> n.nvalue) (Hashtbl.find_opt t.tbl k)
+
 let drop t n =
   unlink t n;
   Hashtbl.remove t.tbl n.nkey;
@@ -93,7 +102,13 @@ let evict_last t = match t.last with None -> () | Some n -> drop t n
 let over_budget t =
   Hashtbl.length t.tbl > t.cap || (t.max_bytes > 0 && t.bytes > t.max_bytes)
 
-let put ?(bytes = 0) t k v =
+(* [cold:true] inserts (or demotes) the binding at the LRU end instead of
+   the front: the entry counts fully against capacity and the byte budget
+   but is first in line for eviction — the home of second-class entries
+   like superseded-generation colouring seeds. Inserting cold while over
+   budget can evict the new entry itself; that is the intended
+   semantics (a seed must never displace live entries). *)
+let put_at ~cold ?(bytes = 0) t k v =
   let bytes = if bytes < 0 then 0 else bytes in
   if t.max_bytes > 0 && bytes > t.max_bytes then
     (* A value larger than the whole budget is not cacheable; drop any
@@ -106,16 +121,34 @@ let put ?(bytes = 0) t k v =
         n.nvalue <- v;
         t.bytes <- t.bytes - n.nbytes + bytes;
         n.nbytes <- bytes;
-        touch t n
+        if cold then begin
+          unlink t n;
+          push_back t n
+        end
+        else touch t n
     | None ->
         let n = { nkey = k; nvalue = v; nbytes = bytes; prev = None; next = None } in
         Hashtbl.replace t.tbl k n;
-        push_front t n;
+        if cold then push_back t n else push_front t n;
         t.bytes <- t.bytes + bytes);
     while over_budget t && Hashtbl.length t.tbl > 0 do
       evict_last t
     done
   end
+
+let put ?bytes t k v = put_at ~cold:false ?bytes t k v
+
+let put_cold ?bytes t k v = put_at ~cold:true ?bytes t k v
+
+(* Remove a binding without counting a capacity eviction (the caller is
+   retiring the entry deliberately, e.g. rekeying a seed). *)
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.bytes <- t.bytes - n.nbytes
 
 let find_or_add t k ~compute =
   match get t k with

@@ -32,6 +32,9 @@ val get : ('k, 'v) t -> 'k -> 'v option
 (** Membership test that touches neither recency nor the counters. *)
 val mem : ('k, 'v) t -> 'k -> bool
 
+(** Lookup that touches neither recency nor the counters. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
 (** [put t k v] binds [k] to [v] as the most-recently-used entry,
     replacing any previous binding and evicting least-recently-used
     entries while over capacity or over the byte budget. [bytes]
@@ -40,6 +43,18 @@ val mem : ('k, 'v) t -> 'k -> bool
     any stale binding under the key is dropped) — a fitting new entry,
     by contrast, always survives its own insertion. *)
 val put : ?bytes:int -> ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [put_cold t k v] is {!put} except the binding lands at the
+    least-recently-used end: it counts fully against capacity and the
+    byte budget but is the first candidate for eviction (and may be
+    evicted by its own insertion when the cache is already full) — for
+    second-class entries such as superseded-generation colouring seeds
+    that must never displace live entries. *)
+val put_cold : ?bytes:int -> ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Remove a binding (no-op when absent) {e without} counting a capacity
+    eviction — deliberate retirement, not pressure. *)
+val remove : ('k, 'v) t -> 'k -> unit
 
 (** [find_or_add t k ~compute] is [get] with [compute ()] inserted (and
     returned) on a miss. *)

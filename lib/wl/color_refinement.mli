@@ -19,6 +19,29 @@ val run_joint : ?max_rounds:int -> ?deadline:int64 option -> Graph.t list -> res
 (** Solo run. *)
 val run : ?max_rounds:int -> ?deadline:int64 option -> Graph.t -> result
 
+(** [run_incremental ~base ~touched_adj ~touched_lab g] recolours the
+    mutated graph [g] starting from [base], a cached solo result for the
+    pre-mutation graph (same vertex count): per round only the dirty
+    frontier — vertices with changed adjacency ([touched_adj]), changed
+    labels ([touched_lab]), vertices whose colour class failed to match
+    the old partition, and their neighbours — has its signature key
+    rebuilt; every other vertex's colour is transported from [base].
+    The returned result is bit-identical to [run g] (same colour ids,
+    history, and round count), and the boolean is [true] when the
+    incremental path was taken. Falls back to a full run (returning
+    [false]) when [base] is not a well-formed solo result for an
+    [n]-vertex graph, when [n < 64], or when the frontier exceeds
+    [frontier_limit] (default 0.25) of the vertices in some round. *)
+val run_incremental :
+  ?max_rounds:int ->
+  ?deadline:int64 option ->
+  ?frontier_limit:float ->
+  base:result ->
+  touched_adj:int list ->
+  touched_lab:int list ->
+  Graph.t ->
+  result * bool
+
 (** Stable colour array per graph, in input order. *)
 val stable_colors : result -> int array list
 

@@ -20,7 +20,13 @@
    `--respawn` (the victim's graphs must come back snapshot-warm while
    the other shards never stop answering), and SIGKILL of the router
    itself (the workers must survive as independently addressable daemons
-   on their own shard sockets). *)
+   on their own shard sockets).
+
+   Phase D attacks the v5 mutation path: a pipelined flood of MUTATE
+   batches — valid, malformed, and mixed — must produce only structured
+   replies with RSS bounded (recoloring seeds count against the
+   colouring budget), and MUTATE racing SAVE under SIGKILL must leave
+   the snapshot valid-or-absent with the next boot healthy. *)
 
 let failures = ref 0
 
@@ -552,6 +558,101 @@ let phase_c glqld dir =
   done;
   check "C: workers drain on SIGTERM after the router is gone" (List.for_all gone worker_pids)
 
+(* --- phase D: mutation faults --------------------------------------------- *)
+
+let phase_d glqld dir =
+  let sock = Filename.concat dir "fault_d.sock" in
+  let snap = Filename.concat dir "fault_d.glqs" in
+  let daemon =
+    spawn_daemon glqld
+      [ "--socket"; sock; "--snapshot"; snap ]
+      ~stdout_file:(Filename.concat dir "daemon_d.out")
+  in
+  wait_for_socket sock;
+  check "D: daemon socket appears" (Sys.file_exists sock);
+  expect_ok sock "D: LOAD cycle2000" "LOAD g cycle2000";
+  expect_ok sock "D: WL warms the coloring cache" "WL g";
+
+  (* Mutation flood: hundreds of MUTATE batches down one pipelined
+     connection — adds, deletes, relabels, multi-section batches, and
+     deliberately malformed ones. Every line must come back as a
+     structured one-line OK or coded ERR (never a hang, never a drop),
+     each mutated generation leaves a recoloring seed behind, and RSS
+     must stay bounded: seeds count against the colouring budget, so a
+     flood of them cannot accumulate. *)
+  let fd = connect sock in
+  let flood_ok = ref true in
+  for i = 0 to 399 do
+    let u = i mod 2000 and v = ((i * 7) + 3) mod 2000 in
+    let line =
+      match i mod 5 with
+      | 0 -> Printf.sprintf "MUTATE g ADD_EDGES %d %d" u v
+      | 1 -> Printf.sprintf "MUTATE g DEL_EDGES %d %d" u v
+      | 2 -> Printf.sprintf "MUTATE g SET_LABEL %d %d.5" u (i mod 9)
+      | 3 -> Printf.sprintf "MUTATE g ADD_EDGES %d" u (* odd vertex count *)
+      | _ ->
+          Printf.sprintf "MUTATE g ADD_EDGES %d %d DEL_EDGES %d %d SET_LABEL %d 1.0" u v v u
+            u
+    in
+    send_line fd line;
+    match recv_line fd with
+    | `Line reply ->
+        let ok2 = String.length reply >= 2 && String.sub reply 0 2 = "OK" in
+        let err =
+          String.length reply >= 3
+          && String.sub reply 0 3 = "ERR"
+          && contains ~needle:"\"code\"" reply
+        in
+        if not (ok2 || err) then flood_ok := false
+    | `Eof | `Timeout -> flood_ok := false
+  done;
+  close_quiet fd;
+  check "D: 400 mutation batches all answered with OK or coded ERR" !flood_ok;
+  (match vmrss_kb daemon with
+  | None -> check "D: RSS bounded after the mutation flood (skipped: no /proc)" true
+  | Some kb ->
+      check (Printf.sprintf "D: RSS bounded after the mutation flood (%d KB < 512 MB)" kb)
+        (kb < 512 * 1024));
+  expect_ok sock "D: daemon healthy after the flood" "PING";
+  (match request sock "WL g" with
+  | `Line reply ->
+      check "D: WL answers on the flood-mutated graph"
+        (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+  | `Eof | `Timeout -> check "D: WL answers on the flood-mutated graph" false);
+
+  (* MUTATE racing SAVE, then SIGKILL mid-save: after one good SAVE the
+     atomic tmp+rename discipline means the target must stay a valid
+     snapshot no matter how the race with in-flight mutations lands, and
+     the next boot must come up healthy with the graph restorable. *)
+  expect_ok sock "D: first SAVE succeeds" (Printf.sprintf "SAVE %s" snap);
+  let fd_save = connect sock and fd_mut = connect sock in
+  for i = 0 to 9 do
+    send_line fd_mut (Printf.sprintf "MUTATE g ADD_EDGES %d %d" (i * 3) ((i * 3) + 997));
+    send_line fd_save (Printf.sprintf "SAVE %s" snap)
+  done;
+  Unix.kill daemon Sys.sigkill;
+  ignore (wait_exit daemon);
+  close_quiet fd_save;
+  close_quiet fd_mut;
+  let sock2 = Filename.concat dir "fault_d2.sock" in
+  let pid2 =
+    spawn_daemon glqld [ "--socket"; sock2; "--snapshot"; snap ]
+      ~stdout_file:(Filename.concat dir "daemon_d2.out")
+  in
+  wait_for_socket sock2;
+  expect_ok sock2 "D: boot after MUTATE racing SAVE" "PING";
+  (match request sock2 "STATS" with
+  | `Line stats ->
+      check "D: the raced snapshot is still restorable" (contains ~needle:"\"restored\":{" stats)
+  | `Eof | `Timeout -> check "D: the raced snapshot is still restorable" false);
+  (match request sock2 "WL g" with
+  | `Line reply ->
+      check "D: restored graph answers after the race"
+        (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+  | `Eof | `Timeout -> check "D: restored graph answers after the race" false);
+  Unix.kill pid2 Sys.sigterm;
+  check "D: clean exit after mutation faults" (wait_exit pid2 = Some 0)
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   at_exit kill_all;
@@ -568,6 +669,7 @@ let () =
   phase_a glqld dir;
   phase_b glqld dir;
   phase_c glqld dir;
+  phase_d glqld dir;
   Array.iter
     (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (Sys.readdir dir);

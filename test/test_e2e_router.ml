@@ -241,6 +241,39 @@ let () =
     (contains ~needle:"\"coloring_cache\":\"hit\"" wl_1
     && contains ~needle:"\"coloring_cache\":\"hit\"" wl_2);
 
+  (* MUTATE through the router: routed to the survivor's primary and
+     mirrored to its replica, so the stale colouring is invalidated on
+     BOTH round-robin targets — the next two WLs (one per target) must
+     recompute and agree on the new signature, and the pair after that
+     come back warm. The WL replies themselves are v4 read-path bytes:
+     they must stay identical to a single-process daemon applying the
+     same mutation. *)
+  let code_mut, mut_reply = run router_sock [ "MUTATE"; survivor; "ADD_EDGES"; "0"; "2" ] in
+  check "MUTATE through the router exits 0" (code_mut = Some 0);
+  check "MUTATE reply reports the applied batch"
+    (contains ~needle:"\"applied\":{\"add_edges\":1,\"del_edges\":0,\"set_labels\":0}" mut_reply
+    && json_int_field mut_reply "generation" <> None);
+  let _, wl_m1 = run router_sock [ "WL"; survivor ] in
+  let _, wl_m2 = run router_sock [ "WL"; survivor ] in
+  check "both targets recompute after the mutation"
+    (contains ~needle:"\"coloring_cache\":\"miss\"" wl_m1
+    && contains ~needle:"\"coloring_cache\":\"miss\"" wl_m2);
+  check "both targets agree on the post-mutate signature"
+    (signature_of wl_m1 <> ""
+    && signature_of wl_m1 = signature_of wl_m2
+    && signature_of wl_m1 <> signature_of wl_before);
+  let _, wl_m3 = run router_sock [ "WL"; survivor ] in
+  let _, wl_m4 = run router_sock [ "WL"; survivor ] in
+  check "both targets warm again on the new generation"
+    (contains ~needle:"\"coloring_cache\":\"hit\"" wl_m3
+    && contains ~needle:"\"coloring_cache\":\"hit\"" wl_m4);
+  let _, single_mut = run single_sock [ "MUTATE"; survivor; "ADD_EDGES"; "0"; "2" ] in
+  check "single daemon applies the same batch"
+    (contains ~needle:"\"applied\":{\"add_edges\":1,\"del_edges\":0,\"set_labels\":0}" single_mut);
+  let _, wl_single = run single_sock [ "WL"; survivor ] in
+  check "post-mutate WL byte-identical single vs router"
+    (wl_single = wl_m1 && String.length wl_single > 0);
+
   (* Collect the surviving pids, then SIGTERM the router: clean exit,
      front socket unlinked, every child worker reaped. *)
   let _, topology2 = run router_sock [ "TOPOLOGY" ] in

@@ -12,6 +12,7 @@
 module Expr = Glql_gel.Expr
 module Parser = Glql_gel.Parser
 module Registry = Glql_server.Registry
+module Graph = Glql_graph.Graph
 module P = Glql_server.Protocol
 
 let failures = ref 0
@@ -240,6 +241,57 @@ let () =
     find 0
   in
 
+  (* Protocol v5 over the wire: HELLO advertises it, read-path replies
+     stay byte-compatible with v4 (no new fields leak into them). *)
+  let _, hello = run_client ~n:11 [ "HELLO" ] in
+  check "HELLO reports protocol v5" (contains ~needle:"\"protocol_version\":5" hello);
+  check "read replies carry no v5 mutation fields"
+    ((not (contains ~needle:"generation" reply1))
+    && (not (contains ~needle:"generation" wl_warm))
+    && not (contains ~needle:"applied" reply1));
+
+  (* MUTATE through glql_client --mutate: one atomic batch from the
+     request words, applied before the snapshot so the post-mutation
+     state is what persists. *)
+  let _, _ = run_client ~n:12 [ "LOAD"; "m"; "cycle9" ] in
+  let mut_code, mut_reply =
+    run_client ~n:13 [ "--mutate"; "m"; "ADD_EDGES"; "0"; "2"; "SET_LABEL"; "0"; "5.0" ]
+  in
+  check "--mutate exits 0" (mut_code = Some 0);
+  let gen1 = json_int_field mut_reply "generation" in
+  check "--mutate reports a generation" (gen1 <> None);
+  check "--mutate reports applied counts"
+    (contains ~needle:"\"applied\":{\"add_edges\":1,\"del_edges\":0,\"set_labels\":1}" mut_reply);
+  (* Replaying the same edge add is rejected per-op, not per-batch: the
+     SET_LABEL half still applies, so the generation advances again. *)
+  let _, mut2 =
+    run_client ~n:14 [ "--mutate"; "m"; "ADD_EDGES"; "0"; "2"; "SET_LABEL"; "0"; "5.0" ]
+  in
+  check "duplicate edge add rejected with a v4 code"
+    (contains ~needle:"\"code\":\"ERR_BAD_ARG\"" mut2
+    && contains ~needle:"\"applied\":{\"add_edges\":0,\"del_edges\":0,\"set_labels\":1}" mut2);
+  check "partially applied batch still advances the generation"
+    (match (gen1, json_int_field mut2 "generation") with
+    | Some a, Some b -> b > a
+    | _ -> false);
+  (* Reads on the mutated graph see the chord. *)
+  let gm = match Registry.graph_of_spec "cycle9" with Ok g -> g | Error e -> failwith e in
+  let gm' =
+    Graph.mutate gm ~add_edges:[ (0, 2) ] ~del_edges:[] ~set_labels:[ (0, [| 5.0 |]) ]
+  in
+  let m_expected =
+    let table = Expr.eval gm' (Parser.parse src) in
+    P.json_to_string
+      (P.List
+         (Array.to_list
+            (Array.map
+               (fun v -> P.List (Array.to_list (Array.map (fun x -> P.Float x) v)))
+               table.Expr.tdata)))
+  in
+  let _, m_reply = run_client ~n:15 [ "QUERY"; "m"; src ] in
+  check "post-mutate query sees the chord"
+    (contains ~needle:("\"values\":" ^ m_expected) m_reply);
+
   (* SIGTERM: clean exit, socket unlinked, metrics dumped, snapshot
      written (the daemon was started with --snapshot). *)
   Unix.kill daemon Sys.sigterm;
@@ -279,6 +331,11 @@ let () =
     (contains ~needle:"\"restored\":{" stats2 && contains ~needle:snapshot_file stats2);
   check "restarted STATS counts the restored graph"
     (match json_int_field stats2 "graphs_registered" with Some g -> g >= 1 | None -> false);
+  (* The snapshot carried the post-mutation state of m: the restored
+     graph still has the chord and the relabelled vertex. *)
+  let _, m_restored = run_client ~n:16 [ "QUERY"; "m"; src ] in
+  check "restored mutated graph keeps the chord"
+    (contains ~needle:("\"values\":" ^ m_expected) m_restored);
   Unix.kill daemon2 Sys.sigterm;
   check "restarted daemon exits cleanly" (wait_exit daemon2 = Some 0);
 

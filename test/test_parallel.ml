@@ -130,6 +130,82 @@ let prop_graph_partition_deterministic =
       let seq = Pool.sequential (fun () -> Cr.graph_partition corpus) in
       par = seq)
 
+(* One random mutation batch: returns the mutated graph plus the touched
+   vertex lists a server-side MUTATE would report (endpoints of every
+   edge op — a superset of the vertices whose adjacency actually changed
+   is allowed). *)
+let random_mutation_batch rng g =
+  let n = Glql_graph.Graph.n_vertices g in
+  let module G = Glql_graph.Graph in
+  let n_ops = 1 + Rng.int rng 6 in
+  let adds = ref [] and dels = ref [] and labs = ref [] in
+  let t_adj = ref [] and t_lab = ref [] in
+  let existing = Array.of_list (G.edges g) in
+  for _ = 1 to n_ops do
+    match Rng.int rng 3 with
+    | 0 ->
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then begin
+          adds := (u, v) :: !adds;
+          t_adj := u :: v :: !t_adj
+        end
+    | 1 ->
+        if Array.length existing > 0 then begin
+          let u, v = Rng.pick rng existing in
+          dels := (u, v) :: !dels;
+          t_adj := u :: v :: !t_adj
+        end
+    | _ ->
+        let v = Rng.int rng n in
+        let value = float_of_int (1 + Rng.int rng 3) in
+        labs := (v, [| value |]) :: !labs;
+        t_lab := v :: !t_lab
+  done;
+  let g' = G.mutate g ~add_edges:!adds ~del_edges:!dels ~set_labels:!labs in
+  (g', !t_adj, !t_lab)
+
+(* The tentpole property: (mutate batch -> incremental recolor) is
+   bit-identical to (rebuild graph -> full refinement) — same colour
+   ids, same history, same round count — across chained random
+   ADD/DEL/SET_LABEL batches, with each batch seeding the next from the
+   previous incremental result.  [frontier_limit:1.0] pins the
+   incremental path on (no silent fallback), and runs under both
+   GLQL_DOMAINS=1 and 4 via this executable's two runtest invocations. *)
+let prop_incremental_recolor_bit_identical =
+  qtest ~count:60 "run_incremental == full run (chained mutation batches)" seed_arb
+    (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      let n = 64 + Rng.int rng 65 in
+      (* Mix sparse random graphs with homogeneous structured ones:
+         cycles and grids stress the class-split paths of the image
+         matcher (a mutation on a vertex-transitive graph cracks one
+         giant class), random graphs the near-discrete paths. *)
+      let g0 =
+        match seed mod 3 with
+        | 0 -> Generators.cycle n
+        | 1 -> Generators.grid 8 (max 8 (n / 8))
+        | _ -> random_graph (seed + 1) ~n ~p:0.06
+      in
+      let base = ref (Cr.run g0) in
+      let g = ref g0 in
+      let ok = ref true in
+      for _batch = 1 to 3 do
+        let g', t_adj, t_lab = random_mutation_batch rng !g in
+        let full = Cr.run g' in
+        let inc, was_incremental =
+          Cr.run_incremental ~frontier_limit:1.0 ~base:!base ~touched_adj:t_adj
+            ~touched_lab:t_lab g'
+        in
+        ok :=
+          !ok && was_incremental
+          && Cr.rounds inc = Cr.rounds full
+          && Cr.history inc = Cr.history full
+          && Cr.stable_colors inc = Cr.stable_colors full;
+        base := inc;
+        g := g'
+      done;
+      !ok)
+
 (* --- hom-count profiles --------------------------------------------------- *)
 
 let trees6 = Tree.all_free_trees_up_to 6
@@ -461,7 +537,11 @@ let () =
           case "sequential escape hatch" test_sequential_restores;
         ] );
       ( "wl",
-        [ prop_run_joint_deterministic; prop_graph_partition_deterministic ] );
+        [
+          prop_run_joint_deterministic;
+          prop_graph_partition_deterministic;
+          prop_incremental_recolor_bit_identical;
+        ] );
       ( "hom",
         [ prop_hom_profile_deterministic; prop_equal_profiles_deterministic ] );
       ( "mat",

@@ -11,6 +11,8 @@ module Parser = Glql_gel.Parser
 module Expr = Glql_gel.Expr
 module Normal_form = Glql_gel.Normal_form
 module Graph = Glql_graph.Graph
+module Generators = Glql_graph.Generators
+module Cr = Glql_wl.Color_refinement
 
 let key src = Normal_form.cache_key (Parser.parse src)
 
@@ -102,6 +104,41 @@ let test_parse_request_trace_option () =
      must therefore not rely on trailing position. *)
   check_bool "trace alone is not a command" true
     (match P.parse_request "TRACE" with Error _ -> true | Ok _ -> false)
+
+let test_parse_mutate () =
+  check_bool "single add" true
+    (P.parse_request "MUTATE g ADD_EDGES 0 1" = plain (P.Mutate ("g", [ P.M_add_edge (0, 1) ])));
+  (* Sections mix, repeat, and are case-insensitive; SET_LABEL consumes
+     floats up to the next keyword. *)
+  check_bool "mixed batch" true
+    (P.parse_request "MUTATE g ADD_EDGES 0 1 2 3 DEL_EDGES 1 2 SET_LABEL 4 0.5 1.5 add_edges 3 4"
+    = plain
+        (P.Mutate
+           ( "g",
+             [
+               P.M_add_edge (0, 1);
+               P.M_add_edge (2, 3);
+               P.M_del_edge (1, 2);
+               P.M_set_label (4, [| 0.5; 1.5 |]);
+               P.M_add_edge (3, 4);
+             ] )));
+  check_bool "traced mutate" true
+    (P.parse_request "MUTATE g DEL_EDGES 0 1 TRACE"
+    = Ok { P.req = P.Mutate ("g", [ P.M_del_edge (0, 1) ]); traced = true });
+  List.iter
+    (fun line ->
+      check_bool (Printf.sprintf "rejects %S" line) true
+        (match P.parse_request line with Error _ -> true | Ok _ -> false))
+    [
+      "MUTATE";
+      "MUTATE g";
+      "MUTATE g ADD_EDGES";
+      "MUTATE g ADD_EDGES 0";
+      "MUTATE g ADD_EDGES 0 x";
+      "MUTATE g SET_LABEL 3";
+      "MUTATE g SET_LABEL nope 1.0";
+      "MUTATE g 0 1";
+    ]
 
 let test_parse_request_malformed () =
   let malformed =
@@ -214,6 +251,77 @@ let test_registry_generations () =
   let f0 = gen "cycle4" in
   ignore (Registry.register r ~name:"cycle4" ~spec:"petersen");
   check_bool "shadowing a spec name bumps the generation" true (gen "cycle4" > f0)
+
+let test_registry_mutate () =
+  let r = Registry.create () in
+  ignore (Registry.register r ~name:"g" ~spec:"cycle5");
+  let entry () =
+    match Registry.find_entry r "g" with
+    | Ok (g, gen) -> (g, gen)
+    | Error e -> Alcotest.failf "find_entry failed: %s" e
+  in
+  let _, gen0 = entry () in
+  (* One batch exercising every op kind, every rejection reason, and the
+     sequential (evolving-state) semantics. *)
+  let outcome =
+    match
+      Registry.mutate r ~name:"g"
+        [
+          Registry.Add_edge (0, 2) (* new chord: applied *);
+          Registry.Add_edge (2, 0) (* same edge, swapped: duplicate *);
+          Registry.Del_edge (1, 2) (* present: applied *);
+          Registry.Add_edge (1, 2) (* re-add after in-batch delete: applied *);
+          Registry.Del_edge (1, 3) (* absent: rejected *);
+          Registry.Add_edge (0, 0) (* self-loop: rejected *);
+          Registry.Add_edge (0, 9) (* out of range: rejected *);
+          Registry.Set_label (2, [| 7.0 |]) (* generator labels are 1-dim: applied *);
+          Registry.Set_label (2, [| 1.0; 2.0 |]) (* wrong dimension: rejected *);
+        ]
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "mutate failed: %s" e
+  in
+  check_int "applied adds" 2 outcome.Registry.m_added;
+  check_int "applied dels" 1 outcome.Registry.m_deleted;
+  check_int "applied labels" 1 outcome.Registry.m_relabeled;
+  check_int "rejections" 5 (List.length outcome.Registry.m_rejected);
+  List.iter
+    (fun (rej : Registry.rejected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "rejection %d code" rej.Registry.r_index)
+        "ERR_BAD_ARG" rej.Registry.r_code)
+    outcome.Registry.m_rejected;
+  Alcotest.(check (list int))
+    "rejection indices" [ 1; 4; 5; 6; 8 ]
+    (List.map (fun (rej : Registry.rejected) -> rej.Registry.r_index) outcome.Registry.m_rejected);
+  (* Net effect: the (1,2) delete/re-add cancels, so only the (0,2) chord
+     lands; the frontier reports exactly the changed rows. *)
+  check_int "net edges" 6 (Graph.n_edges outcome.Registry.m_graph);
+  check_bool "chord present" true (Graph.has_edge outcome.Registry.m_graph 0 2);
+  check_bool "cycle edge survived" true (Graph.has_edge outcome.Registry.m_graph 1 2);
+  Alcotest.(check (list int)) "touched adjacency rows" [ 0; 2 ] outcome.Registry.m_touched_adj;
+  Alcotest.(check (list int)) "touched labels" [ 2 ] outcome.Registry.m_touched_lab;
+  check_bool "generation advanced in place" true (outcome.Registry.m_gen > gen0);
+  let g_now, gen_now = entry () in
+  check_int "binding advanced" outcome.Registry.m_gen gen_now;
+  check_int "binding holds the mutated graph" 6 (Graph.n_edges g_now);
+  check_int "still one binding" 1 (Registry.n_graphs r);
+  (* An all-rejected batch leaves the binding (and generation) alone. *)
+  (match Registry.mutate r ~name:"g" [ Registry.Add_edge (0, 0) ] with
+  | Ok o ->
+      check_int "no-op keeps the generation" gen_now o.Registry.m_gen;
+      check_int "no-op rejected op reported" 1 (List.length o.Registry.m_rejected)
+  | Error e -> Alcotest.failf "all-rejected mutate errored: %s" e);
+  (* MUTATE never builds specs; but a spec-fallback binding is mutable
+     under any spelling of its canonical spec. *)
+  check_bool "unknown graph is an error" true
+    (match Registry.mutate r ~name:"nosuch" [ Registry.Add_edge (0, 1) ] with
+    | Error _ -> true
+    | Ok _ -> false);
+  ignore (Registry.find r "cycle4");
+  (match Registry.mutate r ~name:"cycle4 " [ Registry.Add_edge (0, 2) ] with
+  | Ok o -> check_int "spec-fallback binding mutated" 5 (Graph.n_edges o.Registry.m_graph)
+  | Error e -> Alcotest.failf "spec-fallback mutate failed: %s" e)
 
 (* --- the in-process request pipeline ------------------------------------- *)
 
@@ -722,6 +830,138 @@ let test_batch_coalescing () =
   check_bool "shared-prefix HOM equals solo HOM" true
     (profile_of solo_hom = profile_of replies.(5))
 
+(* --- MUTATE through the pipeline and the seeded colouring cache ---------- *)
+
+let test_handle_line_mutate () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g cycle5");
+  check_bool "baseline wl homogeneous" true
+    (contains ~needle:"\"classes\":1" (Server.handle_line t "WL g"));
+  let reply = Server.handle_line t "MUTATE g ADD_EDGES 0 2 DEL_EDGES 1 3" in
+  check_bool "mutate ok" true (P.is_ok reply);
+  check_bool "applied counts" true
+    (contains ~needle:"\"applied\":{\"add_edges\":1,\"del_edges\":0,\"set_labels\":0}" reply);
+  check_bool "edges updated" true (contains ~needle:"\"edges\":6" reply);
+  check_bool "rejected op reported with index" true
+    (contains ~needle:"\"index\":1" reply && contains ~needle:"\"op\":\"DEL_EDGE\"" reply);
+  check_bool "rejected op carries a v4 code" true
+    (contains ~needle:"\"code\":\"ERR_BAD_ARG\"" reply);
+  (* Reads recompute on the new generation: the chord splits cycle5 into
+     three orbits. *)
+  let wl = Server.handle_line t "WL g" in
+  check_bool "post-mutate wl recomputed" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" wl);
+  check_bool "post-mutate wl sees the chord" true (contains ~needle:"\"classes\":3" wl);
+  (* An all-rejected batch keeps the generation: the colouring stays warm. *)
+  let noop = Server.handle_line t "MUTATE g ADD_EDGES 0 2" in
+  check_bool "all-rejected batch is still an OK reply" true (P.is_ok noop);
+  check_bool "all-rejected batch reports the rejection" true
+    (contains ~needle:"\"already present\"" noop || contains ~needle:"already present" noop);
+  check_bool "generation kept: wl still warm" true
+    (contains ~needle:"\"coloring_cache\":\"hit\"" (Server.handle_line t "WL g"));
+  (* MUTATE never builds specs. *)
+  let unknown = Server.handle_line t "MUTATE nosuchgraph ADD_EDGES 0 1" in
+  check_bool "unknown graph rejected" false (P.is_ok unknown);
+  Alcotest.(check (option string)) "unknown graph code" (Some "ERR_UNKNOWN_GRAPH")
+    (code_of unknown)
+
+let test_handle_line_mutate_incremental () =
+  (* A chord on a 100-cycle changes the colouring globally — new colour
+     classes ripple outward one hop per round — so the frontier outgrows
+     the default cap and the seed path must *fall back* to a full
+     refinement.  That is the correct outcome here: the counters must say
+     fallback (not incremental), the seed must still be consumed, and the
+     reply must match a cold refinement bit-for-bit.  The happy path,
+     where the frontier stays small, is covered at the Cache level by
+     [test_cache_seed_lifecycle] on a sparse random graph. *)
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g cycle100");
+  ignore (Server.handle_line t "WL g");
+  check_bool "mutate ok" true (P.is_ok (Server.handle_line t "MUTATE g ADD_EDGES 0 2"));
+  let wl = Server.handle_line t "WL g" in
+  check_bool "post-mutate wl is a miss (reply bytes are v4)" true
+    (contains ~needle:"\"coloring_cache\":\"miss\"" wl);
+  let stats = Server.handle_line t "STATS" in
+  check_bool "global recolouring fell back to a full refinement" true
+    (contains ~needle:"\"incremental_fallbacks\":1" stats);
+  check_bool "not miscounted as incremental" true
+    (contains ~needle:"\"incremental_recolors\":0" stats);
+  check_bool "seed consumed" true (contains ~needle:"\"seed_entries\":0" stats);
+  (* Fallback or not, the served colouring matches a cold refinement. *)
+  let g = match Registry.graph_of_spec "cycle100" with Ok g -> g | Error e -> failwith e in
+  let g' = Graph.mutate g ~add_edges:[ (0, 2) ] ~del_edges:[] ~set_labels:[] in
+  let cold = Cr.run g' in
+  check_bool "classes match cold refinement" true
+    (contains
+       ~needle:(Printf.sprintf "\"classes\":%d" (Cr.n_classes cold))
+       wl)
+
+let test_cache_seed_lifecycle () =
+  (* A sparse random graph is near-discrete after a couple of WL rounds,
+     so a two-edge mutation keeps the recolouring frontier well under the
+     default cap — this is the happy path where the seed actually pays:
+     the counters must say incremental, never fallback. *)
+  let g = Generators.erdos_renyi (Glql_util.Rng.create 71) ~n:100 ~p:0.06 in
+  let g' = Graph.mutate g ~add_edges:[ (0, 2) ] ~del_edges:[] ~set_labels:[] in
+  let cache = Cache.create ~plan_capacity:4 ~coloring_capacity:8 () in
+  let _, h0 = Cache.cr cache ~graph_name:"g" ~gen:0 g in
+  check_bool "cold compute is a miss" true (h0 = `Miss);
+  Cache.note_mutation cache ~graph_name:"g" ~old_gen:0 ~gen:1 ~touched_adj:[ 0; 2 ]
+    ~touched_lab:[];
+  let s = Cache.stats cache in
+  check_int "old entry became the seed" 1 (List.assoc "coloring_entries" s);
+  check_int "one seed" 1 (List.assoc "seed_entries" s);
+  check_bool "seed bytes counted" true
+    (List.assoc "seed_bytes" s > 0 && List.assoc "seed_bytes" s <= List.assoc "coloring_bytes" s);
+  (* Stacked mutations merge into the existing seed instead of dropping it. *)
+  let g'' = Graph.mutate g' ~add_edges:[ (5, 50) ] ~del_edges:[] ~set_labels:[] in
+  Cache.note_mutation cache ~graph_name:"g" ~old_gen:1 ~gen:2 ~touched_adj:[ 5; 50 ]
+    ~touched_lab:[];
+  check_int "still one seed after stacking" 1 (List.assoc "seed_entries" (Cache.stats cache));
+  let r, h1 = Cache.cr cache ~graph_name:"g" ~gen:2 g'' in
+  check_bool "seeded compute still reports a miss" true (h1 = `Miss);
+  let s2 = Cache.stats cache in
+  check_int "seed consumed" 0 (List.assoc "seed_entries" s2);
+  check_int "incremental recolor counted" 1 (List.assoc "incremental_recolors" s2);
+  check_int "no fallback" 0 (List.assoc "incremental_fallbacks" s2);
+  (* Bit-identical to a cold run across the stacked mutations. *)
+  let cold = Cr.run g'' in
+  check_bool "identical history" true (Cr.history r = Cr.history cold);
+  check_bool "identical stable colours" true (Cr.stable_colors r = Cr.stable_colors cold)
+
+let test_cache_seed_evicted_first () =
+  (* Measure one colouring's cost, then give the cache room for about two:
+     the cold-inserted seed must be the first thing evicted, never a live
+     entry. *)
+  let graph name = match Registry.graph_of_spec name with Ok g -> g | Error e -> failwith e in
+  let probe = Cache.create ~plan_capacity:4 ~coloring_capacity:8 () in
+  ignore (Cache.cr probe ~graph_name:"g" ~gen:0 (graph "cycle100"));
+  let one = List.assoc "coloring_bytes" (Cache.stats probe) in
+  let cache =
+    Cache.create ~coloring_bytes:((2 * one) + (one / 2)) ~plan_capacity:4 ~coloring_capacity:8 ()
+  in
+  ignore (Cache.cr cache ~graph_name:"g" ~gen:0 (graph "cycle100"));
+  Cache.note_mutation cache ~graph_name:"g" ~old_gen:0 ~gen:1 ~touched_adj:[ 0; 2 ]
+    ~touched_lab:[];
+  check_int "seed live under budget" 1 (List.assoc "seed_entries" (Cache.stats cache));
+  ignore (Cache.cr cache ~graph_name:"h" ~gen:0 (graph "cycle101"));
+  ignore (Cache.cr cache ~graph_name:"i" ~gen:0 (graph "cycle102"));
+  let s = Cache.stats cache in
+  check_int "seed evicted first under pressure" 0 (List.assoc "seed_entries" s);
+  check_bool "eviction counted" true (List.assoc "coloring_evictions" s >= 1);
+  (* Both live colourings survived the seed's eviction. *)
+  check_bool "live entry h survived" true
+    (snd (Cache.cr cache ~graph_name:"h" ~gen:0 (graph "cycle101")) = `Hit);
+  check_bool "live entry i survived" true
+    (snd (Cache.cr cache ~graph_name:"i" ~gen:0 (graph "cycle102")) = `Hit);
+  (* With the seed gone, the next generation recolours cold: counted as
+     neither incremental nor fallback. *)
+  let g' = Graph.mutate (graph "cycle100") ~add_edges:[ (0, 2) ] ~del_edges:[] ~set_labels:[] in
+  ignore (Cache.cr cache ~graph_name:"g" ~gen:1 g');
+  let s2 = Cache.stats cache in
+  check_int "no incremental without a seed" 0 (List.assoc "incremental_recolors" s2);
+  check_int "no fallback without a seed" 0 (List.assoc "incremental_fallbacks" s2)
+
 let prop_parse_request_total =
   qtest ~count:500 "parse_request never raises" QCheck.(string_of_size Gen.(0 -- 200))
     (fun s ->
@@ -823,12 +1063,14 @@ let suite =
       case "protocol tokenizer" test_tokenize;
       case "protocol requests" test_parse_request_ok;
       case "protocol TRACE option" test_parse_request_trace_option;
+      case "protocol MUTATE grammar" test_parse_mutate;
       case "protocol malformed lines" test_parse_request_malformed;
       case "protocol json rendering" test_json_rendering;
       case "registry specs" test_registry_specs;
       case "registry find and register" test_registry_find_caches;
       case "registry spec size limits" test_registry_spec_limits;
       case "registry generations" test_registry_generations;
+      case "registry mutate batches" test_registry_mutate;
       case "registry canonical spec whitespace" test_registry_canonical_spec;
       case "handle_line: query flow and plan cache" test_handle_line_flow;
       case "handle_line: coloring cache" test_handle_line_wl_cache;
@@ -847,6 +1089,10 @@ let suite =
       case "HOM cost guard" test_hom_cost_guard;
       case "deadline cancels kernels" test_deadline_cancels_kernels;
       case "handle_lines: batch coalescing" test_batch_coalescing;
+      case "handle_line: MUTATE batch semantics" test_handle_line_mutate;
+      case "handle_line: MUTATE incremental recolour" test_handle_line_mutate_incremental;
+      case "cache: mutation seed lifecycle" test_cache_seed_lifecycle;
+      case "cache: seeds evicted before live entries" test_cache_seed_evicted_first;
       prop_parse_request_total;
       case "line_buf framing" test_line_buf_framing;
       case "line_buf limits" test_line_buf_limits;
