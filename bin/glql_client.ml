@@ -14,7 +14,13 @@
    per stdin line (e.g. "ADD_EDGES 0 1 1 2" / "SET_LABEL 3 1.0"), all
    sent as a single atomic batch. Unlike other one-shot requests a
    MUTATE is never replayed after a dropped connection — it is not
-   idempotent, and the server may have applied it before dying. *)
+   idempotent, and the server may have applied it before dying.
+
+   --featurize GRAPH / --train MODEL / --predict MODEL assemble the
+   protocol-v6 model-serving commands the same way (FEATURIZE takes the
+   recipe and optional VERTEX/GRAPH mode, TRAIN the ON/WITH/TARGET
+   sections, PREDICT the graph and optional vertices). TRAIN writes to
+   the model registry, so like MUTATE it is never replayed. *)
 
 module P = Glql_server.Protocol
 
@@ -84,6 +90,9 @@ let () =
   let socket = ref "glqld.sock" in
   let tcp = ref "" in
   let mutate = ref "" in
+  let featurize = ref "" in
+  let train = ref "" in
+  let predict = ref "" in
   let words = ref [] in
   let spec =
     [
@@ -93,6 +102,15 @@ let () =
         Arg.Set_string mutate,
         "GRAPH send one MUTATE batch (ops from remaining words, else one section per stdin line)"
       );
+      ( "--featurize",
+        Arg.Set_string featurize,
+        "GRAPH send one FEATURIZE (recipe and optional mode from the remaining words)" );
+      ( "--train",
+        Arg.Set_string train,
+        "MODEL send one TRAIN (ON/WITH/TARGET sections from remaining words or stdin lines)" );
+      ( "--predict",
+        Arg.Set_string predict,
+        "MODEL send one PREDICT (graph and optional vertices from the remaining words)" );
     ]
   in
   let usage = "glql_client: talk to a glqld server.\nusage: glql_client [options] [request words]" in
@@ -155,9 +173,10 @@ let () =
             Some (P.is_ok reply)
         | exception End_of_file -> None
       in
-      (* Assemble the MUTATE batch line: ops from the request words when
-         given, otherwise one section per non-blank stdin line. *)
-      let mutate_line graph =
+      (* Assemble a one-command batch line (MUTATE / FEATURIZE / TRAIN /
+         PREDICT): the tail comes from the request words when given,
+         otherwise one section per non-blank stdin line. *)
+      let gather flag =
         let ops =
           match words with
           | _ :: _ -> List.map quote_word words
@@ -172,13 +191,24 @@ let () =
               List.rev !lines
         in
         if ops = [] then begin
-          prerr_endline "glql_client: --mutate needs ops (argument words or stdin lines)";
+          Printf.eprintf "glql_client: %s needs request words (arguments or stdin lines)\n%!" flag;
           exit 1
         end;
-        String.concat " " ("MUTATE" :: quote_word graph :: ops)
+        ops
       in
       let request =
-        if !mutate <> "" then Some (mutate_line !mutate, false)
+        if !mutate <> "" then
+          Some (String.concat " " ("MUTATE" :: quote_word !mutate :: gather "--mutate"), false)
+        else if !train <> "" then
+          (* Like MUTATE, a TRAIN is never replayed after a dropped
+             connection: it writes to the model registry and the server
+             may have committed it before dying. *)
+          Some (String.concat " " ("TRAIN" :: quote_word !train :: gather "--train"), false)
+        else if !featurize <> "" then
+          Some
+            (String.concat " " ("FEATURIZE" :: quote_word !featurize :: gather "--featurize"), true)
+        else if !predict <> "" then
+          Some (String.concat " " ("PREDICT" :: quote_word !predict :: gather "--predict"), true)
         else
           match words with
           | [] -> None

@@ -28,6 +28,8 @@ let () =
   let max_inbuf = ref Server.default_config.Server.max_inbuf_bytes in
   let metrics_file = ref "" in
   let snapshot_file = ref "" in
+  let probe_interval = ref Router.default_config.Router.probe_interval_s in
+  let probe_timeout = ref Router.default_config.Router.probe_timeout_s in
   let verbose = ref false in
   let spec =
     [
@@ -66,6 +68,12 @@ let () =
       ( "--respawn",
         Arg.Set respawn,
         " in --router mode, restart a dead worker from its last snapshot" );
+      ( "--probe-interval",
+        Arg.Set_float probe_interval,
+        "SECONDS health-probe PING cadence in --router mode, 0 disables (default 2)" );
+      ( "--probe-timeout",
+        Arg.Set_float probe_timeout,
+        "SECONDS mark a worker down after an unanswered probe this old (default 15)" );
       ("--metrics-file", Arg.Set_string metrics_file, "PATH dump metrics JSON here on shutdown");
       ( "--snapshot",
         Arg.Set_string snapshot_file,
@@ -129,6 +137,8 @@ let () =
           max_inbuf_bytes = max 0 !max_inbuf;
           boot_timeout_s = Router.default_config.Router.boot_timeout_s;
           drain_timeout_s = Router.default_config.Router.drain_timeout_s;
+          probe_interval_s = !probe_interval;
+          probe_timeout_s = !probe_timeout;
           make_replica =
             Some (fun ~shard ~index -> Shard.replica_spec ~exe ~base_socket ~extra ~shard ~index);
           verbose = !verbose;

@@ -263,6 +263,41 @@ let train_feature_classifier ?(epochs = 200) ?(lr = 0.05) head ~features ~target
     test_metric = accuracy ~value:false;
   }
 
+(* A scalar regressor over fixed feature vectors — the regression twin of
+   train_feature_classifier, used by the server's model-serving layer for
+   graph-mode recipes (one feature row per graph). *)
+let train_feature_regressor ?(epochs = 200) ?(lr = 0.05) head ~features ~targets ~mask =
+  let opt = Optim.adam ~lr () in
+  let params = Mlp.params head in
+  let losses = ref [] in
+  let n = Array.length features in
+  let n_train = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
+  for _epoch = 1 to epochs do
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask.(i) then begin
+        let out, cache = Mlp.forward_cached head (Mat.of_rows [ features.(i) ]) in
+        let loss, dpred = Loss.mse ~pred:out ~target:(Mat.of_rows [ [| targets.(i) |] ]) in
+        total := !total +. loss;
+        ignore (Mlp.backward head cache ~dout:(Mat.scale (1.0 /. float_of_int (max 1 n_train)) dpred))
+      end
+    done;
+    Optim.step opt params;
+    losses := (!total /. float_of_int (max 1 n_train)) :: !losses
+  done;
+  let mse ~value =
+    let total = ref 0.0 and count = ref 0 in
+    for i = 0 to n - 1 do
+      if mask.(i) = value then begin
+        incr count;
+        let d = (Mlp.apply_vec head features.(i)).(0) -. targets.(i) in
+        total := !total +. (d *. d)
+      end
+    done;
+    if !count = 0 then 0.0 else !total /. float_of_int !count
+  in
+  { losses = List.rev !losses; train_metric = mse ~value:true; test_metric = mse ~value:false }
+
 (* --- graph regression (E9) ------------------------------------------------ *)
 
 let regression_mse model (rg : Dataset.regression) indices =

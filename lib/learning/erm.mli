@@ -42,6 +42,17 @@ val train_feature_classifier :
   mask:bool array ->
   history
 
+(** Scalar regressor on fixed feature vectors — the regression twin of
+    {!train_feature_classifier}; metric is MSE. *)
+val train_feature_regressor :
+  ?epochs:int ->
+  ?lr:float ->
+  Mlp.t ->
+  features:Glql_tensor.Vec.t array ->
+  targets:float array ->
+  mask:bool array ->
+  history
+
 (** Scalar graph regression; metric is MSE. *)
 val train_graph_regressor :
   ?epochs:int ->

@@ -12,9 +12,50 @@ type summary = {
   s_graphs : int;
   s_colorings : int;
   s_plans : int;
+  s_models : int;
   s_bytes : int;
   s_saved_at : float;
 }
+
+(* --- model conversion (Models.stored <-> Snapshot.model_entry) ---------- *)
+
+let model_to_snapshot (m : Models.stored) =
+  {
+    Snapshot.m_name = m.Models.sm_name;
+    m_task = (match m.Models.sm_task with Models.Classify -> 0 | Models.Regress -> 1);
+    m_mode = (match m.Models.sm_mode with Protocol.Fm_vertex -> 0 | Protocol.Fm_graph -> 1);
+    m_recipe = m.Models.sm_recipe;
+    m_target = m.Models.sm_target;
+    m_schema = m.Models.sm_schema;
+    m_sources = m.Models.sm_sources;
+    m_sizes = m.Models.sm_sizes;
+    m_seed = m.Models.sm_seed;
+    m_params = m.Models.sm_params;
+    m_rows = m.Models.sm_rows;
+    m_epochs = m.Models.sm_epochs;
+    m_losses = m.Models.sm_losses;
+    m_train_metric = m.Models.sm_train_metric;
+    m_test_metric = m.Models.sm_test_metric;
+  }
+
+let model_of_snapshot ~rekey (m : Snapshot.model_entry) =
+  {
+    Models.sm_name = m.Snapshot.m_name;
+    sm_task = (if m.Snapshot.m_task = 0 then Models.Classify else Models.Regress);
+    sm_mode = (if m.Snapshot.m_mode = 0 then Protocol.Fm_vertex else Protocol.Fm_graph);
+    sm_recipe = m.Snapshot.m_recipe;
+    sm_target = m.Snapshot.m_target;
+    sm_schema = m.Snapshot.m_schema;
+    sm_sources = List.map rekey m.Snapshot.m_sources;
+    sm_sizes = m.Snapshot.m_sizes;
+    sm_seed = m.Snapshot.m_seed;
+    sm_params = m.Snapshot.m_params;
+    sm_rows = m.Snapshot.m_rows;
+    sm_epochs = m.Snapshot.m_epochs;
+    sm_losses = m.Snapshot.m_losses;
+    sm_train_metric = m.Snapshot.m_train_metric;
+    sm_test_metric = m.Snapshot.m_test_metric;
+  }
 
 let counters_to_snapshot (c : Metrics.counters) =
   {
@@ -34,7 +75,7 @@ let counters_of_snapshot (m : Snapshot.metrics_counters) =
     c_by_command = m.Snapshot.m_by_command;
   }
 
-let save ~registry ~cache ~metrics ~producer path =
+let save ~registry ~cache ~models ~metrics ~producer path =
   Trace.with_span ~args:[ ("path", path) ] "store.save" @@ fun () ->
   let entries = Registry.entries registry in
   let gen_of = List.map (fun (name, _, gen, _) -> (name, gen)) entries in
@@ -57,6 +98,9 @@ let save ~registry ~cache ~metrics ~producer path =
              else None)
   in
   let plans = Cache.export_plans cache in
+  let model_entries =
+    match models with None -> [] | Some ms -> List.map model_to_snapshot (Models.export ms)
+  in
   let saved_at = Unix.gettimeofday () in
   let snap =
     {
@@ -65,6 +109,7 @@ let save ~registry ~cache ~metrics ~producer path =
       graphs;
       colorings;
       plans;
+      models = model_entries;
       metrics = Option.map (fun m -> counters_to_snapshot (Metrics.export_counters m)) metrics;
     }
   in
@@ -76,11 +121,12 @@ let save ~registry ~cache ~metrics ~producer path =
           s_graphs = List.length graphs;
           s_colorings = List.length colorings;
           s_plans = List.length plans;
+          s_models = List.length model_entries;
           s_bytes = bytes;
           s_saved_at = saved_at;
         }
 
-let restore ~registry ~cache ~metrics path =
+let restore ~registry ~cache ~models ~metrics path =
   Trace.with_span ~args:[ ("path", path) ] "store.restore" @@ fun () ->
   match Snapshot.read_file path with
   | Error _ as e -> e
@@ -118,6 +164,29 @@ let restore ~registry ~cache ~metrics path =
           | Ok key' when key' = key -> incr plans_seeded
           | Ok _ | Error _ -> ())
         (List.rev snap.Snapshot.plans);
+      (* Models are rekeyed like colourings: a source that was current at
+         save time (its stored generation equals the graph entry's) maps
+         to the graph's fresh generation, so a warm restart is not
+         spuriously stale; a source that was already stale — or whose
+         graph is gone from the snapshot — maps to the -1 sentinel, which
+         can never equal a live generation. *)
+      let models_seeded = ref 0 in
+      (match models with
+      | None -> ()
+      | Some ms ->
+          let saved_gen_of name =
+            Option.map
+              (fun e -> e.Snapshot.g_gen)
+              (List.find_opt (fun e -> e.Snapshot.g_name = name) snap.Snapshot.graphs)
+          in
+          let rekey (name, gen) =
+            match (saved_gen_of name, List.assoc_opt name gens) with
+            | Some saved, Some fresh when saved = gen -> (name, fresh)
+            | _ -> (name, -1)
+          in
+          let restored = List.map (model_of_snapshot ~rekey) snap.Snapshot.models in
+          models_seeded := List.length restored;
+          Models.import ms restored);
       (match (metrics, snap.Snapshot.metrics) with
       | Some m, Some c -> Metrics.absorb m (counters_of_snapshot c)
       | _ -> ());
@@ -127,6 +196,7 @@ let restore ~registry ~cache ~metrics path =
           s_graphs = List.length snap.Snapshot.graphs;
           s_colorings = !colorings_seeded;
           s_plans = !plans_seeded;
+          s_models = !models_seeded;
           s_bytes = bytes;
           s_saved_at = snap.Snapshot.saved_at;
         }

@@ -16,13 +16,21 @@ type summary = {
   s_graphs : int;
   s_colorings : int;
   s_plans : int;  (** on restore: plans seeded with matching canonical keys *)
+  s_models : int;  (** v6 model registry entries saved / seeded *)
   s_bytes : int;  (** snapshot file size in bytes *)
   s_saved_at : float;  (** Unix time the snapshot was written *)
 }
 
+(** Trained models travel with the snapshot when [models] is passed:
+    {!save} exports the whole registry; {!restore} rekeys each model's
+    source generations to the fresh registry generations when the source
+    was current at save time, and to the [-1] never-matching sentinel
+    otherwise (so a model already stale at save time stays stale). *)
+
 val save :
   registry:Registry.t ->
   cache:Cache.t ->
+  models:Models.t option ->
   metrics:Metrics.t option ->
   producer:string ->
   string ->
@@ -31,6 +39,7 @@ val save :
 val restore :
   registry:Registry.t ->
   cache:Cache.t ->
+  models:Models.t option ->
   metrics:Metrics.t option ->
   string ->
   (summary, string) result

@@ -13,8 +13,12 @@
    (resource-governance limits need errors clients can branch on).
    v5: the MUTATE command family — batched ADD_EDGES / DEL_EDGES /
    SET_LABEL applied atomically with a generation bump; every v4
-   read-path reply is byte-unchanged. *)
-let protocol_version = 5
+   read-path reply is byte-unchanged.
+   v6: model serving — FEATURIZE / TRAIN / PREDICT / MODELS, backed by a
+   server-side feature-recipe evaluator and a persisted model registry;
+   the v5 reply grammar is byte-unchanged, three error codes are added
+   (ERR_UNKNOWN_MODEL, ERR_BAD_RECIPE, ERR_SCHEMA_MISMATCH). *)
+let protocol_version = 6
 
 (* The JSON tree lives in Glql_util.Json so bench, metrics and trace
    output share one printer; the aliased constructors keep P.Obj /
@@ -48,6 +52,9 @@ let ok j = "OK " ^ json_to_string j
      ERR_LIMIT_CONNS     connection-count cap reached
      ERR_DEADLINE        per-request --timeout deadline passed
      ERR_SNAPSHOT        SAVE/RESTORE failure
+     ERR_UNKNOWN_MODEL   model name not in the model registry (v6)
+     ERR_BAD_RECIPE      feature recipe rejected (syntax or mode) (v6)
+     ERR_SCHEMA_MISMATCH features no longer match a model's schema (v6)
      ERR_INTERNAL        unexpected exception *)
 type error = { code : string; message : string }
 
@@ -69,6 +76,24 @@ type mutation =
   | M_del_edge of int * int
   | M_set_label of int * float array
 
+(* Featurization scope (v6): one row per vertex, or one summary row for
+   the whole graph. *)
+type feat_mode = Fm_vertex | Fm_graph
+
+(* A parsed TRAIN command (v6). [t_mode = None] means auto: vertex mode
+   for a single source graph, graph mode for several. *)
+type train_spec = {
+  t_model : string;
+  t_graphs : string list;
+  t_recipe : string;
+  t_target : string;
+  t_mode : feat_mode option;
+  t_epochs : int option;
+  t_lr : float option;
+  t_seed : int option;
+  t_split : float option;
+}
+
 type request =
   | Hello
   | Ping
@@ -82,6 +107,10 @@ type request =
   | Kwl of string * int
   | Hom of string * int
   | Mutate of string * mutation list
+  | Featurize of string * string * feat_mode
+  | Train of train_spec
+  | Predict of string * string * int list
+  | Models
   | Save of string option
   | Restore of string option
   | Stats
@@ -215,6 +244,73 @@ let parse_mutations tokens =
   in
   sections [] tokens
 
+let feat_mode_of_token t =
+  match String.uppercase_ascii t with
+  | "VERTEX" -> Ok Fm_vertex
+  | "GRAPH" -> Ok Fm_graph
+  | _ -> Error (Printf.sprintf "expected VERTEX or GRAPH, got %S" t)
+
+let feat_mode_name = function Fm_vertex -> "vertex" | Fm_graph -> "graph"
+
+let train_usage =
+  "usage: TRAIN <model> ON <graph>[,<graph>...] WITH '<recipe>' TARGET \
+   '<gel-expression>' [MODE VERTEX|GRAPH] [EPOCHS <n>] [LR <f>] [SEED <n>] \
+   [SPLIT <f>]"
+
+(* Parse the tokens of a TRAIN command after the model name: a sequence
+   of (case-insensitive) keyword/value sections, same style as
+   parse_mutations. ON and WITH and TARGET are mandatory; the option
+   sections may appear in any order but at most once each. *)
+let parse_train model tokens =
+  let split_on_comma s = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  let rec go spec = function
+    | [] ->
+        if spec.t_graphs = [] then Error "TRAIN: missing ON <graph> section"
+        else if spec.t_recipe = "" then Error "TRAIN: missing WITH '<recipe>' section"
+        else if spec.t_target = "" then Error "TRAIN: missing TARGET '<gel-expression>' section"
+        else Ok spec
+    | kw :: value :: rest -> (
+        match String.uppercase_ascii kw with
+        | "ON" ->
+            let graphs = split_on_comma value in
+            if graphs = [] then Error "TRAIN ON: expected at least one graph name"
+            else go { spec with t_graphs = graphs } rest
+        | "WITH" -> go { spec with t_recipe = value } rest
+        | "TARGET" -> go { spec with t_target = value } rest
+        | "MODE" ->
+            Result.bind (feat_mode_of_token value) (fun m ->
+                go { spec with t_mode = Some m } rest)
+        | "EPOCHS" ->
+            Result.bind (int_arg "EPOCHS" value) (fun n ->
+                if n < 1 then Error "EPOCHS: must be >= 1"
+                else go { spec with t_epochs = Some n } rest)
+        | "SEED" ->
+            Result.bind (int_arg "SEED" value) (fun n -> go { spec with t_seed = Some n } rest)
+        | "LR" -> (
+            match float_of_string_opt value with
+            | Some f when f > 0.0 -> go { spec with t_lr = Some f } rest
+            | _ -> Error (Printf.sprintf "LR: expected a positive float, got %S" value))
+        | "SPLIT" -> (
+            match float_of_string_opt value with
+            | Some f when f > 0.0 && f <= 1.0 -> go { spec with t_split = Some f } rest
+            | _ -> Error (Printf.sprintf "SPLIT: expected a fraction in (0,1], got %S" value))
+        | _ -> Error (Printf.sprintf "TRAIN: unknown section keyword %S" kw))
+    | [ kw ] -> Error (Printf.sprintf "TRAIN: section %S is missing its value" kw)
+  in
+  go
+    {
+      t_model = model;
+      t_graphs = [];
+      t_recipe = "";
+      t_target = "";
+      t_mode = None;
+      t_epochs = None;
+      t_lr = None;
+      t_seed = None;
+      t_split = None;
+    }
+    tokens
+
 (* A trailing bare TRACE token on any command asks for the per-request
    span breakdown in the reply; it is an option, not an argument, so it
    is stripped before command dispatch. *)
@@ -255,6 +351,22 @@ let parse_request line =
         | "MUTATE", graph :: (_ :: _ as ops) ->
             Result.map (fun ms -> Mutate (graph, ms)) (parse_mutations ops)
         | "MUTATE", _ -> Error mutate_usage
+        | "FEATURIZE", [ graph; recipe ] -> Ok (Featurize (graph, recipe, Fm_vertex))
+        | "FEATURIZE", [ graph; recipe; mode ] ->
+            Result.map (fun m -> Featurize (graph, recipe, m)) (feat_mode_of_token mode)
+        | "FEATURIZE", _ -> Error "usage: FEATURIZE <graph> '<recipe>' [VERTEX|GRAPH]"
+        | "TRAIN", model :: (_ :: _ as rest) -> Result.map (fun s -> Train s) (parse_train model rest)
+        | "TRAIN", _ -> Error train_usage
+        | "PREDICT", model :: graph :: vertices -> (
+            let rec ints acc = function
+              | [] -> Ok (List.rev acc)
+              | t :: rest -> Result.bind (int_arg "vertex" t) (fun v -> ints (v :: acc) rest)
+            in
+            match ints [] vertices with
+            | Ok vs -> Ok (Predict (model, graph, vs))
+            | Error e -> Error e)
+        | "PREDICT", _ -> Error "usage: PREDICT <model> <graph> [vertex ...]"
+        | "MODELS", [] -> Ok Models
         | "SAVE", [] -> Ok (Save None)
         | "SAVE", [ path ] -> Ok (Save (Some path))
         | "SAVE", _ -> Error "usage: SAVE [path]"
@@ -279,6 +391,10 @@ let command_name = function
   | Kwl _ -> "KWL"
   | Hom _ -> "HOM"
   | Mutate _ -> "MUTATE"
+  | Featurize _ -> "FEATURIZE"
+  | Train _ -> "TRAIN"
+  | Predict _ -> "PREDICT"
+  | Models -> "MODELS"
   | Save _ -> "SAVE"
   | Restore _ -> "RESTORE"
   | Stats -> "STATS"

@@ -1,14 +1,16 @@
 (* The router front of the sharded glqld topology.
 
-   Speaks protocol v4 *unchanged* to clients on one select loop and
-   multiplexes every request onto persistent nonblocking connections to
-   N shard workers (each a full glqld owning the graph names that
+   Speaks the worker protocol *unchanged* to clients on one select loop
+   and multiplexes every request onto persistent nonblocking connections
+   to N shard workers (each a full glqld owning the graph names that
    stable-hash to its shard, see {!Shard}). Graph-keyed commands (LOAD /
-   QUERY / EXPLAIN / WL / KWL / HOM) forward verbatim to the owning
-   shard, so their replies are byte-identical to a single-process glqld
-   holding the same registry. Registry-wide commands (GRAPHS / STATS /
-   VERSION / SAVE / RESTORE) fan out and the replies are merged by the
-   pure functions below.
+   MUTATE / QUERY / EXPLAIN / WL / KWL / HOM / FEATURIZE / TRAIN /
+   PREDICT) forward verbatim to the owning shard, so their replies are
+   byte-identical to a single-process glqld holding the same registry.
+   Registry-wide commands (GRAPHS / STATS / VERSION / SAVE / RESTORE /
+   MODELS) fan out and the replies are merged by the pure functions
+   below. The router also health-probes up members with periodic PINGs
+   so a wedged worker is detected without waiting for an EOF.
 
    Ordering: a client's replies must come back in request order even
    though shards answer at their own pace, so every request takes a
@@ -45,6 +47,8 @@ type config = {
   max_inbuf_bytes : int;
   boot_timeout_s : float;  (** window for a spawned worker to accept *)
   drain_timeout_s : float;  (** shutdown window for in-flight replies *)
+  probe_interval_s : float;  (** health-probe PING cadence; <= 0 disables *)
+  probe_timeout_s : float;  (** unanswered-probe window before marking down *)
   make_replica : (shard:int -> index:int -> Shard.spec) option;
       (** builds the spec of a fresh replica; [None] disables REPLICA *)
   verbose : bool;
@@ -61,6 +65,8 @@ let default_config =
     max_inbuf_bytes = 8 * 1024 * 1024;
     boot_timeout_s = 15.0;
     drain_timeout_s = 3.0;
+    probe_interval_s = 2.0;
+    probe_timeout_s = 15.0;
     make_replica = None;
     verbose = false;
   }
@@ -90,6 +96,28 @@ let merge_graphs parts =
     | _ -> ("", 0, 0)
   in
   P.List (List.sort (fun a b -> compare (key a) (key b)) entries)
+
+(* MODELS: per-shard registries are disjoint under router-driven TRAIN
+   (a model lives on the shard of its first source graph), so the merge
+   is a plain union re-sorted by model name — the order [Models.list]
+   yields in a single process. Duplicates (same name trained directly
+   against two workers behind the router's back) keep their first
+   occurrence. *)
+let merge_models parts =
+  let entries =
+    List.concat_map (function P.List items -> items | other -> [ other ]) parts
+  in
+  let name = function
+    | P.Obj _ as o -> ( match Json.member "name" o with Some (P.Str s) -> s | _ -> "")
+    | _ -> ""
+  in
+  let sorted = List.stable_sort (fun a b -> compare (name a) (name b)) entries in
+  let rec dedup = function
+    | a :: b :: rest when name a = name b -> dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  P.List (dedup sorted)
 
 (* STATS: the per-shard primaries' integer counters sum field-by-field
    (in the first primary's field order, so the merged layout is stable),
@@ -216,6 +244,7 @@ type dest =
   | Part of agg * int  (* one piece of a fan-out *)
   | Discard  (* replica write mirror: reply checked for nothing *)
   | Replica_save of slot * Shard.spec  (* SAVE-on-primary step of REPLICA *)
+  | Probe  (* router-originated health PING; the pong clears the timer *)
 
 and agg = {
   a_slot : slot;
@@ -231,6 +260,17 @@ type member = {
   mutable m_respawns : int;
   m_pending : dest Queue.t;
   mutable m_notify : slot option;  (* REPLICA caller waiting for first accept *)
+  (* Health probing: the router PINGs each up member every
+     [probe_interval_s]; workers answer strictly in request order, so
+     the pong lands behind whatever real work is queued ahead of it —
+     [m_probe_sent] is the send time of the oldest unanswered probe and
+     a wedged-but-connected worker is marked down once it exceeds the
+     (deliberately generous) [probe_timeout_s]. *)
+  mutable m_probe_sent : int64 option;
+  mutable m_last_probe : int64;  (* last probe send time, 0 = never *)
+  mutable m_last_pong : int64;  (* last pong receive time, 0 = never *)
+  mutable m_probes_sent : int;
+  mutable m_pongs : int;
 }
 
 type group = {
@@ -261,6 +301,11 @@ let create config specs =
           m_respawns = 0;
           m_pending = Queue.create ();
           m_notify = None;
+          m_probe_sent = None;
+          m_last_probe = 0L;
+          m_last_pong = 0L;
+          m_probes_sent = 0;
+          m_pongs = 0;
         }
       in
       let g = groups.(spec.Shard.sp_shard) in
@@ -382,6 +427,7 @@ let fail_dest t shard dest =
   | To_slot slot -> fill_slot t slot (shard_down_line shard)
   | Part (agg, i) -> complete_part t agg i None
   | Discard -> ()
+  | Probe -> ()
   | Replica_save (slot, _) ->
       fill_slot t slot
         (P.err_line
@@ -398,6 +444,8 @@ let rec member_down t m reason =
     (Queue.length m.m_pending);
   Queue.iter (fun dest -> fail_dest t shard dest) m.m_pending;
   Queue.clear m.m_pending;
+  m.m_probe_sent <- None;
+  m.m_last_probe <- 0L;
   (match m.m_notify with
   | Some slot ->
       m.m_notify <- None;
@@ -525,6 +573,12 @@ let member_json m =
         P.Str (match m.m_state with Up _ -> "up" | Connecting _ -> "connecting" | Down -> "down")
       );
       ("pending", P.Int (Queue.length m.m_pending));
+      ("probes_sent", P.Int m.m_probes_sent);
+      ("pongs", P.Int m.m_pongs);
+      ( "last_pong_ms",
+        if Int64.equal m.m_last_pong 0L then P.Null
+        else P.Int (Int64.to_int (Int64.div (Int64.sub (Clock.now_ns ()) m.m_last_pong) 1_000_000L))
+      );
     ]
 
 let topology_json t =
@@ -670,6 +724,11 @@ let handle_replica_saved t slot spec line =
         m_respawns = 0;
         m_pending = Queue.create ();
         m_notify = Some slot;
+        m_probe_sent = None;
+        m_last_probe = 0L;
+        m_last_pong = 0L;
+        m_probes_sent = 0;
+        m_pongs = 0;
       }
     in
     (match spec.Shard.sp_argv with
@@ -691,9 +750,11 @@ let dispatch_reply t m dest line =
   | To_slot slot -> fill_slot t slot line
   | Part (agg, i) -> complete_part t agg i (Some line)
   | Discard -> ()
-  | Replica_save (slot, spec) ->
-      ignore m;
-      handle_replica_saved t slot spec line
+  | Probe ->
+      m.m_probe_sent <- None;
+      m.m_last_pong <- Clock.now_ns ();
+      m.m_pongs <- m.m_pongs + 1
+  | Replica_save (slot, spec) -> handle_replica_saved t slot spec line
 
 (* Router-local commands (TOPOLOGY / ROUTE / REPLICA) are deliberately
    *not* in {!Protocol}: the client protocol is v4 unchanged, and these
@@ -789,11 +850,41 @@ let handle_client_line t c line =
                     (List.tl g.g_members);
                   send_upstream t primary line (To_slot slot)
               | P.Query (name, _) | P.Explain (name, _) | P.Wl (name, _) | P.Kwl (name, _)
-              | P.Hom (name, _) -> (
+              | P.Hom (name, _)
+              | P.Featurize (name, _, _)
+              | P.Predict (_, name, _) -> (
+                  (* FEATURIZE and PREDICT are reads keyed by the graph:
+                     replicas mirror TRAIN (below), so they hold the
+                     model and PREDICT fans out round-robin like QUERY. *)
                   let g = group_for t name in
                   match pick_read g with
                   | Some m -> send_upstream t m line (To_slot slot)
                   | None -> local (shard_down_line g.g_shard))
+              | P.Train spec -> (
+                  (* TRAIN is a write keyed by its *first* source graph:
+                     the primary answers and live replicas run the same
+                     fit so PREDICT can round-robin across the group. A
+                     multi-graph TRAIN needs all its graphs on one shard
+                     (co-hashing names); a graph living elsewhere fails
+                     naturally with ERR_UNKNOWN_GRAPH from the worker. *)
+                  match spec.P.t_graphs with
+                  | [] -> local (P.err_line (P.error ~code:"ERR_BAD_ARG" "TRAIN needs ON <graphs>"))
+                  | name :: _ ->
+                      let g = group_for t name in
+                      let primary = List.hd g.g_members in
+                      List.iter
+                        (fun m -> if is_up m then send_upstream t m line Discard)
+                        (List.tl g.g_members);
+                      send_upstream t primary line (To_slot slot))
+              | P.Models ->
+                  fanout t slot (primaries t) ~line_for:(fun _ -> "MODELS")
+                    ~finish:(fun parts ->
+                      let payloads =
+                        Array.to_list parts |> List.filter_map (fun (_, _, r) -> payload_of r)
+                      in
+                      if payloads = [] then
+                        P.err_line (P.error ~code:shard_down_code "no shards are up")
+                      else P.ok (merge_models payloads))
               | P.Save requested ->
                   (* Each shard snapshots to its own file: <path>.shardI
                      when a path was given, the worker's own --snapshot
@@ -1033,6 +1124,30 @@ let serve t =
       readable;
     reap t;
     List.iter (fun m -> try_connect t m) (all_members t);
+    (* Health probes: PING each up member on a cadence and mark it down
+       when the oldest pong is overdue. Probing pauses during the drain
+       phase so probe destinations can't keep the drain loop spinning. *)
+    if accepting && t.config.probe_interval_s > 0.0 then begin
+      let now = Clock.now_ns () in
+      let interval_ns = Int64.of_float (t.config.probe_interval_s *. 1e9) in
+      let timeout_ns = Int64.of_float (t.config.probe_timeout_s *. 1e9) in
+      List.iter
+        (fun m ->
+          if is_up m then
+            match m.m_probe_sent with
+            | Some sent when Int64.compare (Int64.sub now sent) timeout_ns > 0 ->
+                member_down t m
+                  (Printf.sprintf "health probe unanswered for %.1fs" t.config.probe_timeout_s)
+            | Some _ -> ()
+            | None ->
+                if Int64.compare (Int64.sub now m.m_last_probe) interval_ns >= 0 then begin
+                  m.m_probe_sent <- Some now;
+                  m.m_last_probe <- now;
+                  m.m_probes_sent <- m.m_probes_sent + 1;
+                  send_upstream t m "PING" Probe
+                end)
+        (all_members t)
+    end;
     (* Reap clients whose replies are fully delivered. *)
     let dead =
       Hashtbl.fold

@@ -1,17 +1,24 @@
 (** The router front of the sharded glqld topology ([glqld --router]).
 
-    One select loop that speaks protocol v4 {e unchanged} to clients and
-    multiplexes requests over persistent nonblocking connections to N
-    shard workers (each a full glqld, see {!Shard}). Graph-keyed
-    commands forward verbatim to the owning shard (replies are
-    byte-identical to a single-process glqld with the same registry);
-    GRAPHS / STATS / VERSION / SAVE / RESTORE fan out and merge. A dead
-    worker yields [ERR_SHARD_DOWN] for its shard's graphs while every
-    other shard keeps serving; with [respawn] the worker is relaunched
-    from its last snapshot. Read replicas are added at runtime with the
-    operator command [REPLICA <shard>] (snapshot shipping: SAVE on the
-    primary, boot the replica from the file) and reads round-robin
-    across primary + replicas.
+    One select loop that speaks the worker protocol {e unchanged} to
+    clients and multiplexes requests over persistent nonblocking
+    connections to N shard workers (each a full glqld, see {!Shard}).
+    Graph-keyed commands — including v6 [FEATURIZE] and [PREDICT] as
+    reads and [TRAIN] as a write keyed by its first source graph —
+    forward verbatim to the owning shard (replies are byte-identical to
+    a single-process glqld with the same registry); GRAPHS / STATS /
+    VERSION / SAVE / RESTORE / MODELS fan out and merge. A dead worker
+    yields [ERR_SHARD_DOWN] for its shard's graphs while every other
+    shard keeps serving; with [respawn] the worker is relaunched from
+    its last snapshot. The router also health-probes every up member
+    (periodic PING on the same ordered connection), so a
+    wedged-but-alive worker is marked down after [probe_timeout_s] even
+    though its socket never reports EOF. Read replicas are added at
+    runtime with the operator command [REPLICA <shard>] (snapshot
+    shipping: SAVE on the primary, boot the replica from the file) and
+    reads round-robin across primary + replicas; TRAIN mirrors to
+    replicas like LOAD / MUTATE so PREDICT can fan out across the whole
+    group.
 
     Operator commands answered by the router itself: [TOPOLOGY] (member
     table with pids and states), [ROUTE <name>] (shard placement of a
@@ -27,6 +34,15 @@ type config = {
   max_inbuf_bytes : int;
   boot_timeout_s : float;  (** window for a spawned worker to accept *)
   drain_timeout_s : float;  (** shutdown window for in-flight replies *)
+  probe_interval_s : float;
+      (** health-probe cadence: the router PINGs each up member this
+          often so a wedged-but-connected worker is detected before an
+          EOF would surface it; [<= 0] disables probing *)
+  probe_timeout_s : float;
+      (** window for the oldest unanswered probe before the member is
+          marked down. Workers answer strictly in order, so a pong
+          queues behind in-flight work — keep this generous (well above
+          the slowest legitimate request). *)
   make_replica : (shard:int -> index:int -> Shard.spec) option;
       (** builds the spec of a fresh replica; [None] disables REPLICA *)
   verbose : bool;
@@ -37,6 +53,11 @@ val default_config : config
 (** Merged GRAPHS payload: per-shard lists concatenated and sorted by
     (name, vertices, edges) — byte-identical to a single registry. *)
 val merge_graphs : Protocol.json list -> Protocol.json
+
+(** Merged MODELS payload: per-shard model summaries unioned and sorted
+    by name (first occurrence wins on a duplicate name), matching the
+    single-process [Models.list] order. *)
+val merge_models : Protocol.json list -> Protocol.json
 
 (** Merged STATS payload. [parts] is [(shard, role, stats)] per member
     ([None] = down). Integer counters of {e primary} parts sum

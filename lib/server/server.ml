@@ -88,12 +88,14 @@ type restored_info = {
   r_graphs : int;
   r_colorings : int;
   r_plans : int;
+  r_models : int;
 }
 
 type t = {
   config : config;
   registry : Registry.t;
   cache : Cache.t;
+  models : Models.t;
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
   restored : restored_info option Atomic.t;
@@ -108,6 +110,7 @@ let create config =
         ~coloring_bytes:config.coloring_cache_bytes
         ~plan_capacity:config.plan_cache_capacity
         ~coloring_capacity:config.coloring_cache_capacity ();
+    models = Models.create ();
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     restored = Atomic.make None;
@@ -134,10 +137,14 @@ let snapshot_path t requested =
 let save_snapshot t path =
   Result.map
     (fun (s : Persist.summary) -> (path, s))
-    (Persist.save ~registry:t.registry ~cache:t.cache ~metrics:(Some t.metrics) ~producer path)
+    (Persist.save ~registry:t.registry ~cache:t.cache ~models:(Some t.models)
+       ~metrics:(Some t.metrics) ~producer path)
 
 let restore_snapshot t path =
-  match Persist.restore ~registry:t.registry ~cache:t.cache ~metrics:(Some t.metrics) path with
+  match
+    Persist.restore ~registry:t.registry ~cache:t.cache ~models:(Some t.models)
+      ~metrics:(Some t.metrics) path
+  with
   | Error _ as e -> e
   | Ok (s : Persist.summary) ->
       Atomic.set t.restored
@@ -148,6 +155,7 @@ let restore_snapshot t path =
              r_graphs = s.Persist.s_graphs;
              r_colorings = s.Persist.s_colorings;
              r_plans = s.Persist.s_plans;
+             r_models = s.Persist.s_models;
            });
       Ok (path, s)
 
@@ -368,6 +376,142 @@ let hom_result t deadline ~(shared : shared) graph_name max_size =
          ("profile", vec_json profile);
        ])
 
+(* --- model serving (v6) --------------------------------------------------- *)
+
+let model_summary_json (m : Models.stored) =
+  P.Obj
+    [
+      ("name", P.Str m.Models.sm_name);
+      ("task", P.Str (Models.task_name m.Models.sm_task));
+      ("mode", P.Str (P.feat_mode_name m.Models.sm_mode));
+      ("recipe", P.Str m.Models.sm_recipe);
+      ("target", P.Str m.Models.sm_target);
+      ("schema_hash", P.Str (Featurize.schema_hash m.Models.sm_schema));
+      ( "sources",
+        P.List
+          (List.map
+             (fun (name, gen) -> P.Obj [ ("graph", P.Str name); ("generation", P.Int gen) ])
+             m.Models.sm_sources) );
+      ("rows", P.Int m.Models.sm_rows);
+      ("epochs", P.Int m.Models.sm_epochs);
+      ("train_metric", P.Float m.Models.sm_train_metric);
+      ("test_metric", P.Float m.Models.sm_test_metric);
+    ]
+
+let featurize_result t deadline graph_name recipe mode =
+  let* g, gen = tag "ERR_UNKNOWN_GRAPH" (Registry.find_entry t.registry graph_name) in
+  let* cols = tag "ERR_BAD_RECIPE" (Featurize.parse_recipe recipe) in
+  let* () = check_deadline deadline "featurization" in
+  let* b =
+    Result.map_error
+      (fun (code, message) -> P.error ~code message)
+      (Trace.with_span "featurize" (fun () ->
+           Featurize.build ~cache:t.cache ~graph_name ~gen ~deadline
+             ~max_cells:t.config.max_table_cells mode g cols))
+  in
+  Ok
+    (P.Obj
+       [
+         ("graph", P.Str graph_name);
+         ("mode", P.Str (P.feat_mode_name mode));
+         ("rows", P.Int (Array.length b.Featurize.b_rows));
+         ("cols", P.Int b.Featurize.b_width);
+         ( "columns",
+           P.List
+             (List.map
+                (fun (name, w) -> P.Obj [ ("name", P.Str name); ("width", P.Int w) ])
+                b.Featurize.b_cols) );
+         ("schema_hash", P.Str (Featurize.schema_hash b.Featurize.b_schema));
+         ("digest", P.Str (Featurize.row_digest b.Featurize.b_rows));
+         ("cache_hits", P.Int b.Featurize.b_cache_hits);
+         ("cache_misses", P.Int b.Featurize.b_cache_misses);
+       ])
+
+(* Downsample a loss history for the reply: all of it when short, else an
+   even stride that always keeps the final loss. *)
+let losses_json losses =
+  let n = Array.length losses in
+  let cap = 100 in
+  let picked =
+    if n <= cap then Array.to_list losses
+    else
+      List.init cap (fun i ->
+          if i = cap - 1 then losses.(n - 1) else losses.(i * n / cap))
+  in
+  P.List (List.map (fun l -> P.Float l) picked)
+
+let train_result t deadline (spec : P.train_spec) =
+  let* () = check_deadline deadline "training" in
+  let* trained =
+    Result.map_error
+      (fun (code, message) -> P.error ~code message)
+      (Trace.with_span "train" (fun () ->
+           Models.train ~registry:t.registry ~cache:t.cache ~models:t.models ~deadline
+             ~max_cells:t.config.max_table_cells spec))
+  in
+  let m = trained.Models.tr_stored in
+  let losses = m.Models.sm_losses in
+  let final = if Array.length losses = 0 then 0.0 else losses.(Array.length losses - 1) in
+  Ok
+    (P.Obj
+       [
+         ("model", P.Str m.Models.sm_name);
+         ("task", P.Str (Models.task_name m.Models.sm_task));
+         ("mode", P.Str (P.feat_mode_name m.Models.sm_mode));
+         ( "sources",
+           P.List
+             (List.map
+                (fun (name, gen) -> P.Obj [ ("graph", P.Str name); ("generation", P.Int gen) ])
+                m.Models.sm_sources) );
+         ("rows", P.Int m.Models.sm_rows);
+         ("cols", P.Int (List.hd m.Models.sm_sizes));
+         ("schema_hash", P.Str (Featurize.schema_hash m.Models.sm_schema));
+         ("epochs", P.Int m.Models.sm_epochs);
+         ("losses", losses_json losses);
+         ("loss_final", P.Float final);
+         ("train_metric", P.Float m.Models.sm_train_metric);
+         ("test_metric", P.Float m.Models.sm_test_metric);
+         ("cache_hits", P.Int trained.Models.tr_hits);
+         ("cache_misses", P.Int trained.Models.tr_misses);
+       ])
+
+let predict_result t deadline model graph vertices =
+  let* () = check_deadline deadline "prediction" in
+  let* p =
+    Result.map_error
+      (fun (code, message) -> P.error ~code message)
+      (Trace.with_span "predict" (fun () ->
+           Models.predict ~registry:t.registry ~cache:t.cache ~models:t.models ~deadline
+             ~max_cells:t.config.max_table_cells ~model ~graph ~vertices ()))
+  in
+  let m = p.Models.pr_model in
+  let rows = p.Models.pr_rows in
+  let truncated = Array.length rows > max_listed_cells in
+  let listed = if truncated then Array.sub rows 0 max_listed_cells else rows in
+  let row_json (i, score) =
+    P.Obj
+      ([ ("row", P.Int i); ("score", P.Float score) ]
+      @
+      match m.Models.sm_task with
+      | Models.Classify -> [ ("label", P.Int (if score >= 0.0 then 1 else 0)) ]
+      | Models.Regress -> [])
+  in
+  Ok
+    (P.Obj
+       [
+         ("model", P.Str model);
+         ("graph", P.Str graph);
+         ("task", P.Str (Models.task_name m.Models.sm_task));
+         ("mode", P.Str (P.feat_mode_name m.Models.sm_mode));
+         ("stale", P.Bool p.Models.pr_stale);
+         ("n", P.Int (Array.length rows));
+         ("predictions", P.List (Array.to_list (Array.map row_json listed)));
+         ("truncated", P.Bool truncated);
+       ])
+
+let models_result t =
+  Ok (P.List (List.map model_summary_json (Models.list t.models)))
+
 let restored_json t =
   match Atomic.get t.restored with
   | None -> P.Null
@@ -379,6 +523,7 @@ let restored_json t =
           ("graphs", P.Int r.r_graphs);
           ("colorings", P.Int r.r_colorings);
           ("plans", P.Int r.r_plans);
+          ("models", P.Int r.r_models);
         ]
 
 let stats_json t =
@@ -389,6 +534,7 @@ let stats_json t =
       @ [
           ("protocol_version", P.Int P.protocol_version);
           ("graphs_registered", P.Int (Registry.n_graphs t.registry));
+          ("models_registered", P.Int (Models.count t.models));
           ("pool_domains", P.Int (Pool.size ()));
           ("restored", restored_json t);
         ])
@@ -507,6 +653,10 @@ let dispatch t deadline ~shared ~sink ~t0 req =
   | P.Wl (graph, rounds) -> wl_result t deadline graph rounds
   | P.Kwl (graph, k) -> kwl_result t deadline graph k
   | P.Hom (graph, size) -> hom_result t deadline ~shared graph size
+  | P.Featurize (graph, recipe, mode) -> featurize_result t deadline graph recipe mode
+  | P.Train spec -> train_result t deadline spec
+  | P.Predict (model, graph, vertices) -> predict_result t deadline model graph vertices
+  | P.Models -> models_result t
   | P.Mutate (graph, ops) ->
       let ops =
         List.map
@@ -559,6 +709,7 @@ let dispatch t deadline ~shared ~sink ~t0 req =
              ("graphs", P.Int s.Persist.s_graphs);
              ("colorings", P.Int s.Persist.s_colorings);
              ("plans", P.Int s.Persist.s_plans);
+             ("models", P.Int s.Persist.s_models);
            ])
   | P.Restore requested ->
       let* path = tag "ERR_SNAPSHOT" (snapshot_path t requested) in
@@ -571,6 +722,7 @@ let dispatch t deadline ~shared ~sink ~t0 req =
              ("graphs", P.Int s.Persist.s_graphs);
              ("colorings", P.Int s.Persist.s_colorings);
              ("plans", P.Int s.Persist.s_plans);
+             ("models", P.Int s.Persist.s_models);
            ])
   | P.Stats -> Ok (stats_json t)
   | P.Quit -> Ok (P.Str "bye")
@@ -654,6 +806,20 @@ let plan_batch t lines =
   let bump tbl key =
     Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   in
+  (* FEATURIZE / TRAIN requests whose recipe pulls colorings join the
+     WL/k-WL groups: a batch of featurizations over one graph — or a WL
+     request next to a FEATURIZE that one-hots the same coloring — runs
+     one refinement. *)
+  let bump_recipe names recipe =
+    match Featurize.parse_recipe recipe with
+    | Error _ -> ()
+    | Ok cols ->
+        List.iter
+          (fun name ->
+            if Featurize.wants_wl cols then bump wl name;
+            List.iter (fun k -> bump kwl (name, k)) (Featurize.wants_kwl cols))
+          names
+  in
   Array.iter
     (fun line ->
       match P.parse_request line with
@@ -662,6 +828,8 @@ let plan_batch t lines =
       | Ok { P.req = P.Hom (name, size); _ } ->
           let count, max_size = Option.value ~default:(0, 0) (Hashtbl.find_opt hom name) in
           Hashtbl.replace hom name (count + 1, max size max_size)
+      | Ok { P.req = P.Featurize (name, recipe, _); _ } -> bump_recipe [ name ] recipe
+      | Ok { P.req = P.Train spec; _ } -> bump_recipe spec.P.t_graphs spec.P.t_recipe
       | _ -> ())
     lines;
   let sorted_groups tbl keep =

@@ -25,12 +25,34 @@ type metrics_counters = {
   m_by_command : (string * int) list;
 }
 
+(* A trained model (v6): pure data — architecture, seed, weight
+   matrices, recipe/target/schema strings and source-graph generations —
+   so the store does not depend on the nn layer. *)
+type model_entry = {
+  m_name : string;
+  m_task : int;  (* 0 = classifier, 1 = regressor *)
+  m_mode : int;  (* 0 = vertex rows, 1 = graph rows *)
+  m_recipe : string;
+  m_target : string;
+  m_schema : string;
+  m_sources : (string * int) list;
+  m_sizes : int list;
+  m_seed : int;
+  m_params : (int * int * float array) list;
+  m_rows : int;
+  m_epochs : int;
+  m_losses : float array;
+  m_train_metric : float;
+  m_test_metric : float;
+}
+
 type t = {
   producer : string;
   saved_at : float;
   graphs : graph_entry list;
   colorings : coloring_entry list;
   plans : (string * string) list;
+  models : model_entry list;
   metrics : metrics_counters option;
 }
 
@@ -42,6 +64,8 @@ let s_graphs = "GRPH"
 let s_colorings = "COLR"
 
 let s_plans = "PLAN"
+
+let s_models = "MODL"
 
 let s_metrics = "MTRC"
 
@@ -122,6 +146,86 @@ let r_coloring ~graph_of_name r =
   in
   { c_name = name; c_data = data }
 
+(* --- model codec ---------------------------------------------------------- *)
+
+let w_model w m =
+  W.str w m.m_name;
+  W.u8 w m.m_task;
+  W.u8 w m.m_mode;
+  W.str w m.m_recipe;
+  W.str w m.m_target;
+  W.str w m.m_schema;
+  W.u32 w (List.length m.m_sources);
+  List.iter
+    (fun (name, gen) ->
+      W.str w name;
+      W.i64 w gen)
+    m.m_sources;
+  W.int_array w (Array.of_list m.m_sizes);
+  W.i64 w m.m_seed;
+  W.u32 w (List.length m.m_params);
+  List.iter
+    (fun (rows, cols, data) ->
+      W.u32 w rows;
+      W.u32 w cols;
+      if Array.length data <> rows * cols then invalid_arg "model param size mismatch";
+      W.float_array w data)
+    m.m_params;
+  W.u32 w m.m_rows;
+  W.u32 w m.m_epochs;
+  W.float_array w m.m_losses;
+  W.f64 w m.m_train_metric;
+  W.f64 w m.m_test_metric
+
+let r_model r =
+  let m_name = R.str r in
+  let m_task = R.u8 r in
+  let m_mode = R.u8 r in
+  if m_task > 1 || m_mode > 1 then Bin_io.corrupt "unknown model task/mode";
+  let m_recipe = R.str r in
+  let m_target = R.str r in
+  let m_schema = R.str r in
+  let n_sources = R.u32 r in
+  let m_sources =
+    List.init n_sources (fun _ ->
+        let name = R.str r in
+        let gen = R.i64 r in
+        (name, gen))
+  in
+  let m_sizes = Array.to_list (R.int_array r) in
+  let m_seed = R.i64 r in
+  let n_params = R.u32 r in
+  let m_params =
+    List.init n_params (fun _ ->
+        let rows = R.u32 r in
+        let cols = R.u32 r in
+        let data = R.float_array r in
+        if Array.length data <> rows * cols then Bin_io.corrupt "model param size mismatch";
+        (rows, cols, data))
+  in
+  let m_rows = R.u32 r in
+  let m_epochs = R.u32 r in
+  let m_losses = R.float_array r in
+  let m_train_metric = R.f64 r in
+  let m_test_metric = R.f64 r in
+  {
+    m_name;
+    m_task;
+    m_mode;
+    m_recipe;
+    m_target;
+    m_schema;
+    m_sources;
+    m_sizes;
+    m_seed;
+    m_params;
+    m_rows;
+    m_epochs;
+    m_losses;
+    m_train_metric;
+    m_test_metric;
+  }
+
 (* --- sections ------------------------------------------------------------ *)
 
 let encode_section tag f =
@@ -161,6 +265,19 @@ let encode_sections snap =
             W.str w src)
           snap.plans)
   in
+  (* The MODL section is emitted only when there are models, so pre-v6
+     snapshot bytes are unchanged for model-free state; old readers
+     ignore the unknown tag via the container either way. *)
+  let models =
+    match snap.models with
+    | [] -> []
+    | ms ->
+        [
+          encode_section s_models (fun w ->
+              W.u32 w (List.length ms);
+              List.iter (fun m -> w_model w m) ms);
+        ]
+  in
   let metrics =
     match snap.metrics with
     | None -> []
@@ -179,7 +296,7 @@ let encode_sections snap =
                 m.m_by_command);
         ]
   in
-  [ meta; graphs; colorings; plans ] @ metrics
+  [ meta; graphs; colorings; plans ] @ models @ metrics
 
 let encode snap = Container.to_string (encode_sections snap)
 
@@ -238,6 +355,13 @@ let decode s =
                   let src = R.str r in
                   (key, src)))
         in
+        let models =
+          decode_section sections s_models
+            ~default:(fun () -> [])
+            (fun r ->
+              let count = R.u32 r in
+              List.init count (fun _ -> r_model r))
+        in
         let metrics =
           decode_section sections s_metrics
             ~default:(fun () -> None)
@@ -255,7 +379,7 @@ let decode s =
               in
               Some { m_requests; m_errors; m_bytes_in; m_bytes_out; m_by_command })
         in
-        { producer; saved_at; graphs; colorings; plans; metrics }
+        { producer; saved_at; graphs; colorings; plans; models; metrics }
       with
       | snap -> Ok snap
       | exception Bin_io.Corrupt msg -> Error msg

@@ -43,12 +43,37 @@ type metrics_counters = {
   m_by_command : (string * int) list;
 }
 
+(** A trained model of the v6 serving layer, as pure data: the head is
+    fully determined by [m_sizes], [m_seed] and the weight matrices, so
+    the store does not depend on the nn layer. Written to a dedicated
+    MODL section — emitted only when models exist, ignored by pre-v6
+    readers, defaulted to [[]] when absent — so snapshot compatibility
+    is two-way. *)
+type model_entry = {
+  m_name : string;
+  m_task : int;  (** 0 = classifier, 1 = regressor *)
+  m_mode : int;  (** 0 = vertex rows, 1 = graph rows *)
+  m_recipe : string;
+  m_target : string;
+  m_schema : string;
+  m_sources : (string * int) list;  (** graph name, generation at fit time *)
+  m_sizes : int list;
+  m_seed : int;
+  m_params : (int * int * float array) list;  (** rows, cols, row-major f64 data *)
+  m_rows : int;
+  m_epochs : int;
+  m_losses : float array;
+  m_train_metric : float;
+  m_test_metric : float;
+}
+
 type t = {
   producer : string;  (** e.g. ["glqld 0.4"] *)
   saved_at : float;  (** Unix time of the save *)
   graphs : graph_entry list;
   colorings : coloring_entry list;
   plans : (string * string) list;  (** (canonical cache key, GEL source) *)
+  models : model_entry list;  (** v6 model registry *)
   metrics : metrics_counters option;
 }
 

@@ -26,7 +26,13 @@
    batches — valid, malformed, and mixed — must produce only structured
    replies with RSS bounded (recoloring seeds count against the
    colouring budget), and MUTATE racing SAVE under SIGKILL must leave
-   the snapshot valid-or-absent with the next boot healthy. *)
+   the snapshot valid-or-absent with the next boot healthy.
+
+   Phase E attacks the v6 model registry: TRAIN racing a MUTATE flood
+   must leave MODELS and PREDICT consistent with exactly the
+   acknowledged models, and SIGKILL mid-TRAIN must leave the last SAVEd
+   snapshot restoring a registry with the persisted model, none of the
+   in-flight ones, and no half-written entry. *)
 
 let failures = ref 0
 
@@ -653,6 +659,114 @@ let phase_d glqld dir =
   Unix.kill pid2 Sys.sigterm;
   check "D: clean exit after mutation faults" (wait_exit pid2 = Some 0)
 
+(* --- phase E: model registry under races and SIGKILL --------------------- *)
+
+let phase_e glqld dir =
+  let sock = Filename.concat dir "fault_e.sock" in
+  let snap = Filename.concat dir "fault_e.glqs" in
+  let daemon =
+    spawn_daemon glqld
+      [ "--socket"; sock; "--snapshot"; snap ]
+      ~stdout_file:(Filename.concat dir "daemon_e.out")
+  in
+  wait_for_socket sock;
+  check "E: daemon socket appears" (Sys.file_exists sock);
+  expect_ok sock "E: LOAD cycle2000" "LOAD g cycle2000";
+  let train_line name epochs =
+    Printf.sprintf "TRAIN %s ON g WITH 'deg;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS %d"
+      name epochs
+  in
+
+  (* TRAIN racing MUTATE: one connection trains race0..race19 while a
+     second fires mutation batches at the same graph between them. Both
+     streams must answer every line with a structured OK or coded ERR
+     (the recipe avoids wl, so widths are mutation-stable and a TRAIN
+     that loses the race still succeeds on the generation it read), and
+     the registry must end internally consistent: MODELS lists exactly
+     the models whose TRAIN was acknowledged, and each answers PREDICT. *)
+  let fd_train = connect sock and fd_mut = connect sock in
+  let trained = ref [] and race_ok = ref true in
+  let structured reply =
+    (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+    || String.length reply >= 3
+       && String.sub reply 0 3 = "ERR"
+       && contains ~needle:"\"code\"" reply
+  in
+  for i = 0 to 19 do
+    let name = Printf.sprintf "race%d" i in
+    send_line fd_mut
+      (Printf.sprintf "MUTATE g ADD_EDGES %d %d SET_LABEL %d 2.0" i ((i * 13) + 7) i);
+    send_line fd_train (train_line name 5);
+    (match recv_line fd_train with
+    | `Line reply ->
+        if String.length reply >= 2 && String.sub reply 0 2 = "OK" then
+          trained := name :: !trained
+        else if not (structured reply) then race_ok := false
+    | `Eof | `Timeout -> race_ok := false);
+    match recv_line fd_mut with
+    | `Line reply -> if not (structured reply) then race_ok := false
+    | `Eof | `Timeout -> race_ok := false
+  done;
+  close_quiet fd_train;
+  close_quiet fd_mut;
+  check "E: TRAIN racing MUTATE: every line answered OK or coded ERR" !race_ok;
+  check "E: at least one raced TRAIN succeeded" (!trained <> []);
+  (match request sock "MODELS" with
+  | `Line reply ->
+      check "E: MODELS lists every acknowledged model"
+        (String.length reply >= 2
+        && String.sub reply 0 2 = "OK"
+        && List.for_all
+             (fun name -> contains ~needle:(Printf.sprintf "\"name\":%S" name) reply)
+             !trained)
+  | `Eof | `Timeout -> check "E: MODELS lists every acknowledged model" false);
+  (match request sock (Printf.sprintf "PREDICT %s g 0 1 2" (List.hd !trained)) with
+  | `Line reply ->
+      check "E: raced model answers PREDICT"
+        (String.length reply >= 2 && String.sub reply 0 2 = "OK"
+        && contains ~needle:"\"stale\":" reply)
+  | `Eof | `Timeout -> check "E: raced model answers PREDICT" false);
+
+  (* SIGKILL mid-TRAIN: persist one known-good model, then pipeline a
+     burst of TRAINs and kill the daemon without reading the replies.
+     The registry write happens only after a TRAIN completes and the
+     snapshot only changes on SAVE, so the file on disk must restore a
+     registry that has the saved model, none of the doomed ones, and
+     no half-written entry wedging MODELS or PREDICT. *)
+  expect_ok sock "E: keeper model trains" (train_line "keeper" 5);
+  expect_ok sock "E: SAVE with models succeeds" (Printf.sprintf "SAVE %s" snap);
+  let fd_kill = connect sock in
+  for i = 0 to 9 do
+    send_line fd_kill (train_line (Printf.sprintf "doomed%d" i) 400)
+  done;
+  ignore (Unix.select [] [] [] 0.2);
+  Unix.kill daemon Sys.sigkill;
+  ignore (wait_exit daemon);
+  close_quiet fd_kill;
+  let sock2 = Filename.concat dir "fault_e2.sock" in
+  let pid2 =
+    spawn_daemon glqld [ "--socket"; sock2; "--snapshot"; snap ]
+      ~stdout_file:(Filename.concat dir "daemon_e2.out")
+  in
+  wait_for_socket sock2;
+  expect_ok sock2 "E: boot after SIGKILL mid-TRAIN" "PING";
+  (match request sock2 "MODELS" with
+  | `Line reply ->
+      check "E: restored registry holds the saved model and no doomed ones"
+        (String.length reply >= 2
+        && String.sub reply 0 2 = "OK"
+        && contains ~needle:"\"name\":\"keeper\"" reply
+        && not (contains ~needle:"doomed" reply))
+  | `Eof | `Timeout ->
+      check "E: restored registry holds the saved model and no doomed ones" false);
+  (match request sock2 "PREDICT keeper g 0 1 2" with
+  | `Line reply ->
+      check "E: saved model answers PREDICT after the crash"
+        (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+  | `Eof | `Timeout -> check "E: saved model answers PREDICT after the crash" false);
+  Unix.kill pid2 Sys.sigterm;
+  check "E: clean exit after model faults" (wait_exit pid2 = Some 0)
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   at_exit kill_all;
@@ -670,6 +784,7 @@ let () =
   phase_b glqld dir;
   phase_c glqld dir;
   phase_d glqld dir;
+  phase_e glqld dir;
   Array.iter
     (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (Sys.readdir dir);

@@ -123,7 +123,9 @@ let () =
   in
   let router =
     spawn glqld
-      [ "--router"; "--workers"; "3"; "--socket"; router_sock ]
+      (* Short probe interval so the health-probe counters observably
+         tick within the lifetime of this test. *)
+      [ "--router"; "--workers"; "3"; "--socket"; router_sock; "--probe-interval"; "0.2" ]
       ~stdout_file:(Filename.concat dir "router.out")
   in
   wait_for single_sock;
@@ -274,9 +276,56 @@ let () =
   check "post-mutate WL byte-identical single vs router"
     (wl_single = wl_m1 && String.length wl_single > 0);
 
+  (* Model serving through the router (protocol v6): TRAIN routes to
+     the survivor's primary and mirrors to its replica, PREDICT
+     round-robins across both — and since the PREDICT reply carries no
+     generation numbers, both targets must answer byte-identically to a
+     single daemon fitting the same spec on the same mutated graph.
+     (TRAIN and MODELS replies embed registry generations, which differ
+     between a fleet and one process, so those are checked
+     structurally.) The recipe avoids wl: its widths survive the chord
+     added above. *)
+  let train_args =
+    [ "--train"; "m"; "ON"; survivor; "WITH"; "deg;hom3;label"; "TARGET"; gel; "EPOCHS"; "10" ]
+  in
+  let code_tr, tr_router = run router_sock train_args in
+  let code_ts, tr_single = run single_sock train_args in
+  check "TRAIN through the router exits 0"
+    (code_tr = Some 0 && contains ~needle:"\"loss_final\"" tr_router);
+  check "TRAIN on the single daemon exits 0"
+    (code_ts = Some 0 && contains ~needle:"\"loss_final\"" tr_single);
+  let predict_args = [ "--predict"; "m"; survivor; "0"; "1"; "2" ] in
+  let _, pr_1 = run router_sock predict_args in
+  let _, pr_2 = run router_sock predict_args in
+  let _, pr_single = run single_sock predict_args in
+  check "both PREDICT round-robin targets byte-identical to a single daemon"
+    (pr_1 = pr_single && pr_2 = pr_single && String.length pr_single > 0);
+  check "routed PREDICT is non-stale" (contains ~needle:"\"stale\":false" pr_1);
+  let code_mo, models_reply = run router_sock [ "MODELS" ] in
+  check "MODELS fan-out lists the trained model"
+    (code_mo = Some 0 && contains ~needle:"\"name\":\"m\"" models_reply);
+
   (* Collect the surviving pids, then SIGTERM the router: clean exit,
-     front socket unlinked, every child worker reaped. *)
+     front socket unlinked, every child worker reaped. By now several
+     0.2s probe intervals have elapsed, so TOPOLOGY must surface live
+     health-probe counters for the up members. *)
   let _, topology2 = run router_sock [ "TOPOLOGY" ] in
+  check "TOPOLOGY surfaces health-probe counters"
+    (contains ~needle:"\"probes_sent\":" topology2 && contains ~needle:"\"pongs\":" topology2);
+  let some_member_ponged =
+    (* At least one "pongs":N field with N >= 1 somewhere in the reply. *)
+    let tag = "\"pongs\":" in
+    let tl = String.length tag and n = String.length topology2 in
+    let rec scan i =
+      if i + tl >= n then false
+      else if String.sub topology2 i tl = tag then
+        let c = topology2.[i + tl] in
+        if c >= '1' && c <= '9' then true else scan (i + 1)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  check "some member has answered a probe" some_member_ponged;
   let worker_pids =
     List.filter_map
       (fun shard -> primary_pid topology2 shard)

@@ -241,10 +241,10 @@ let () =
     find 0
   in
 
-  (* Protocol v5 over the wire: HELLO advertises it, read-path replies
+  (* Protocol v6 over the wire: HELLO advertises it, read-path replies
      stay byte-compatible with v4 (no new fields leak into them). *)
   let _, hello = run_client ~n:11 [ "HELLO" ] in
-  check "HELLO reports protocol v5" (contains ~needle:"\"protocol_version\":5" hello);
+  check "HELLO reports protocol v6" (contains ~needle:"\"protocol_version\":6" hello);
   check "read replies carry no v5 mutation fields"
     ((not (contains ~needle:"generation" reply1))
     && (not (contains ~needle:"generation" wl_warm))
@@ -292,6 +292,37 @@ let () =
   check "post-mutate query sees the chord"
     (contains ~needle:("\"values\":" ^ m_expected) m_reply);
 
+  (* Model serving (protocol v6): FEATURIZE via the --featurize flag,
+     TRAIN via --train, PREDICT via --predict. The recipe avoids wl
+     one-hot so its widths are stable across the later mutation and
+     staleness (not ERR_SCHEMA_MISMATCH) is what the final check sees. *)
+  let recipe = "deg;hom3;label" in
+  let feat_code, feat = run_client ~n:17 [ "--featurize"; "g"; recipe ] in
+  check "--featurize exits 0" (feat_code = Some 0);
+  check "FEATURIZE reports the matrix shape"
+    (contains ~needle:"\"rows\":10" feat
+    && contains ~needle:"\"cols\":5" feat
+    && contains ~needle:"\"digest\":\"" feat);
+  let train_code, train_reply =
+    run_client ~n:18 [ "--train"; "clf"; "ON"; "g"; "WITH"; recipe; "TARGET"; src; "EPOCHS"; "20" ]
+  in
+  check "--train exits 0" (train_code = Some 0);
+  check "TRAIN reports losses and metrics"
+    (contains ~needle:"\"loss_final\":" train_reply
+    && contains ~needle:"\"train_metric\":" train_reply
+    && contains ~needle:"\"schema_hash\":\"" train_reply);
+  let _, models_reply = run_client ~n:19 [ "MODELS" ] in
+  check "MODELS lists the trained model" (contains ~needle:"\"name\":\"clf\"" models_reply);
+  let pred_code, pred1 = run_client ~n:20 [ "--predict"; "clf"; "g"; "0"; "1"; "2" ] in
+  check "--predict exits 0" (pred_code = Some 0);
+  check "PREDICT is not stale on the source generation" (contains ~needle:"\"stale\":false" pred1);
+  check "PREDICT of an unknown model is classified"
+    (let _, r = run_client ~n:21 [ "PREDICT"; "nosuch"; "g" ] in
+     contains ~needle:"ERR_UNKNOWN_MODEL" r);
+  check "FEATURIZE with a bad recipe is classified"
+    (let _, r = run_client ~n:22 [ "FEATURIZE"; "g"; "deg;bogus7" ] in
+     contains ~needle:"ERR_BAD_RECIPE" r);
+
   (* SIGTERM: clean exit, socket unlinked, metrics dumped, snapshot
      written (the daemon was started with --snapshot). *)
   Unix.kill daemon Sys.sigterm;
@@ -336,6 +367,17 @@ let () =
   let _, m_restored = run_client ~n:16 [ "QUERY"; "m"; src ] in
   check "restored mutated graph keeps the chord"
     (contains ~needle:("\"values\":" ^ m_expected) m_restored);
+  (* The snapshot carried the model registry: the rebooted daemon
+     answers PREDICT warm and byte-identically, and a MUTATE of the
+     source graph flips the reply to stale (same schema, new
+     generation). *)
+  let _, pred2 = run_client ~n:23 [ "--predict"; "clf"; "g"; "0"; "1"; "2" ] in
+  check "restored PREDICT is byte-identical" (pred1 = pred2 && String.length pred2 > 0);
+  check "restarted STATS counts the restored model"
+    (match json_int_field stats2 "models_registered" with Some m -> m >= 1 | None -> false);
+  let _, _ = run_client ~n:24 [ "--mutate"; "g"; "ADD_EDGES"; "0"; "2" ] in
+  let _, pred3 = run_client ~n:25 [ "PREDICT"; "clf"; "g"; "0" ] in
+  check "post-mutate PREDICT reports stale" (contains ~needle:"\"stale\":true" pred3);
   Unix.kill daemon2 Sys.sigterm;
   check "restarted daemon exits cleanly" (wait_exit daemon2 = Some 0);
 

@@ -523,6 +523,42 @@ let test_erm_regressor_deterministic () =
     (Float.equal par.Erm.train_metric seq.Erm.train_metric
     && Float.equal par.Erm.test_metric seq.Erm.test_metric)
 
+(* --- featurize recipes (protocol v6) ------------------------------------ *)
+
+module SCache = Glql_server.Cache
+module SRegistry = Glql_server.Registry
+module Featurize = Glql_server.Featurize
+module SP = Glql_server.Protocol
+
+(* Schema plus content digest: equal pairs mean every float of the
+   feature matrix is bit-identical, column layout included. *)
+let featurize_once ~mode ~recipe seed =
+  let g = random_graph seed ~n:24 ~p:0.2 in
+  let registry = SRegistry.create () in
+  let gen = SRegistry.register_prebuilt registry ~name:"r" ~spec:"random" g in
+  let cache = SCache.create ~plan_capacity:16 ~coloring_capacity:8 () in
+  let cols =
+    match Featurize.parse_recipe recipe with Ok c -> c | Error e -> failwith e
+  in
+  match Featurize.build ~cache ~graph_name:"r" ~gen mode g cols with
+  | Ok b -> (b.Featurize.b_schema, Featurize.row_digest b.Featurize.b_rows)
+  | Error (code, msg) -> failwith (code ^ ": " ^ msg)
+
+let vertex_recipe = "deg;wl;hom3;label;gel:agg_sum{x2}([1] | E(x1,x2))"
+let graph_recipe = "deg;wl;kwl2;hom3"
+
+let test_featurize_deterministic =
+  qtest ~count:15 "featurize: pool == sequential (schema + digest)" seed_arb (fun seed ->
+      let par = featurize_once ~mode:SP.Fm_vertex ~recipe:vertex_recipe seed in
+      let seq =
+        Pool.sequential (fun () -> featurize_once ~mode:SP.Fm_vertex ~recipe:vertex_recipe seed)
+      in
+      let gpar = featurize_once ~mode:SP.Fm_graph ~recipe:graph_recipe seed in
+      let gseq =
+        Pool.sequential (fun () -> featurize_once ~mode:SP.Fm_graph ~recipe:graph_recipe seed)
+      in
+      par = seq && gpar = gseq)
+
 let () =
   Alcotest.run "glql-parallel"
     [
@@ -564,4 +600,5 @@ let () =
           case "graph classifier deterministic" test_erm_classifier_deterministic;
           case "graph regressor deterministic" test_erm_regressor_deterministic;
         ] );
+      ("featurize", [ test_featurize_deterministic ]);
     ]

@@ -1052,6 +1052,175 @@ let prop_line_buf_reassembly =
       done;
       !out = lines && Line_buf.pending_bytes lb = 0)
 
+(* --- model serving (protocol v6) ----------------------------------------- *)
+
+let test_parse_model_requests () =
+  let req line = match P.parse_request line with Ok { P.req; _ } -> Some req | Error _ -> None in
+  (match req "FEATURIZE g 'deg;wl'" with
+  | Some (P.Featurize ("g", "deg;wl", P.Fm_vertex)) -> ()
+  | _ -> Alcotest.fail "FEATURIZE defaults to vertex mode");
+  (match req "FEATURIZE g 'deg' GRAPH" with
+  | Some (P.Featurize ("g", "deg", P.Fm_graph)) -> ()
+  | _ -> Alcotest.fail "FEATURIZE accepts a mode token");
+  (match req "PREDICT m g 1 2" with
+  | Some (P.Predict ("m", "g", [ 1; 2 ])) -> ()
+  | _ -> Alcotest.fail "PREDICT parses vertices");
+  check_bool "MODELS parses" true (req "MODELS" = Some P.Models);
+  (match req "TRAIN m ON a,b WITH 'deg' TARGET '[1]' MODE GRAPH EPOCHS 5 LR 0.1 SEED 2 SPLIT 0.5" with
+  | Some (P.Train s) ->
+      check_bool "TRAIN graphs" true (s.P.t_graphs = [ "a"; "b" ]);
+      check_bool "TRAIN recipe" true (s.P.t_recipe = "deg");
+      check_bool "TRAIN target" true (s.P.t_target = "[1]");
+      check_bool "TRAIN mode" true (s.P.t_mode = Some P.Fm_graph);
+      check_bool "TRAIN options" true
+        (s.P.t_epochs = Some 5 && s.P.t_lr = Some 0.1 && s.P.t_seed = Some 2
+       && s.P.t_split = Some 0.5)
+  | _ -> Alcotest.fail "TRAIN full grammar");
+  check_bool "TRAIN without TARGET rejected" true (req "TRAIN m ON g WITH 'deg'" = None);
+  check_bool "TRAIN without ON rejected" true (req "TRAIN m WITH 'deg' TARGET '[1]'" = None);
+  check_bool "TRAIN bad EPOCHS rejected" true
+    (req "TRAIN m ON g WITH 'deg' TARGET '[1]' EPOCHS 0" = None);
+  check_bool "TRAIN bad SPLIT rejected" true
+    (req "TRAIN m ON g WITH 'deg' TARGET '[1]' SPLIT 1.5" = None);
+  check_bool "PREDICT bad vertex rejected" true (req "PREDICT m g notanint" = None)
+
+let test_featurize_requests () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let feat = Server.handle_line t "FEATURIZE g 'deg;wl;hom3;label'" in
+  check_bool "FEATURIZE ok" true (P.is_ok feat);
+  check_bool "FEATURIZE row per vertex" true (contains ~needle:"\"rows\":10" feat);
+  check_bool "FEATURIZE reports a digest" true (contains ~needle:"\"digest\":\"" feat);
+  check_bool "FEATURIZE lists columns" true (contains ~needle:"\"name\":\"hom3\"" feat);
+  let digest_of reply =
+    let key = "\"digest\":\"" in
+    let kl = String.length key and n = String.length reply in
+    let rec find i =
+      if i + kl > n then ""
+      else if String.sub reply i kl = key then
+        let stop = String.index_from reply (i + kl) '"' in
+        String.sub reply (i + kl) (stop - i - kl)
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Same request again: identical matrix (digest), now through the warm
+     colouring cache. *)
+  let again = Server.handle_line t "FEATURIZE g 'deg;wl;hom3;label'" in
+  Alcotest.(check string) "digest deterministic" (digest_of feat) (digest_of again);
+  check_bool "second featurize hits the coloring cache" true
+    (contains ~needle:"\"cache_hits\":" again && not (contains ~needle:"\"cache_hits\":0" again));
+  (* Graph mode: one summary row, fixed-width histograms legal here. *)
+  let gfeat = Server.handle_line t "FEATURIZE g 'wl;kwl2' GRAPH" in
+  check_bool "graph-mode FEATURIZE ok" true (P.is_ok gfeat);
+  check_bool "graph-mode single row" true (contains ~needle:"\"rows\":1" gfeat)
+
+let test_train_predict_flow () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let train =
+    Server.handle_line t
+      "TRAIN clf ON g WITH 'deg;hom3;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 10"
+  in
+  check_bool "TRAIN ok" true (P.is_ok train);
+  check_bool "TRAIN reports a loss history" true (contains ~needle:"\"losses\":[" train);
+  check_bool "TRAIN reports metrics" true
+    (contains ~needle:"\"train_metric\":" train && contains ~needle:"\"test_metric\":" train);
+  check_bool "MODELS lists the model" true
+    (contains ~needle:"\"name\":\"clf\"" (Server.handle_line t "MODELS"));
+  let pred = Server.handle_line t "PREDICT clf g" in
+  check_bool "PREDICT ok" true (P.is_ok pred);
+  check_bool "PREDICT covers every vertex" true (contains ~needle:"\"n\":10" pred);
+  check_bool "PREDICT fresh on the source generation" true
+    (contains ~needle:"\"stale\":false" pred);
+  check_bool "PREDICT vertex subset" true
+    (contains ~needle:"\"n\":2" (Server.handle_line t "PREDICT clf g 3 4"));
+  check_bool "PREDICT out-of-range vertex rejected" true
+    (contains ~needle:"ERR_BAD_ARG" (Server.handle_line t "PREDICT clf g 99"));
+  (* Deterministic retrain: same spec, same weights, same scores. *)
+  ignore
+    (Server.handle_line t
+       "TRAIN clf ON g WITH 'deg;hom3;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 10");
+  Alcotest.(check string) "retrain is deterministic" pred (Server.handle_line t "PREDICT clf g");
+  (* A mutation of the source graph flips PREDICT to stale. *)
+  ignore (Server.handle_line t "MUTATE g ADD_EDGES 0 2");
+  check_bool "PREDICT stale after mutate" true
+    (contains ~needle:"\"stale\":true" (Server.handle_line t "PREDICT clf g 0"))
+
+let test_train_graph_mode () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD c5 cycle5");
+  ignore (Server.handle_line t "LOAD c6 cycle6");
+  ignore (Server.handle_line t "LOAD c7 cycle7");
+  ignore (Server.handle_line t "LOAD c8 cycle8");
+  let train =
+    Server.handle_line t
+      "TRAIN reg ON c5,c6,c7,c8 WITH 'deg;wl' TARGET 'agg_sum{x1,x2}(E(x1,x2) | [1])' MODE \
+       GRAPH EPOCHS 10"
+  in
+  check_bool "graph-mode TRAIN ok" true (P.is_ok train);
+  check_bool "graph-mode task is regress" true (contains ~needle:"\"task\":\"regress\"" train);
+  check_bool "one row per graph" true (contains ~needle:"\"rows\":4" train);
+  let pred = Server.handle_line t "PREDICT reg c6" in
+  check_bool "graph-mode PREDICT ok" true (P.is_ok pred);
+  check_bool "graph-mode PREDICT one row" true (contains ~needle:"\"n\":1" pred)
+
+let test_model_error_codes () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  check_bool "bad recipe classified" true
+    (contains ~needle:"ERR_BAD_RECIPE" (Server.handle_line t "FEATURIZE g 'bogus'"));
+  check_bool "kwl in vertex mode classified" true
+    (contains ~needle:"ERR_BAD_RECIPE" (Server.handle_line t "FEATURIZE g 'kwl2' VERTEX"));
+  check_bool "unknown graph classified" true
+    (contains ~needle:"ERR_UNKNOWN_GRAPH" (Server.handle_line t "FEATURIZE nosuch 'deg'"));
+  check_bool "unknown model classified" true
+    (contains ~needle:"ERR_UNKNOWN_MODEL" (Server.handle_line t "PREDICT nosuch g"));
+  ignore (Server.handle_line t "LOAD h cycle5");
+  check_bool "vertex-mode multi-graph TRAIN rejected" true
+    (contains ~needle:"ERR_BAD_ARG"
+       (Server.handle_line t
+          "TRAIN v ON g,h WITH 'deg' TARGET 'agg_sum{x2}([1] | E(x1,x2))' MODE VERTEX"));
+  (* A wl one-hot schema is generation-dependent by design: mutating the
+     graph changes the stable class count, so PREDICT reports a schema
+     mismatch rather than silently truncating features. *)
+  ignore
+    (Server.handle_line t
+       "TRAIN wlclf ON g WITH 'wl' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 2");
+  ignore (Server.handle_line t "MUTATE g ADD_EDGES 0 2");
+  check_bool "wl width change is a schema mismatch" true
+    (contains ~needle:"ERR_SCHEMA_MISMATCH" (Server.handle_line t "PREDICT wlclf g"))
+
+let test_model_snapshot_roundtrip () =
+  with_temp_snapshot @@ fun path ->
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  ignore
+    (Server.handle_line t
+       "TRAIN clf ON g WITH 'deg;hom3;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 5");
+  let pred1 = Server.handle_line t "PREDICT clf g" in
+  let save = Server.handle_line t (Printf.sprintf "SAVE %s" path) in
+  check_bool "SAVE ok" true (P.is_ok save);
+  check_bool "SAVE counts the model" true (contains ~needle:"\"models\":1" save);
+  let t2 = make_server () in
+  let restore = Server.handle_line t2 (Printf.sprintf "RESTORE %s" path) in
+  check_bool "RESTORE ok" true (P.is_ok restore);
+  check_bool "RESTORE counts the model" true (contains ~needle:"\"models\":1" restore);
+  (* The restored registry answers PREDICT byte-identically: weights,
+     ordering and staleness all survive the generation rekeying. *)
+  Alcotest.(check string) "PREDICT byte-identical after restore" pred1
+    (Server.handle_line t2 "PREDICT clf g");
+  (* A model already stale at save time stays stale after restore (its
+     sources map to the never-matching sentinel, not a fresh gen). *)
+  ignore (Server.handle_line t "MUTATE g SET_LABEL 0 2.0");
+  check_bool "stale before save" true
+    (contains ~needle:"\"stale\":true" (Server.handle_line t "PREDICT clf g 0"));
+  ignore (Server.handle_line t (Printf.sprintf "SAVE %s" path));
+  let t3 = make_server () in
+  ignore (Server.handle_line t3 (Printf.sprintf "RESTORE %s" path));
+  check_bool "stale survives restore" true
+    (contains ~needle:"\"stale\":true" (Server.handle_line t3 "PREDICT clf g 0"))
+
 let suite =
   ( "server",
     [
@@ -1093,6 +1262,12 @@ let suite =
       case "handle_line: MUTATE incremental recolour" test_handle_line_mutate_incremental;
       case "cache: mutation seed lifecycle" test_cache_seed_lifecycle;
       case "cache: seeds evicted before live entries" test_cache_seed_evicted_first;
+      case "protocol model-serving grammar" test_parse_model_requests;
+      case "handle_line: FEATURIZE recipes" test_featurize_requests;
+      case "handle_line: TRAIN/PREDICT flow" test_train_predict_flow;
+      case "handle_line: graph-mode TRAIN" test_train_graph_mode;
+      case "model-serving error codes" test_model_error_codes;
+      case "persistence: model registry round trip" test_model_snapshot_roundtrip;
       prop_parse_request_total;
       case "line_buf framing" test_line_buf_framing;
       case "line_buf limits" test_line_buf_limits;

@@ -166,6 +166,27 @@ let sample_snapshot () =
         };
       ];
     plans = [ ("key-a", "agg_sum{x2}([1] | E(x1,x2))"); ("key-b", "[1]") ];
+    models =
+      [
+        {
+          Snapshot.m_name = "deg-clf";
+          m_task = 0;
+          m_mode = 0;
+          m_recipe = "deg;label";
+          m_target = "agg_sum{x2}([1] | E(x1,x2))";
+          m_schema = "vertex|deg=1;label=1";
+          m_sources = [ ("g", 0) ];
+          m_sizes = [ 2; 1 ];
+          m_seed = 1;
+          m_params =
+            [ (2, 1, [| 0.25; -0.5 |]); (1, 1, [| 0.125 |]) ];
+          m_rows = 10;
+          m_epochs = 3;
+          m_losses = [| 0.9; 0.5; 0.25 |];
+          m_train_metric = 0.875;
+          m_test_metric = 0.5;
+        };
+      ];
     metrics =
       Some
         {
@@ -270,6 +291,7 @@ let test_snapshot_qcheck_roundtrip =
           graphs = [ { Snapshot.g_name = "r"; g_spec = "random"; g_gen = 3; g_graph = g } ];
           colorings = [ { Snapshot.c_name = "r"; c_data = Snapshot.Cr_data (Cr.run g) } ];
           plans = [ ("k", "[1]") ];
+          models = [];
           metrics = None;
         }
       in
