@@ -21,6 +21,7 @@ module Optim = Glql_nn.Optim
 module Mlp = Glql_nn.Mlp
 module Param = Glql_nn.Param
 module Pool = Glql_util.Pool
+module Clock = Glql_util.Clock
 
 type history = { losses : float list; train_metric : float; test_metric : float }
 
@@ -226,13 +227,18 @@ let train_link_predictor ?(epochs = 150) ?(lr = 0.02) model head (ds : Dataset.l
 (* A binary classifier over fixed (e.g. GEL-computed) feature vectors: the
    "view embedding" pattern of slide 72 — a complex fixed embedding
    followed by a simple learnable head. *)
-let train_feature_classifier ?(epochs = 200) ?(lr = 0.05) head ~features ~targets ~mask =
+let train_feature_classifier ?(epochs = 200) ?(lr = 0.05) ?(deadline = None) head ~features
+    ~targets ~mask =
   let opt = Optim.adam ~lr () in
   let params = Mlp.params head in
   let losses = ref [] in
   let n = Array.length features in
   let n_train = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
   for _epoch = 1 to epochs do
+    (* Epoch counts reach 10k through the server's TRAIN: honour the
+       per-request deadline at every epoch boundary like the kernels do,
+       so a timed-out fit aborts instead of wedging the worker. *)
+    Clock.check deadline;
     let total = ref 0.0 in
     for i = 0 to n - 1 do
       if mask.(i) then begin
@@ -266,13 +272,15 @@ let train_feature_classifier ?(epochs = 200) ?(lr = 0.05) head ~features ~target
 (* A scalar regressor over fixed feature vectors — the regression twin of
    train_feature_classifier, used by the server's model-serving layer for
    graph-mode recipes (one feature row per graph). *)
-let train_feature_regressor ?(epochs = 200) ?(lr = 0.05) head ~features ~targets ~mask =
+let train_feature_regressor ?(epochs = 200) ?(lr = 0.05) ?(deadline = None) head ~features
+    ~targets ~mask =
   let opt = Optim.adam ~lr () in
   let params = Mlp.params head in
   let losses = ref [] in
   let n = Array.length features in
   let n_train = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask in
   for _epoch = 1 to epochs do
+    Clock.check deadline;
     let total = ref 0.0 in
     for i = 0 to n - 1 do
       if mask.(i) then begin

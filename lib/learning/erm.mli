@@ -32,10 +32,13 @@ val train_link_predictor :
 
 (** Binary classifier on fixed feature vectors (the "view embedding"
     pattern of slide 72: complex fixed embedding + simple learnable head);
-    metric is accuracy at threshold 0. *)
+    metric is accuracy at threshold 0. [deadline] is checked once per
+    epoch and raises {!Glql_util.Clock.Deadline_exceeded} — the server's
+    per-request timeout cancels a long fit cooperatively. *)
 val train_feature_classifier :
   ?epochs:int ->
   ?lr:float ->
+  ?deadline:int64 option ->
   Mlp.t ->
   features:Glql_tensor.Vec.t array ->
   targets:float array ->
@@ -43,10 +46,12 @@ val train_feature_classifier :
   history
 
 (** Scalar regressor on fixed feature vectors — the regression twin of
-    {!train_feature_classifier}; metric is MSE. *)
+    {!train_feature_classifier} (same per-epoch [deadline] check);
+    metric is MSE. *)
 val train_feature_regressor :
   ?epochs:int ->
   ?lr:float ->
+  ?deadline:int64 option ->
   Mlp.t ->
   features:Glql_tensor.Vec.t array ->
   targets:float array ->

@@ -114,18 +114,28 @@ let sorted_class_histogram colors =
   Array.init hist_width (fun i -> if i < Array.length counts then float_of_int counts.(i) else 0.0)
 
 (* Build one column block: [Ok (width, rows)] where [rows] has one entry
-   per matrix row. Errors carry an (ERR_* code, message) pair. *)
-let build_column ~cache ~graph_name ~gen ~deadline mode g col =
+   per matrix row. Errors carry an (ERR_* code, message) pair.
+
+   [check_cells width] is called the moment a column's width is known
+   and BEFORE any row of the block is materialized: a vertex-mode wl
+   one-hot is as wide as the stable class count — approaching n on a
+   colour-diverse graph — so the cell budget must reject the block
+   before the O(n·width) allocation it polices, not after. *)
+let build_column ~cache ~graph_name ~gen ~deadline ~check_cells mode g col =
   let hits = ref 0 and misses = ref 0 in
   let note = function `Hit -> incr hits | `Miss -> incr misses in
   let n = Graph.n_vertices g in
   let bad fmt = Printf.ksprintf (fun m -> Error ("ERR_BAD_RECIPE", m)) fmt in
+  let ( let* ) = Result.bind in
   let result =
     match (col, mode) with
     | Col_label, P.Fm_vertex ->
-        Ok (Graph.label_dim g, Array.init n (fun v -> Array.copy (Graph.label g v)))
+        let d = Graph.label_dim g in
+        let* () = check_cells d in
+        Ok (d, Array.init n (fun v -> Array.copy (Graph.label g v)))
     | Col_label, P.Fm_graph ->
         let d = Graph.label_dim g in
+        let* () = check_cells d in
         let acc = Array.make d 0.0 in
         for v = 0 to n - 1 do
           let l = Graph.label g v in
@@ -134,8 +144,12 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
           done
         done;
         Ok (d, [| acc |])
-    | Col_deg, P.Fm_vertex -> Ok (1, Array.init n (fun v -> [| float_of_int (Graph.degree g v) |]))
-    | Col_deg, P.Fm_graph -> Ok (1, [| [| float_of_int (2 * Graph.n_edges g) |] |])
+    | Col_deg, P.Fm_vertex ->
+        let* () = check_cells 1 in
+        Ok (1, Array.init n (fun v -> [| float_of_int (Graph.degree g v) |]))
+    | Col_deg, P.Fm_graph ->
+        let* () = check_cells 1 in
+        Ok (1, [| [| float_of_int (2 * Graph.n_edges g) |] |])
     | Col_wl round, _ -> (
         let result, hit = Cache.cr cache ~graph_name ~gen ~deadline g in
         note hit;
@@ -145,9 +159,12 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
           | Some r -> List.hd (Cr.colors_at_round result (min r (Cr.rounds result)))
         in
         match mode with
-        | P.Fm_graph -> Ok (hist_width, [| sorted_class_histogram colors |])
+        | P.Fm_graph ->
+            let* () = check_cells hist_width in
+            Ok (hist_width, [| sorted_class_histogram colors |])
         | P.Fm_vertex ->
             let width = 1 + Array.fold_left max (-1) colors in
+            let* () = check_cells width in
             Ok
               ( width,
                 Array.init n (fun v ->
@@ -156,6 +173,7 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
                     row) ))
     | Col_kwl _, P.Fm_vertex -> bad "%s: k-WL colors tuples; use GRAPH mode" (column_name col)
     | Col_kwl k, P.Fm_graph ->
+        let* () = check_cells hist_width in
         let result, hit = Cache.kwl cache ~graph_name ~gen ~k ~deadline g in
         note hit;
         let colors = List.hd (Kwl.stable_colors result) in
@@ -163,6 +181,7 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
     | Col_hom s, _ ->
         let patterns = Tree.all_free_trees_up_to s in
         let width = List.length patterns in
+        let* () = check_cells width in
         let cols =
           List.map
             (fun pattern ->
@@ -182,6 +201,7 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
             note hit;
             match (mode, Expr.free_vars plan.Cache.expr) with
             | P.Fm_vertex, [ _ ] ->
+                let* () = check_cells (Expr.dim plan.Cache.expr) in
                 (* Layered fast path when the plan has one (single
                    propagation passes instead of the naive per-vertex
                    table evaluator — the difference between ms and
@@ -196,6 +216,7 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
                 bad "gel: vertex mode needs exactly one free variable, expression has %d"
                   (List.length vars)
             | P.Fm_graph, [] ->
+                let* () = check_cells (Expr.dim plan.Cache.expr) in
                 Ok (Expr.dim plan.Cache.expr, [| Expr.eval_closed g plan.Cache.expr |])
             | P.Fm_graph, vars ->
                 bad "gel: graph mode needs a closed expression, got %d free variables"
@@ -207,11 +228,27 @@ let build_column ~cache ~graph_name ~gen ~deadline mode g col =
 
 let build ~cache ~graph_name ~gen ?(deadline = None) ?(max_cells = 0) mode g cols =
   let n_rows = match mode with P.Fm_vertex -> Graph.n_vertices g | P.Fm_graph -> 1 in
+  (* Running cell budget, enforced column by column before each block is
+     materialized (see build_column): the accumulated matrix so far plus
+     the candidate column's width must fit under max_cells, so the cap
+     bounds peak allocation, not just the finished matrix. *)
+  let acc_width = ref 0 in
+  let check_cells w =
+    let total = !acc_width + w in
+    if max_cells > 0 && n_rows * total > max_cells then
+      Error
+        ( "ERR_LIMIT_CELLS",
+          Printf.sprintf "feature matrix %dx%d exceeds --max-cells %d" n_rows total max_cells )
+    else begin
+      acc_width := total;
+      Ok ()
+    end
+  in
   let rec go acc hits misses = function
     | [] -> Ok (List.rev acc, hits, misses)
     | col :: rest -> (
         Clock.check deadline;
-        match build_column ~cache ~graph_name ~gen ~deadline mode g col with
+        match build_column ~cache ~graph_name ~gen ~deadline ~check_cells mode g col with
         | Error _ as e -> e
         | Ok (width, rows, h, m) ->
             if Array.length rows <> n_rows then
@@ -225,11 +262,7 @@ let build ~cache ~graph_name ~gen ?(deadline = None) ?(max_cells = 0) mode g col
   | Error _ as e -> e
   | Ok (blocks, hits, misses) ->
       let width = List.fold_left (fun acc (_, w, _) -> acc + w) 0 blocks in
-      if max_cells > 0 && n_rows * width > max_cells then
-        Error
-          ( "ERR_LIMIT_CELLS",
-            Printf.sprintf "feature matrix %dx%d exceeds --max-cells %d" n_rows width max_cells )
-      else begin
+      begin
         let rows =
           Array.init n_rows (fun i ->
               let row = Array.make width 0.0 in

@@ -71,7 +71,11 @@ val row_digest : float array array -> string
 
 (** Materialize the matrix. Errors are [(ERR_* code, message)]; a passed
     deadline raises {!Glql_util.Clock.Deadline_exceeded} like the other
-    kernels. [max_cells] (0 = unlimited) bounds rows x width. *)
+    kernels. [max_cells] (0 = unlimited) bounds rows x width, enforced
+    column by column as soon as each column's width is known and before
+    its block is allocated — a recipe that would blow the budget (e.g. a
+    vertex-mode [wl] one-hot as wide as the class count) is rejected
+    without materializing it. *)
 val build :
   cache:Cache.t ->
   graph_name:string ->

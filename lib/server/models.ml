@@ -196,8 +196,8 @@ let train ~registry ~cache ~models ?(deadline = None) ?(max_cells = 0) (spec : P
   let head = make_head ~seed ~sizes in
   let history =
     match task with
-    | Classify -> Erm.train_feature_classifier ~epochs ~lr head ~features ~targets ~mask
-    | Regress -> Erm.train_feature_regressor ~epochs ~lr head ~features ~targets ~mask
+    | Classify -> Erm.train_feature_classifier ~epochs ~lr ~deadline head ~features ~targets ~mask
+    | Regress -> Erm.train_feature_regressor ~epochs ~lr ~deadline head ~features ~targets ~mask
   in
   let stored =
     {

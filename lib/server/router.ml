@@ -6,7 +6,13 @@
    stable-hash to its shard, see {!Shard}). Graph-keyed commands (LOAD /
    MUTATE / QUERY / EXPLAIN / WL / KWL / HOM / FEATURIZE / TRAIN /
    PREDICT) forward verbatim to the owning shard, so their replies are
-   byte-identical to a single-process glqld holding the same registry.
+   byte-identical to a single-process glqld holding the same registry —
+   with one placement caveat: a model lives on the shard of its first
+   TRAIN source graph, so PREDICT requires its feature graph to co-hash
+   with that source (the same constraint multi-graph TRAIN already has);
+   a cross-shard PREDICT is rejected up front with the constraint
+   spelled out rather than forwarded into a misleading
+   ERR_UNKNOWN_MODEL.
    Registry-wide commands (GRAPHS / STATS / VERSION / SAVE / RESTORE /
    MODELS) fan out and the replies are merged by the pure functions
    below. The router also health-probes up members with periodic PINGs
@@ -241,8 +247,12 @@ and slot = {
 
 type dest =
   | To_slot of slot  (* forward the worker's reply line verbatim *)
+  | Write_primary of slot * mirror_group
+      (* primary leg of a mirrored write: the reply forwards verbatim to
+         the client and settles the group's deferred mirror failures *)
   | Part of agg * int  (* one piece of a fan-out *)
-  | Discard  (* replica write mirror: reply checked for nothing *)
+  | Mirror of mirror_group  (* replica leg of a mirrored write *)
+  | Discard  (* reply checked for nothing (SHUTDOWN, replica RESTORE) *)
   | Replica_save of slot * Shard.spec  (* SAVE-on-primary step of REPLICA *)
   | Probe  (* router-originated health PING; the pong clears the timer *)
 
@@ -253,7 +263,22 @@ and agg = {
   a_finish : (int * string * string option) array -> string;
 }
 
-type member = {
+(* One LOAD / MUTATE / TRAIN fanned to a primary plus its replicas. The
+   primary's verdict decides what a replica's ERR reply means: primary
+   applied the write but the replica did not → the replica has silently
+   diverged (a TRAIN it missed leaves later round-robined PREDICTs
+   failing intermittently), so it is marked down — with [respawn] it
+   reboots from its snapshot instead of serving as a diverged copy. Both
+   rejected the request (bad recipe, invalid batch) → still in sync,
+   nothing to do. Mirror replies can land before the primary's on
+   another connection, so early failures are deferred until the
+   primary's verdict arrives. *)
+and mirror_group = {
+  mutable mg_primary_ok : bool option;  (* None until the primary replies *)
+  mutable mg_deferred : member list;  (* mirrors that failed before the verdict *)
+}
+
+and member = {
   m_spec : Shard.spec;
   mutable m_pid : int option;
   mutable m_state : mstate;
@@ -262,10 +287,14 @@ type member = {
   mutable m_notify : slot option;  (* REPLICA caller waiting for first accept *)
   (* Health probing: the router PINGs each up member every
      [probe_interval_s]; workers answer strictly in request order, so
-     the pong lands behind whatever real work is queued ahead of it —
-     [m_probe_sent] is the send time of the oldest unanswered probe and
-     a wedged-but-connected worker is marked down once it exceeds the
-     (deliberately generous) [probe_timeout_s]. *)
+     the pong lands behind whatever real work is queued ahead of it.
+     [m_probe_sent] is the start of the unanswered-probe window, and it
+     slides forward while real (non-probe) requests are pending on the
+     member — a TRAIN with big EPOCHS or a cold kwl3 legitimately holds
+     the pong up for minutes, and a busy worker must never read as a
+     wedged one. The [probe_timeout_s] clock therefore only runs while
+     the probe is the member's whole queue: a worker with nothing to do
+     but answer a PING, and hasn't. *)
   mutable m_probe_sent : int64 option;
   mutable m_last_probe : int64;  (* last probe send time, 0 = never *)
   mutable m_last_pong : int64;  (* last pong receive time, 0 = never *)
@@ -284,6 +313,15 @@ type t = {
   groups : group array;
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
+  (* Model name → owning shard, learned when a TRAIN passes through: a
+     model lives on the shard of its first source graph, and a worker
+     can only featurize graphs it owns — so a PREDICT whose graph hashes
+     elsewhere can never be served and is rejected up front with a
+     routing error instead of the owning-graph shard's misleading
+     ERR_UNKNOWN_MODEL. Models the router never saw TRAINed (snapshot
+     restores, out-of-band fits) are absent and route by graph as
+     before. *)
+  model_shards : (string, int) Hashtbl.t;
 }
 
 let create config specs =
@@ -323,7 +361,13 @@ let create config specs =
       if primaries = [] then
         invalid_arg (Printf.sprintf "Router.create: shard %d has no primary" g.g_shard))
     groups;
-  { config; groups; metrics = Metrics.create (); stop_flag = Atomic.make false }
+  {
+    config;
+    groups;
+    metrics = Metrics.create ();
+    stop_flag = Atomic.make false;
+    model_shards = Hashtbl.create 16;
+  }
 
 let stop t = Atomic.set t.stop_flag true
 
@@ -425,7 +469,13 @@ let complete_part t agg i reply =
 let fail_dest t shard dest =
   match dest with
   | To_slot slot -> fill_slot t slot (shard_down_line shard)
+  | Write_primary (slot, mg) ->
+      (* Dead primary: no verdict to audit mirrors against. *)
+      mg.mg_primary_ok <- Some false;
+      mg.mg_deferred <- [];
+      fill_slot t slot (shard_down_line shard)
   | Part (agg, i) -> complete_part t agg i None
+  | Mirror _ -> ()
   | Discard -> ()
   | Probe -> ()
   | Replica_save (slot, _) ->
@@ -745,10 +795,25 @@ let handle_replica_saved t slot spec line =
     g.g_members <- g.g_members @ [ m ]
   end
 
+let mirror_diverged = "mirrored write failed where the primary succeeded"
+
 let dispatch_reply t m dest line =
   match dest with
   | To_slot slot -> fill_slot t slot line
+  | Write_primary (slot, mg) ->
+      fill_slot t slot line;
+      let ok = P.is_ok line in
+      mg.mg_primary_ok <- Some ok;
+      let deferred = mg.mg_deferred in
+      mg.mg_deferred <- [];
+      if ok then List.iter (fun r -> if is_up r then member_down t r mirror_diverged) deferred
   | Part (agg, i) -> complete_part t agg i (Some line)
+  | Mirror mg ->
+      if not (P.is_ok line) then (
+        match mg.mg_primary_ok with
+        | Some true -> member_down t m mirror_diverged
+        | Some false -> ()  (* the primary rejected it too: still in sync *)
+        | None -> mg.mg_deferred <- m :: mg.mg_deferred)
   | Discard -> ()
   | Probe ->
       m.m_probe_sent <- None;
@@ -767,6 +832,16 @@ let router_cmd_of_tokens = function
   | [ cmd; shard ] when String.uppercase_ascii cmd = "REPLICA" -> (
       match int_of_string_opt shard with Some s -> Some (Replica_of s) | None -> None)
   | _ -> None
+
+(* Route a write line to its owning group: the primary answers the
+   client, live replicas apply the same line so the group stays in sync,
+   and their replies are audited against the primary's verdict (see
+   {!mirror_group}) instead of discarded. *)
+let route_write t slot g line =
+  let primary = List.hd g.g_members in
+  let mg = { mg_primary_ok = None; mg_deferred = [] } in
+  List.iter (fun m -> if is_up m then send_upstream t m line (Mirror mg)) (List.tl g.g_members);
+  send_upstream t primary line (Write_primary (slot, mg))
 
 let handle_client_line t c line =
   let cmd_label =
@@ -831,35 +906,47 @@ let handle_client_line t c line =
                   | None ->
                       local (P.err_line (P.error ~code:shard_down_code "no shards are up")))
               | P.Load (name, _) ->
-                  let g = group_for t name in
-                  let primary = List.hd g.g_members in
                   (* Mirror writes to live replicas so they stay in sync;
                      the client's reply is the primary's, verbatim. *)
-                  List.iter
-                    (fun m -> if is_up m then send_upstream t m line Discard)
-                    (List.tl g.g_members);
-                  send_upstream t primary line (To_slot slot)
+                  route_write t slot (group_for t name) line
               | P.Mutate (name, _) ->
                   (* MUTATE is a write like LOAD: the primary answers, live
                      replicas apply the same batch so their generation and
                      graph state advance in lockstep. *)
-                  let g = group_for t name in
-                  let primary = List.hd g.g_members in
-                  List.iter
-                    (fun m -> if is_up m then send_upstream t m line Discard)
-                    (List.tl g.g_members);
-                  send_upstream t primary line (To_slot slot)
+                  route_write t slot (group_for t name) line
               | P.Query (name, _) | P.Explain (name, _) | P.Wl (name, _) | P.Kwl (name, _)
               | P.Hom (name, _)
-              | P.Featurize (name, _, _)
-              | P.Predict (_, name, _) -> (
-                  (* FEATURIZE and PREDICT are reads keyed by the graph:
-                     replicas mirror TRAIN (below), so they hold the
-                     model and PREDICT fans out round-robin like QUERY. *)
+              | P.Featurize (name, _, _) -> (
+                  (* FEATURIZE is a read keyed by the graph, round-robin
+                     like QUERY. *)
                   let g = group_for t name in
                   match pick_read g with
                   | Some m -> send_upstream t m line (To_slot slot)
                   | None -> local (shard_down_line g.g_shard))
+              | P.Predict (model, name, _) -> (
+                  (* PREDICT needs the model AND the feature graph on one
+                     worker (a worker can only featurize graphs it owns,
+                     and the model lives on the shard of its first TRAIN
+                     source). When the router saw that TRAIN it knows the
+                     model's shard and rejects a cross-shard PREDICT up
+                     front with the actual constraint; otherwise it
+                     routes by graph and round-robins across the group,
+                     whose replicas mirrored the TRAIN. *)
+                  let g = group_for t name in
+                  match Hashtbl.find_opt t.model_shards model with
+                  | Some owner when owner <> g.g_shard ->
+                      local
+                        (P.err_line
+                           (P.error ~code:"ERR_BAD_ARG"
+                              (Printf.sprintf
+                                 "model %S lives on shard %d but graph %S hashes to shard %d: \
+                                  PREDICT through the router needs the graph co-hashed with the \
+                                  model's first TRAIN source"
+                                 model owner name g.g_shard)))
+                  | _ -> (
+                      match pick_read g with
+                      | Some m -> send_upstream t m line (To_slot slot)
+                      | None -> local (shard_down_line g.g_shard)))
               | P.Train spec -> (
                   (* TRAIN is a write keyed by its *first* source graph:
                      the primary answers and live replicas run the same
@@ -871,11 +958,8 @@ let handle_client_line t c line =
                   | [] -> local (P.err_line (P.error ~code:"ERR_BAD_ARG" "TRAIN needs ON <graphs>"))
                   | name :: _ ->
                       let g = group_for t name in
-                      let primary = List.hd g.g_members in
-                      List.iter
-                        (fun m -> if is_up m then send_upstream t m line Discard)
-                        (List.tl g.g_members);
-                      send_upstream t primary line (To_slot slot))
+                      Hashtbl.replace t.model_shards spec.P.t_model g.g_shard;
+                      route_write t slot g line)
               | P.Models ->
                   fanout t slot (primaries t) ~line_for:(fun _ -> "MODELS")
                     ~finish:(fun parts ->
@@ -1135,10 +1219,20 @@ let serve t =
         (fun m ->
           if is_up m then
             match m.m_probe_sent with
-            | Some sent when Int64.compare (Int64.sub now sent) timeout_ns > 0 ->
-                member_down t m
-                  (Printf.sprintf "health probe unanswered for %.1fs" t.config.probe_timeout_s)
-            | Some _ -> ()
+            | Some sent ->
+                (* In-order workers queue the pong behind real work, so
+                   an unanswered probe only counts against the timeout
+                   while nothing else is pending: slide the window
+                   whenever the member is busy with actual requests. *)
+                let busy =
+                  Queue.fold
+                    (fun acc d -> acc || match d with Probe -> false | _ -> true)
+                    false m.m_pending
+                in
+                if busy then m.m_probe_sent <- Some now
+                else if Int64.compare (Int64.sub now sent) timeout_ns > 0 then
+                  member_down t m
+                    (Printf.sprintf "health probe unanswered for %.1fs" t.config.probe_timeout_s)
             | None ->
                 if Int64.compare (Int64.sub now m.m_last_probe) interval_ns >= 0 then begin
                   m.m_probe_sent <- Some now;

@@ -304,6 +304,16 @@ let () =
   let code_mo, models_reply = run router_sock [ "MODELS" ] in
   check "MODELS fan-out lists the trained model"
     (code_mo = Some 0 && contains ~needle:"\"name\":\"m\"" models_reply);
+  (* Cross-shard PREDICT: the model lives on the survivor's shard, but
+     graph "a" hashes elsewhere — a worker can only featurize graphs it
+     owns, so the router must reject this locally (before member
+     selection; shard a's primary is in fact dead) with a structured
+     error naming the co-hash constraint, not time out or mis-route. *)
+  let code_x, pr_cross = run router_sock [ "--predict"; "m"; "a" ] in
+  check "cross-shard PREDICT rejected with the co-hash constraint"
+    (code_x = Some 1
+    && contains ~needle:"ERR_BAD_ARG" pr_cross
+    && contains ~needle:"co-hashed" pr_cross);
 
   (* Collect the surviving pids, then SIGTERM the router: clean exit,
      front socket unlinked, every child worker reaped. By now several

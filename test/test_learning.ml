@@ -100,6 +100,25 @@ let test_train_feature_classifier () =
   check_bool "train acc" true (h.Erm.train_metric >= 0.95);
   check_bool "test acc" true (h.Erm.test_metric >= 0.95)
 
+let test_feature_trainers_honour_deadline () =
+  (* The feature trainers check the request deadline once per epoch, so
+     a server TRAIN that times out aborts the fit instead of blocking
+     the worker for up to 10k epochs. An already-passed deadline must
+     raise on the very first epoch. *)
+  let rng = Rng.create 12 in
+  let n = 8 in
+  let features = Array.init n (fun i -> [| float_of_int i |]) in
+  let targets = Array.init n (fun i -> if i mod 2 = 0 then 1.0 else 0.0) in
+  let mask = Array.make n true in
+  let passed = Some (Int64.sub (Glql_util.Clock.now_ns ()) 1L) in
+  let head = Mlp.create rng ~sizes:[ 1; 1 ] ~act:Activation.Tanh ~out_act:Activation.Identity in
+  Alcotest.check_raises "classifier aborts" Glql_util.Clock.Deadline_exceeded (fun () ->
+      ignore
+        (Erm.train_feature_classifier ~epochs:5 ~deadline:passed head ~features ~targets ~mask));
+  Alcotest.check_raises "regressor aborts" Glql_util.Clock.Deadline_exceeded (fun () ->
+      ignore
+        (Erm.train_feature_regressor ~epochs:5 ~deadline:passed head ~features ~targets ~mask))
+
 let test_train_link_predictor () =
   let rng = Rng.create 10 in
   let ds = Dataset.links rng ~n_per_class:8 ~n_classes:2 ~n_pairs:60 ~train_fraction:0.7 in
@@ -146,6 +165,7 @@ let suite =
       case "train graph classifier" test_train_graph_classifier;
       case "train node classifier" test_train_node_classifier;
       case "train feature classifier" test_train_feature_classifier;
+      case "feature trainers honour the deadline" test_feature_trainers_honour_deadline;
       case "train link predictor" test_train_link_predictor;
       case "train graph regressor" test_train_graph_regressor;
     ] )

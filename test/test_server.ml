@@ -786,6 +786,69 @@ let test_deadline_cancels_kernels () =
   check_bool "cheap request unaffected" true (P.is_ok (Server.handle_line t "PING"));
   check_bool "small graph unaffected" true (P.is_ok (Server.handle_line t "WL petersen"))
 
+let test_featurize_cell_budget_preempts () =
+  (* The cell budget is enforced column by column, before each block is
+     materialized: a vertex-mode wl one-hot (width = stable class count,
+     near n on a colour-diverse graph) must be rejected before the
+     O(n·width) allocation. The reported dimensions pin the early trip:
+     the guard fires AT the wl column (accumulated width deg+wl), not
+     after building the whole recipe (which would also count label). *)
+  let t =
+    Server.create
+      { Server.default_config with Server.socket_path = None; max_table_cells = 20 }
+  in
+  check_bool "load" true (P.is_ok (Server.handle_line t "LOAD g path10"));
+  let wl = Server.handle_line t "WL g" in
+  (* The vertex-mode wl one-hot is indexed by raw color id, so its width
+     is 1 + max color id; recover that from the WL reply's colors list. *)
+  let max_color =
+    let marker = "\"colors\":[" in
+    match String.index_opt wl '[' with
+    | None -> Alcotest.fail "no colors list in the WL reply"
+    | Some _ ->
+        let start =
+          let rec find i =
+            if i + String.length marker > String.length wl then
+              Alcotest.fail "no colors list in the WL reply"
+            else if String.sub wl i (String.length marker) = marker then i + String.length marker
+            else find (i + 1)
+          in
+          find 0
+        in
+        let stop = String.index_from wl start ']' in
+        String.sub wl start (stop - start) |> String.split_on_char ','
+        |> List.fold_left (fun acc s -> max acc (int_of_string (String.trim s))) (-1)
+  in
+  check_bool "path10 is colour-diverse" true (max_color > 0);
+  let wl_width = 1 + max_color in
+  let reply = Server.handle_line t "FEATURIZE g 'deg;wl;label'" in
+  check_bool "over-budget recipe rejected" false (P.is_ok reply);
+  Alcotest.(check (option string)) "cell-guard code" (Some "ERR_LIMIT_CELLS") (code_of reply);
+  check_bool "guard fired at the wl column, before the rest of the recipe" true
+    (contains ~needle:(Printf.sprintf "feature matrix 10x%d " (1 + wl_width)) reply);
+  (* An in-budget recipe on the same server still evaluates. *)
+  check_bool "small recipe still fine" true (P.is_ok (Server.handle_line t "FEATURIZE g 'deg'"))
+
+let test_train_honours_deadline () =
+  (* The per-request timeout reaches inside the fit's epoch loop: TRAIN
+     with a huge EPOCHS over many rows aborts with ERR_DEADLINE instead
+     of blocking the (single-threaded) worker until the fit completes,
+     and the aborted fit leaves no half-registered model. *)
+  let t =
+    Server.create
+      { Server.default_config with Server.socket_path = None; request_timeout_s = 0.05 }
+  in
+  check_bool "load" true (P.is_ok (Server.handle_line t "LOAD g path2000"));
+  let reply =
+    Server.handle_line t
+      "TRAIN slow ON g WITH 'deg' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 10000"
+  in
+  check_bool "TRAIN cancelled" false (P.is_ok reply);
+  Alcotest.(check (option string)) "deadline code" (Some "ERR_DEADLINE") (code_of reply);
+  check_bool "no half-registered model" false
+    (contains ~needle:"\"name\":\"slow\"" (Server.handle_line t "MODELS"));
+  check_bool "server still serving" true (P.is_ok (Server.handle_line t "PING"))
+
 let test_batch_coalescing () =
   let t = make_server () in
   check_bool "load g" true (P.is_ok (Server.handle_line t "LOAD g petersen"));
@@ -1267,6 +1330,8 @@ let suite =
       case "handle_line: TRAIN/PREDICT flow" test_train_predict_flow;
       case "handle_line: graph-mode TRAIN" test_train_graph_mode;
       case "model-serving error codes" test_model_error_codes;
+      case "featurize cell budget pre-empts materialization" test_featurize_cell_budget_preempts;
+      case "TRAIN honours the request deadline" test_train_honours_deadline;
       case "persistence: model registry round trip" test_model_snapshot_roundtrip;
       prop_parse_request_total;
       case "line_buf framing" test_line_buf_framing;
