@@ -21,6 +21,8 @@ let () =
   let coloring_cache = ref Server.default_config.Server.coloring_cache_capacity in
   let plan_cache_bytes = ref Server.default_config.Server.plan_cache_bytes in
   let coloring_cache_bytes = ref Server.default_config.Server.coloring_cache_bytes in
+  let feature_cache_bytes = ref Server.default_config.Server.feature_cache_bytes in
+  let retrain_stale = ref Server.default_config.Server.retrain_stale_s in
   let timeout = ref Server.default_config.Server.request_timeout_s in
   let max_cells = ref Server.default_config.Server.max_table_cells in
   let max_conns = ref Server.default_config.Server.max_connections in
@@ -46,6 +48,13 @@ let () =
       ( "--coloring-cache-bytes",
         Arg.Set_int coloring_cache_bytes,
         "N colouring-cache byte budget, 0 disables (default 256 MiB)" );
+      ( "--feature-cache-bytes",
+        Arg.Set_int feature_cache_bytes,
+        "N feature-matrix cache byte budget, 0 disables (default 64 MiB)" );
+      ( "--retrain-stale",
+        Arg.Set_float retrain_stale,
+        "SECONDS refit models with drifted source generations from the idle loop, 0 disables \
+         (default 0)" );
       ( "--timeout",
         Arg.Set_float timeout,
         "SECONDS cooperative per-request deadline, 0 disables (default 30)" );
@@ -93,6 +102,8 @@ let () =
       coloring_cache_capacity = max 1 !coloring_cache;
       plan_cache_bytes = max 0 !plan_cache_bytes;
       coloring_cache_bytes = max 0 !coloring_cache_bytes;
+      feature_cache_bytes = max 0 !feature_cache_bytes;
+      retrain_stale_s = max 0.0 !retrain_stale;
       request_timeout_s = !timeout;
       max_table_cells = max 1 !max_cells;
       max_connections = max 1 !max_conns;
@@ -117,6 +128,11 @@ let () =
           "--coloring-cache"; string_of_int !coloring_cache;
           "--plan-cache-bytes"; string_of_int !plan_cache_bytes;
           "--coloring-cache-bytes"; string_of_int !coloring_cache_bytes;
+          "--feature-cache-bytes"; string_of_int !feature_cache_bytes;
+          (* Every member (primary and replicas) runs the same
+             deterministic refit locally — that IS the replica mirroring
+             for retrained models (same spec + seed => same weights). *)
+          "--retrain-stale"; Printf.sprintf "%g" !retrain_stale;
           "--timeout"; Printf.sprintf "%g" !timeout;
           "--max-cells"; string_of_int !max_cells;
           "--max-conns"; string_of_int !max_conns;

@@ -106,3 +106,26 @@ let shadow t =
 
 (* Convenience single-vector application. *)
 let apply_vec t v = Mat.row (forward t (Mat.of_rows [ v ])) 0
+
+(* First-output-column scores for a single-layer net, straight off the
+   row arrays: no batch matrix, no full output materialisation. Bit-for-
+   bit equal to reading column 0 of [forward] — the accumulation walks k
+   in the same order as [Mat.mul] including its zero-input skip, then
+   adds the bias and applies the activation pointwise exactly as
+   [layer_forward] does. Returns [None] for deeper nets, which need the
+   real layer walk. *)
+let scores t rows =
+  match t.layers with
+  | [ l ] ->
+      let w = l.w.Param.data in
+      let wd = Mat.data w in
+      let dout = Mat.cols w in
+      let b0 = Mat.get l.b.Param.data 0 0 in
+      Some
+        (Array.map
+           (fun row ->
+             let acc = ref 0.0 in
+             Array.iteri (fun k v -> if v <> 0.0 then acc := !acc +. (v *. wd.(k * dout))) row;
+             Activation.apply l.act (!acc +. b0))
+           rows)
+  | _ -> None

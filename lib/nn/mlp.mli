@@ -28,6 +28,12 @@ val backward : t -> cache -> dout:Mat.t -> Mat.t
 (** Apply to a single row vector. *)
 val apply_vec : t -> Vec.t -> Vec.t
 
+(** First-output-column scores straight off the row arrays, for
+    single-layer nets only ([None] otherwise). Bit-identical to reading
+    column 0 of [forward] on the same rows, without materialising the
+    batch matrix or the full output. *)
+val scores : t -> float array array -> float array option
+
 (** Shadow network sharing weights but owning private gradient buffers,
     for race-free parallel backward passes (see {!Param.shadow}). *)
 val shadow : t -> t

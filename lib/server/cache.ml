@@ -35,18 +35,43 @@ type seed = {
 
 type coloring = C_cr of Cr.result | C_kwl of Kwl.result | C_seed of seed
 
+(* An assembled feature matrix, cached whole so a warm PREDICT (or a
+   repeated FEATURIZE/TRAIN on an unchanged graph) skips column
+   materialisation entirely. The record mirrors what Featurize.build
+   produces, minus its per-build hit counters (Cache compiles before
+   Featurize, so the type lives here). Keys embed the registry
+   generation like colourings do: a MUTATE or LOAD that bumps the
+   generation makes the cached matrix unreachable, and [note_mutation]
+   reclaims the superseded entries eagerly. Feature matrices are never
+   snapshotted — they are pure derived state, cheap to rebuild relative
+   to their footprint. *)
+type fm = {
+  fm_cols : (string * int) list;
+  fm_width : int;
+  fm_rows : float array array;
+  fm_schema : string;
+}
+
+(* (graph name, registry generation, mode, canonical recipe). *)
+type feature_key = string * int * string * string
+
 type t = {
   plans : (string, plan) Lru.t;
   colorings : (string, coloring) Lru.t;
+  features : (feature_key, fm) Lru.t;
   mutex : Mutex.t;
   mutable incremental_recolors : int;
   mutable incremental_fallbacks : int;
 }
 
-let create ?(plan_bytes = 0) ?(coloring_bytes = 0) ~plan_capacity ~coloring_capacity () =
+let default_feature_capacity = 1024
+
+let create ?(plan_bytes = 0) ?(coloring_bytes = 0) ?(feature_bytes = 0) ~plan_capacity
+    ~coloring_capacity () =
   {
     plans = Lru.create ~max_bytes:plan_bytes ~capacity:plan_capacity ();
     colorings = Lru.create ~max_bytes:coloring_bytes ~capacity:coloring_capacity ();
+    features = Lru.create ~max_bytes:feature_bytes ~capacity:default_feature_capacity ();
     mutex = Mutex.create ();
     incremental_recolors = 0;
     incremental_fallbacks = 0;
@@ -73,6 +98,15 @@ let rec coloring_cost = function
       coloring_cost (C_cr s.seed_base)
       + (8 * List.length s.seed_touched_adj)
       + (8 * List.length s.seed_touched_lab)
+
+(* ~8 bytes a cell plus per-row array overhead; the strings and column
+   list are noise next to the rows but counted for honesty. *)
+let feature_cost (m : fm) =
+  Array.fold_left
+    (fun acc row -> acc + 64 + (8 * Array.length row))
+    (256 + String.length m.fm_schema
+    + List.fold_left (fun acc (n, _) -> acc + 32 + String.length n) 0 m.fm_cols)
+    m.fm_rows
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -163,6 +197,19 @@ let kwl t ~graph_name ~gen ~k ?(deadline = None) g =
   | C_kwl r, hit -> (r, hit)
   | (C_cr _ | C_seed _), _ -> assert false
 
+(* Feature-matrix lookups are split find/store rather than
+   compute-under-lock: a miss rebuilds the matrix through Featurize.build,
+   which re-enters this cache for its column colourings and plans — the
+   mutex is not reentrant, and column work is too expensive to serialise
+   anyway. Lru.get still counts the hit/miss deterministically. *)
+
+let feature_find t ~graph_name ~gen ~mode ~recipe =
+  with_lock t (fun () -> Lru.get t.features (graph_name, gen, mode, recipe))
+
+let feature_store t ~graph_name ~gen ~mode ~recipe m =
+  with_lock t (fun () ->
+      Lru.put ~bytes:(feature_cost m) t.features (graph_name, gen, mode, recipe) m)
+
 (* --- snapshot export / seeding ------------------------------------------ *)
 
 (* Exports read the LRU without touching recency or hit counters, so a
@@ -243,6 +290,10 @@ let note_mutation t ~graph_name ~old_gen ~gen ~touched_adj ~touched_lab =
               Lru.remove t.colorings key
           | _ -> ())
         (Lru.keys_mru_first t.colorings);
+      List.iter
+        (fun ((name, g, _, _) as key) ->
+          if name = graph_name && g = old_gen then Lru.remove t.features key)
+        (Lru.keys_mru_first t.features);
       match seed with
       | None -> ()
       | Some s ->
@@ -310,6 +361,13 @@ let stats t =
         ("coloring_evictions", Lru.evictions t.colorings);
         ("coloring_bytes", Lru.bytes_used t.colorings);
         ("coloring_byte_budget", Lru.max_bytes t.colorings);
+        ("feature_entries", Lru.length t.features);
+        ("feature_capacity", Lru.capacity t.features);
+        ("feature_hits", Lru.hits t.features);
+        ("feature_misses", Lru.misses t.features);
+        ("feature_evictions", Lru.evictions t.features);
+        ("feature_bytes", Lru.bytes_used t.features);
+        ("feature_byte_budget", Lru.max_bytes t.features);
         ("seed_entries", seed_entries);
         ("seed_bytes", seed_bytes);
         ("incremental_recolors", t.incremental_recolors);
@@ -319,4 +377,5 @@ let stats t =
 let clear t =
   with_lock t (fun () ->
       Lru.clear t.plans;
-      Lru.clear t.colorings)
+      Lru.clear t.colorings;
+      Lru.clear t.features)

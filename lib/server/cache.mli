@@ -30,13 +30,32 @@ type plan = {
       (** layered fast path when the query is single-variable MPNN-sum *)
 }
 
+(** An assembled feature matrix, cached whole so a warm PREDICT (or a
+    repeated FEATURIZE / TRAIN on an unchanged graph) skips column
+    materialisation entirely. Mirrors what {!Featurize.build} assembles
+    (the type lives here because Cache compiles before Featurize).
+    Feature matrices are never snapshotted — they are derived state. *)
+type fm = {
+  fm_cols : (string * int) list;  (** (column name, width) in recipe order *)
+  fm_width : int;  (** total row width *)
+  fm_rows : float array array;  (** one row per vertex (or one summary row) *)
+  fm_schema : string;  (** canonical schema string of the matrix *)
+}
+
 type t
 
-(** [plan_bytes] / [coloring_bytes] add byte budgets on top of the entry
-    capacities ([0] = none): entries carry coarse heap-size estimates
-    and the LRU evicts by memory once a budget is exceeded. *)
+(** [plan_bytes] / [coloring_bytes] / [feature_bytes] add byte budgets on
+    top of the entry capacities ([0] = none): entries carry coarse
+    heap-size estimates and the LRU evicts by memory once a budget is
+    exceeded. *)
 val create :
-  ?plan_bytes:int -> ?coloring_bytes:int -> plan_capacity:int -> coloring_capacity:int -> unit -> t
+  ?plan_bytes:int ->
+  ?coloring_bytes:int ->
+  ?feature_bytes:int ->
+  plan_capacity:int ->
+  coloring_capacity:int ->
+  unit ->
+  t
 
 (** Parse, key, and compile (or fetch) the plan for a GEL source string.
     [`Hit] means the plan cache already held the canonical key. *)
@@ -81,6 +100,20 @@ val note_mutation :
   touched_lab:int list ->
   unit
 
+(** {2 Feature-matrix cache}
+
+    Keyed on (graph name, registry generation, mode, canonical recipe).
+    Lookups are split find/store rather than compute-under-lock: a miss
+    rebuilds through {!Featurize.build}, which re-enters this cache for
+    its column colourings and plans. A [feature_find] miss still counts
+    deterministically in the [feature_misses] stat. {!note_mutation}
+    eagerly removes the superseded generation's matrices; a LOAD's
+    generation bump makes old entries unreachable so they age out. *)
+
+val feature_find : t -> graph_name:string -> gen:int -> mode:string -> recipe:string -> fm option
+
+val feature_store : t -> graph_name:string -> gen:int -> mode:string -> recipe:string -> fm -> unit
+
 (** {2 Snapshot export / seeding}
 
     Exports read without touching LRU recency or hit counters; seeds
@@ -104,10 +137,10 @@ val seed_cr : t -> graph_name:string -> gen:int -> Cr.result -> unit
 
 val seed_kwl : t -> graph_name:string -> gen:int -> k:int -> Kwl.result -> unit
 
-(** Counter snapshot: plan/coloring hits, misses, evictions, sizes, byte
-    gauges ([*_bytes] used vs [*_byte_budget]), the live incremental
-    seeds ([seed_entries] / [seed_bytes], included in the coloring
-    gauges), and how mutated graphs were recoloured
+(** Counter snapshot: plan/coloring/feature hits, misses, evictions,
+    sizes, byte gauges ([*_bytes] used vs [*_byte_budget]), the live
+    incremental seeds ([seed_entries] / [seed_bytes], included in the
+    coloring gauges), and how mutated graphs were recoloured
     ([incremental_recolors] vs [incremental_fallbacks]). *)
 val stats : t -> (string * int) list
 

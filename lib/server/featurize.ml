@@ -111,7 +111,16 @@ let sorted_class_histogram colors =
   let counts = Array.make (max_c + 1) 0 in
   Array.iter (fun c -> counts.(c) <- counts.(c) + 1) colors;
   Array.sort (fun a b -> compare b a) counts;
-  Array.init hist_width (fun i -> if i < Array.length counts then float_of_int counts.(i) else 0.0)
+  let hist =
+    Array.init hist_width (fun i -> if i < Array.length counts then float_of_int counts.(i) else 0.0)
+  in
+  (* More classes than buckets: fold the tail's mass into the final
+     bucket so the row conserves total vertex count at fixed width,
+     instead of silently dropping every class past hist_width. *)
+  for i = hist_width to Array.length counts - 1 do
+    hist.(hist_width - 1) <- hist.(hist_width - 1) +. float_of_int counts.(i)
+  done;
+  hist
 
 (* Build one column block: [Ok (width, rows)] where [rows] has one entry
    per matrix row. Errors carry an (ERR_* code, message) pair.
@@ -226,8 +235,41 @@ let build_column ~cache ~graph_name ~gen ~deadline ~check_cells mode g col =
   | Error _ as e -> e
   | Ok (width, rows) -> Ok (width, rows, !hits, !misses)
 
-let build ~cache ~graph_name ~gen ?(deadline = None) ?(max_cells = 0) mode g cols =
+(* Canonical form of a parsed recipe: the feature-cache key component.
+   Column names round-trip through parse_column, so trimming / blank
+   sections normalize away and "deg; wl" keys the same entry as "deg;wl". *)
+let canonical_recipe cols = String.concat ";" (List.map column_name cols)
+
+let rec build ~cache ~graph_name ~gen ?(deadline = None) ?(max_cells = 0) mode g cols =
   let n_rows = match mode with P.Fm_vertex -> Graph.n_vertices g | P.Fm_graph -> 1 in
+  match
+    Cache.feature_find cache ~graph_name ~gen ~mode:(P.feat_mode_name mode)
+      ~recipe:(canonical_recipe cols)
+  with
+  | Some m when max_cells > 0 && n_rows * m.Cache.fm_width > max_cells ->
+      (* Same rejection a cold build would hit — a cached matrix must not
+         smuggle an over-budget answer past --max-cells. *)
+      Error
+        ( "ERR_LIMIT_CELLS",
+          Printf.sprintf "feature matrix %dx%d exceeds --max-cells %d" n_rows m.Cache.fm_width
+            max_cells )
+  | Some m ->
+      (* Warm path: the whole matrix comes back without touching a
+         column. One feature-level hit is reported; the column caches
+         were never consulted. *)
+      Ok
+        {
+          b_mode = mode;
+          b_cols = m.Cache.fm_cols;
+          b_width = m.Cache.fm_width;
+          b_rows = m.Cache.fm_rows;
+          b_schema = m.Cache.fm_schema;
+          b_cache_hits = 1;
+          b_cache_misses = 0;
+        }
+  | None -> build_cold ~cache ~graph_name ~gen ~deadline ~max_cells mode g cols n_rows
+
+and build_cold ~cache ~graph_name ~gen ~deadline ~max_cells mode g cols n_rows =
   (* Running cell budget, enforced column by column before each block is
      materialized (see build_column): the accumulated matrix so far plus
      the candidate column's width must fit under max_cells, so the cap
@@ -275,13 +317,21 @@ let build ~cache ~graph_name ~gen ?(deadline = None) ?(max_cells = 0) mode g col
               row)
         in
         let col_widths = List.map (fun (name, w, _) -> (name, w)) blocks in
+        let schema = schema_of_widths mode col_widths in
+        (* Cache the finished matrix under its generation so the next
+           FEATURIZE / TRAIN / PREDICT on the unchanged graph skips
+           column materialisation entirely. Rows are shared, not copied:
+           every consumer treats them as read-only. *)
+        Cache.feature_store cache ~graph_name ~gen ~mode:(P.feat_mode_name mode)
+          ~recipe:(canonical_recipe cols)
+          { Cache.fm_cols = col_widths; fm_width = width; fm_rows = rows; fm_schema = schema };
         Ok
           {
             b_mode = mode;
             b_cols = col_widths;
             b_width = width;
             b_rows = rows;
-            b_schema = schema_of_widths mode col_widths;
+            b_schema = schema;
             b_cache_hits = hits;
             b_cache_misses = misses;
           }

@@ -52,6 +52,11 @@ val wants_wl : column list -> bool
 
 val wants_kwl : column list -> int list
 
+(** Canonical form of a parsed recipe (';'-joined {!column_name}s) — the
+    feature-cache key component, normal under whitespace and blank
+    sections of the source recipe string. *)
+val canonical_recipe : column list -> string
+
 type built = {
   b_mode : P.feat_mode;
   b_cols : (string * int) list;  (** per-column (name, width) *)
@@ -75,7 +80,14 @@ val row_digest : float array array -> string
     column by column as soon as each column's width is known and before
     its block is allocated — a recipe that would blow the budget (e.g. a
     vertex-mode [wl] one-hot as wide as the class count) is rejected
-    without materializing it. *)
+    without materializing it.
+
+    The finished matrix is cached whole in the server {!Cache} under
+    (graph, generation, mode, canonical recipe); a warm call returns it
+    without touching a column and reports one feature-level cache hit
+    ([b_cache_hits = 1], [b_cache_misses = 0]). The cell budget is
+    re-checked on the warm path. Cached rows are shared, never copied —
+    consumers treat them as read-only. *)
 val build :
   cache:Cache.t ->
   graph_name:string ->

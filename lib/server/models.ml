@@ -39,6 +39,8 @@ type stored = {
   sm_params : (int * int * float array) list;  (* rows, cols, row-major data *)
   sm_rows : int;  (* training rows *)
   sm_epochs : int;
+  sm_lr : float;
+  sm_split : float;
   sm_losses : float array;
   sm_train_metric : float;
   sm_test_metric : float;
@@ -114,6 +116,15 @@ let target_values ~cache mode g src =
   | Error e -> fail "ERR_QUERY" "TARGET: %s" e
   | Ok (plan, _) -> (
       let expr = plan.Cache.expr in
+      (* A TARGET must be scalar: a head is fit against one value per
+         row. Truncating a wider expression to component 0 would fit
+         against a silently wrong target, so reject it by dimension. *)
+      let* () =
+        let d = Glql_gel.Expr.dim expr in
+        if d <> 1 then
+          fail "ERR_QUERY" "TARGET: expected a scalar expression, got dimension %d" d
+        else Ok ()
+      in
       match (mode, Glql_gel.Expr.free_vars expr) with
       | P.Fm_vertex, [ _ ] ->
           (* Layered fast path when available, like the QUERY handler:
@@ -130,6 +141,22 @@ let target_values ~cache mode g src =
           fail "ERR_QUERY" "TARGET: expected %s, got %d free variables"
             (match mode with P.Fm_vertex -> "one free variable" | P.Fm_graph -> "a closed expression")
             (List.length vars))
+
+(* The exact TRAIN spec a stored model was fit from — every fit
+   hyperparameter is persisted, so a RETRAIN-on-stale refit through the
+   normal train path is deterministic: same seed, same split, same head. *)
+let spec_of_stored (m : stored) : P.train_spec =
+  {
+    P.t_model = m.sm_name;
+    t_graphs = List.map fst m.sm_sources;
+    t_recipe = m.sm_recipe;
+    t_target = m.sm_target;
+    t_mode = Some m.sm_mode;
+    t_epochs = Some m.sm_epochs;
+    t_lr = Some m.sm_lr;
+    t_seed = Some m.sm_seed;
+    t_split = Some m.sm_split;
+  }
 
 type trained = { tr_stored : stored; tr_hits : int; tr_misses : int }
 
@@ -213,6 +240,8 @@ let train ~registry ~cache ~models ?(deadline = None) ?(max_cells = 0) (spec : P
       sm_params = params_of_head head;
       sm_rows = n;
       sm_epochs = epochs;
+      sm_lr = lr;
+      sm_split = split;
       sm_losses = Array.of_list history.Erm.losses;
       sm_train_metric = history.Erm.train_metric;
       sm_test_metric = history.Erm.test_metric;
@@ -228,6 +257,7 @@ let train ~registry ~cache ~models ?(deadline = None) ?(max_cells = 0) (spec : P
 type prediction = {
   pr_model : stored;
   pr_stale : bool;
+  pr_unseen : bool;  (* graph was not a training source of the model *)
   pr_rows : (int * float) array;  (* row index (vertex or 0), score *)
   pr_hits : int;
   pr_misses : int;
@@ -270,18 +300,37 @@ let predict ~registry ~cache ~models ?(deadline = None) ?(max_cells = 0) ~model 
         in
         check vs
   in
+  (* Score all requested rows in one pass instead of a per-row
+     [Mlp.apply_vec] loop. Single-layer heads (every head [train] fits
+     today) go through [Mlp.scores], which skips the batch-matrix copy
+     entirely; deeper heads pay one batched [forward]. Both are
+     bit-identical to the per-row loop: each output row of a matrix
+     product is an independent dot-product with the same summation
+     order as the single-row case. *)
   let rows =
-    Array.map (fun i -> (i, (Mlp.apply_vec head built.Featurize.b_rows.(i)).(0))) indices
+    if Array.length indices = 0 then [||]
+    else
+      let selected = Array.map (fun i -> built.Featurize.b_rows.(i)) indices in
+      match Mlp.scores head selected with
+      | Some s -> Array.mapi (fun k i -> (i, s.(k))) indices
+      | None ->
+          let out = Mlp.forward head (Mat.of_rows (Array.to_list selected)) in
+          Array.mapi (fun k i -> (i, Mat.get out k 0)) indices
   in
-  let stale =
+  (* A graph the model never saw is not "fresh": it is flagged unseen so
+     a corpus PREDICT can tell drifted sources from foreign graphs. The
+     stale bit still means exactly "a training source whose generation
+     moved on". *)
+  let stale, unseen =
     match List.assoc_opt graph stored.sm_sources with
-    | Some g0 -> g0 <> gen
-    | None -> false
+    | Some g0 -> (g0 <> gen, false)
+    | None -> (false, true)
   in
   Ok
     {
       pr_model = stored;
       pr_stale = stale;
+      pr_unseen = unseen;
       pr_rows = rows;
       pr_hits = built.Featurize.b_cache_hits;
       pr_misses = built.Featurize.b_cache_misses;

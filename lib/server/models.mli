@@ -32,6 +32,8 @@ type stored = {
   sm_params : (int * int * float array) list;  (** rows, cols, row-major data *)
   sm_rows : int;
   sm_epochs : int;
+  sm_lr : float;
+  sm_split : float;
   sm_losses : float array;
   sm_train_metric : float;
   sm_test_metric : float;
@@ -56,6 +58,12 @@ val import : t -> stored list -> unit
     seed, weights overwritten from [sm_params]). *)
 val head_of : stored -> (Glql_nn.Mlp.t, string) result
 
+(** The exact TRAIN spec a stored model was fit from. Every fit
+    hyperparameter is persisted, so refitting through {!train} (the
+    RETRAIN-on-stale policy) is deterministic: same seed, split, epochs
+    and learning rate yield the same head on unchanged sources. *)
+val spec_of_stored : stored -> P.train_spec
+
 type trained = { tr_stored : stored; tr_hits : int; tr_misses : int }
 
 (** Featurize the source graphs, fit a head, and register the model
@@ -73,7 +81,8 @@ val train :
 
 type prediction = {
   pr_model : stored;
-  pr_stale : bool;
+  pr_stale : bool;  (** a training source whose generation moved on *)
+  pr_unseen : bool;  (** the graph was never a training source of the model *)
   pr_rows : (int * float) array;  (** row index (vertex, or 0 for graph mode), score *)
   pr_hits : int;
   pr_misses : int;

@@ -33,6 +33,8 @@ let model_to_snapshot (m : Models.stored) =
     m_params = m.Models.sm_params;
     m_rows = m.Models.sm_rows;
     m_epochs = m.Models.sm_epochs;
+    m_lr = m.Models.sm_lr;
+    m_split = m.Models.sm_split;
     m_losses = m.Models.sm_losses;
     m_train_metric = m.Models.sm_train_metric;
     m_test_metric = m.Models.sm_test_metric;
@@ -52,6 +54,8 @@ let model_of_snapshot ~rekey (m : Snapshot.model_entry) =
     sm_params = m.Snapshot.m_params;
     sm_rows = m.Snapshot.m_rows;
     sm_epochs = m.Snapshot.m_epochs;
+    sm_lr = m.Snapshot.m_lr;
+    sm_split = m.Snapshot.m_split;
     sm_losses = m.Snapshot.m_losses;
     sm_train_metric = m.Snapshot.m_train_metric;
     sm_test_metric = m.Snapshot.m_test_metric;

@@ -17,7 +17,11 @@
    v6: model serving — FEATURIZE / TRAIN / PREDICT / MODELS, backed by a
    server-side feature-recipe evaluator and a persisted model registry;
    the v5 reply grammar is byte-unchanged, three error codes are added
-   (ERR_UNKNOWN_MODEL, ERR_BAD_RECIPE, ERR_SCHEMA_MISMATCH). *)
+   (ERR_UNKNOWN_MODEL, ERR_BAD_RECIPE, ERR_SCHEMA_MISMATCH).
+   Still v6 (additive): the batched "PREDICT <model> ON g1,g2,..." form
+   and the "unseen" field in PREDICT replies — single-graph PREDICT
+   lines and their replies are byte-unchanged apart from that
+   deterministic field. *)
 let protocol_version = 6
 
 (* The JSON tree lives in Glql_util.Json so bench, metrics and trace
@@ -110,6 +114,7 @@ type request =
   | Featurize of string * string * feat_mode
   | Train of train_spec
   | Predict of string * string * int list
+  | Predict_batch of string * string list  (* PREDICT <model> ON g1,g2,... *)
   | Models
   | Save of string option
   | Restore of string option
@@ -357,6 +362,14 @@ let parse_request line =
         | "FEATURIZE", _ -> Error "usage: FEATURIZE <graph> '<recipe>' [VERTEX|GRAPH]"
         | "TRAIN", model :: (_ :: _ as rest) -> Result.map (fun s -> Train s) (parse_train model rest)
         | "TRAIN", _ -> Error train_usage
+        | "PREDICT", [ model; on; graphs ] when String.uppercase_ascii on = "ON" -> (
+            (* Batched corpus form: one reply with a per-graph payload
+               list, same order as the (comma-separated) graph list. *)
+            match String.split_on_char ',' graphs |> List.filter (fun g -> g <> "") with
+            | [] -> Error "PREDICT ON: expected at least one graph name"
+            | gs -> Ok (Predict_batch (model, gs)))
+        | "PREDICT", _ :: on :: _ when String.uppercase_ascii on = "ON" ->
+            Error "usage: PREDICT <model> ON <graph>[,<graph>...]"
         | "PREDICT", model :: graph :: vertices -> (
             let rec ints acc = function
               | [] -> Ok (List.rev acc)
@@ -365,7 +378,8 @@ let parse_request line =
             match ints [] vertices with
             | Ok vs -> Ok (Predict (model, graph, vs))
             | Error e -> Error e)
-        | "PREDICT", _ -> Error "usage: PREDICT <model> <graph> [vertex ...]"
+        | "PREDICT", _ ->
+            Error "usage: PREDICT <model> <graph> [vertex ...] | PREDICT <model> ON <graph>[,...]"
         | "MODELS", [] -> Ok Models
         | "SAVE", [] -> Ok (Save None)
         | "SAVE", [ path ] -> Ok (Save (Some path))
@@ -393,7 +407,7 @@ let command_name = function
   | Mutate _ -> "MUTATE"
   | Featurize _ -> "FEATURIZE"
   | Train _ -> "TRAIN"
-  | Predict _ -> "PREDICT"
+  | Predict _ | Predict_batch _ -> "PREDICT"
   | Models -> "MODELS"
   | Save _ -> "SAVE"
   | Restore _ -> "RESTORE"

@@ -20,6 +20,7 @@
     FEATURIZE <graph> '<recipe>' [VERTEX|GRAPH]
     TRAIN <model> ON <graph>[,<graph>...] WITH '<recipe>' TARGET '<gel>' [MODE VERTEX|GRAPH] [EPOCHS <n>] [LR <f>] [SEED <n>] [SPLIT <f>]
     PREDICT <model> <graph> [vertex ...]
+    PREDICT <model> ON <graph>[,<graph>...]
     MODELS
     SAVE [path]
     RESTORE [path]
@@ -133,6 +134,12 @@ type request =
   | Train of train_spec  (** fit a named model server-side (v6) *)
   | Predict of string * string * int list
       (** model, graph, vertex subset (empty = all rows) (v6) *)
+  | Predict_batch of string * string list
+      (** batched corpus form [PREDICT <model> ON g1,g2,...]: one reply
+          whose ["batch"] list holds the per-graph payloads in request
+          order. Additive v6 grammar — single-graph replies are
+          byte-unchanged. A graph named literally ["ON"] must use the
+          batched form to be addressable. *)
   | Models  (** list the model registry (v6) *)
   | Save of string option  (** snapshot path; defaults to [--snapshot] *)
   | Restore of string option  (** snapshot path; defaults to [--snapshot] *)

@@ -731,6 +731,53 @@ let finish_snapshots parts =
       in
       P.ok (merge_snapshots payloads)
 
+(* Merge the sub-batch replies of a fanned batched PREDICT. Chunks are
+   contiguous in request order, so forwarding the first failing part
+   verbatim reproduces the single daemon's first-error semantics (its
+   whole reply is the first failing graph's classified error); otherwise
+   the per-member ["batch"] arrays concatenate back into request order
+   and the envelope is rebuilt in the worker's exact field order, which
+   round-trips byte-identically through {!Json}. *)
+let finish_predict_batch model ~graphs parts =
+  let first_err =
+    Array.to_list parts
+    |> List.find_map (fun (shard, _, r) ->
+           match r with
+           | None -> Some (shard_down_line shard)
+           | Some line when not (P.is_ok line) -> Some line
+           | Some _ -> None)
+  in
+  match first_err with
+  | Some line -> line
+  | None ->
+      let payloads = Array.to_list parts |> List.filter_map (fun (_, _, r) -> payload_of r) in
+      let field name p = match p with P.Obj fields -> List.assoc_opt name fields | _ -> None in
+      let batch =
+        List.concat_map
+          (fun p -> match field "batch" p with Some (P.List items) -> items | _ -> [])
+          payloads
+      in
+      if List.length batch <> graphs then
+        P.err_line
+          (P.error ~code:"ERR_INTERNAL"
+             (Printf.sprintf "batched PREDICT merge produced %d of %d rows" (List.length batch)
+                graphs))
+      else
+        let first name =
+          match payloads with
+          | p :: _ -> Option.value ~default:P.Null (field name p)
+          | [] -> P.Null
+        in
+        P.ok
+          (P.Obj
+             [
+               ("model", P.Str model);
+               ("task", first "task");
+               ("mode", first "mode");
+               ("graphs", P.Int graphs);
+               ("batch", P.List batch);
+             ])
+
 let primaries t = Array.to_list t.groups |> List.map (fun g -> List.hd g.g_members)
 
 let start_replica t slot shard =
@@ -947,6 +994,76 @@ let handle_client_line t c line =
                       match pick_read g with
                       | Some m -> send_upstream t m line (To_slot slot)
                       | None -> local (shard_down_line g.g_shard)))
+              | P.Predict_batch (model, graphs) -> (
+                  (* Batched PREDICT fans the read across the owning
+                     group's live members: the graph list splits into
+                     contiguous chunks, each member answers its sub-batch
+                     with the same wire form, and the router concatenates
+                     the ["batch"] arrays back into request order (see
+                     {!finish_predict_batch}). Every graph must co-hash
+                     with the model, like single PREDICT. *)
+                  let shards_hit =
+                    List.sort_uniq compare
+                      (List.map (fun g -> Shard.id_of_name ~shards:t.config.shards g) graphs)
+                  in
+                  match shards_hit with
+                  | [] -> local (P.err_line (P.error ~code:"ERR_BAD_ARG" "PREDICT ON: empty graph list"))
+                  | _ :: _ :: _ ->
+                      local
+                        (P.err_line
+                           (P.error ~code:"ERR_BAD_ARG"
+                              (Printf.sprintf
+                                 "batched PREDICT through the router needs every graph on one \
+                                  shard, but these hash to shards %s: co-hash the graph names \
+                                  with the model's first TRAIN source"
+                                 (String.concat ", " (List.map string_of_int shards_hit)))))
+                  | [ shard ] -> (
+                      let g = t.groups.(shard) in
+                      match Hashtbl.find_opt t.model_shards model with
+                      | Some owner when owner <> shard ->
+                          local
+                            (P.err_line
+                               (P.error ~code:"ERR_BAD_ARG"
+                                  (Printf.sprintf
+                                     "model %S lives on shard %d but the graphs hash to shard %d: \
+                                      PREDICT through the router needs the graph co-hashed with \
+                                      the model's first TRAIN source"
+                                     model owner shard)))
+                      | _ -> (
+                          match List.filter is_up g.g_members with
+                          | [] -> local (shard_down_line shard)
+                          | [ _ ] -> (
+                              (* One live member: forward verbatim (keeps
+                                 any TRACE suffix, trivially byte-equal). *)
+                              match pick_read g with
+                              | Some m -> send_upstream t m line (To_slot slot)
+                              | None -> local (shard_down_line shard))
+                          | ups ->
+                              let n = List.length graphs in
+                              let k = min (List.length ups) n in
+                              let chunk_size = (n + k - 1) / k in
+                              let rec chunks = function
+                                | [] -> []
+                                | xs ->
+                                    let rec take i = function
+                                      | x :: rest when i < chunk_size ->
+                                          let hd, tl = take (i + 1) rest in
+                                          (x :: hd, tl)
+                                      | rest -> ([], rest)
+                                    in
+                                    let hd, tl = take 0 xs in
+                                    hd :: chunks tl
+                              in
+                              let parts_graphs = chunks graphs in
+                              let targets =
+                                List.filteri (fun i _ -> i < List.length parts_graphs) ups
+                              in
+                              let assignments = List.combine targets parts_graphs in
+                              fanout t slot targets
+                                ~line_for:(fun m ->
+                                  Printf.sprintf "PREDICT %s ON %s" (quote_word model)
+                                    (quote_word (String.concat "," (List.assq m assignments))))
+                                ~finish:(finish_predict_batch model ~graphs:n))))
               | P.Train spec -> (
                   (* TRAIN is a write keyed by its *first* source graph:
                      the primary answers and live replicas run the same

@@ -52,6 +52,8 @@ type config = {
   coloring_cache_capacity : int;
   plan_cache_bytes : int;
   coloring_cache_bytes : int;
+  feature_cache_bytes : int;
+  retrain_stale_s : float;  (* 0 = RETRAIN-on-stale disabled *)
   request_timeout_s : float;
   max_table_cells : int;
   max_connections : int;
@@ -70,6 +72,8 @@ let default_config =
     coloring_cache_capacity = 64;
     plan_cache_bytes = 32 * 1024 * 1024;
     coloring_cache_bytes = 256 * 1024 * 1024;
+    feature_cache_bytes = 64 * 1024 * 1024;
+    retrain_stale_s = 0.0;
     request_timeout_s = 30.0;
     max_table_cells = 4_000_000;
     max_connections = 256;
@@ -99,6 +103,7 @@ type t = {
   metrics : Metrics.t;
   stop_flag : bool Atomic.t;
   restored : restored_info option Atomic.t;
+  retrains : int Atomic.t;  (* models refit by the RETRAIN-on-stale policy *)
 }
 
 let create config =
@@ -108,12 +113,14 @@ let create config =
     cache =
       Cache.create ~plan_bytes:config.plan_cache_bytes
         ~coloring_bytes:config.coloring_cache_bytes
+        ~feature_bytes:config.feature_cache_bytes
         ~plan_capacity:config.plan_cache_capacity
         ~coloring_capacity:config.coloring_cache_capacity ();
     models = Models.create ();
     metrics = Metrics.create ();
     stop_flag = Atomic.make false;
     restored = Atomic.make None;
+    retrains = Atomic.make 0;
   }
 
 let caches t = t.cache
@@ -504,9 +511,38 @@ let predict_result t deadline model graph vertices =
          ("task", P.Str (Models.task_name m.Models.sm_task));
          ("mode", P.Str (P.feat_mode_name m.Models.sm_mode));
          ("stale", P.Bool p.Models.pr_stale);
+         ("unseen", P.Bool p.Models.pr_unseen);
          ("n", P.Int (Array.length rows));
          ("predictions", P.List (Array.to_list (Array.map row_json listed)));
          ("truncated", P.Bool truncated);
+       ])
+
+(* Batched corpus PREDICT: every graph's payload is the exact object a
+   single PREDICT would return (so the router can split the list across
+   shard replicas and re-concatenate the parts byte-identically). The
+   batch is atomic on errors: the first failing graph's classified error
+   is the whole reply, matching what a client-side loop would hit. *)
+let predict_batch_result t deadline model graphs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | graph :: rest ->
+        let* payload = predict_result t deadline model graph [] in
+        go (payload :: acc) rest
+  in
+  let* payloads = go [] graphs in
+  let first field =
+    match payloads with
+    | P.Obj fields :: _ -> Option.value ~default:P.Null (List.assoc_opt field fields)
+    | _ -> P.Null
+  in
+  Ok
+    (P.Obj
+       [
+         ("model", P.Str model);
+         ("task", first "task");
+         ("mode", first "mode");
+         ("graphs", P.Int (List.length payloads));
+         ("batch", P.List payloads);
        ])
 
 let models_result t =
@@ -535,6 +571,7 @@ let stats_json t =
           ("protocol_version", P.Int P.protocol_version);
           ("graphs_registered", P.Int (Registry.n_graphs t.registry));
           ("models_registered", P.Int (Models.count t.models));
+          ("retrains_stale", P.Int (Atomic.get t.retrains));
           ("pool_domains", P.Int (Pool.size ()));
           ("restored", restored_json t);
         ])
@@ -656,6 +693,7 @@ let dispatch t deadline ~shared ~sink ~t0 req =
   | P.Featurize (graph, recipe, mode) -> featurize_result t deadline graph recipe mode
   | P.Train spec -> train_result t deadline spec
   | P.Predict (model, graph, vertices) -> predict_result t deadline model graph vertices
+  | P.Predict_batch (model, graphs) -> predict_batch_result t deadline model graphs
   | P.Models -> models_result t
   | P.Mutate (graph, ops) ->
       let ops =
@@ -806,10 +844,12 @@ let plan_batch t lines =
   let bump tbl key =
     Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
   in
-  (* FEATURIZE / TRAIN requests whose recipe pulls colorings join the
-     WL/k-WL groups: a batch of featurizations over one graph — or a WL
-     request next to a FEATURIZE that one-hots the same coloring — runs
-     one refinement. *)
+  (* FEATURIZE / TRAIN / PREDICT requests whose recipe pulls colorings
+     join the WL/k-WL groups: a batch of featurizations over one graph —
+     or a WL request next to a FEATURIZE that one-hots the same coloring
+     — runs one refinement. PREDICT recipes come from the model registry
+     (a batched PREDICT contributes every graph of its corpus); an
+     unknown model simply contributes nothing. *)
   let bump_recipe names recipe =
     match Featurize.parse_recipe recipe with
     | Error _ -> ()
@@ -830,6 +870,14 @@ let plan_batch t lines =
           Hashtbl.replace hom name (count + 1, max size max_size)
       | Ok { P.req = P.Featurize (name, recipe, _); _ } -> bump_recipe [ name ] recipe
       | Ok { P.req = P.Train spec; _ } -> bump_recipe spec.P.t_graphs spec.P.t_recipe
+      | Ok { P.req = P.Predict (model, name, _); _ } -> (
+          match Models.find t.models model with
+          | Some m -> bump_recipe [ name ] m.Models.sm_recipe
+          | None -> ())
+      | Ok { P.req = P.Predict_batch (model, names); _ } -> (
+          match Models.find t.models model with
+          | Some m -> bump_recipe names m.Models.sm_recipe
+          | None -> ())
       | _ -> ())
     lines;
   let sorted_groups tbl keep =
@@ -925,6 +973,49 @@ type conn = {
 
 let log t fmt =
   Printf.ksprintf (fun s -> if t.config.verbose then Printf.eprintf "glqld: %s\n%!" s) fmt
+
+(* --- RETRAIN-on-stale ----------------------------------------------------- *)
+
+(* Periodic idle-loop policy (--retrain-stale SECS): refit any model
+   whose source generations drifted — a MUTATE or re-LOAD bumped them,
+   or a restore rekeyed them to the -1 sentinel — off the request path.
+   The refit goes through the normal Models.train with the persisted
+   spec (same sources, seed, split, lr, epochs), so the refreshed model
+   is exactly what a client-issued re-TRAIN would produce; in the
+   sharded deployment every member runs the same deterministic refit
+   locally, which keeps primary and replicas byte-identical without a
+   mirroring protocol. A model whose source graph no longer exists
+   cannot be refit and is left as-is (it keeps answering stale). *)
+let retrain_stale_pass t =
+  List.iter
+    (fun (m : Models.stored) ->
+      let states =
+        List.map
+          (fun (name, g0) ->
+            match Registry.find_entry t.registry name with
+            | Ok (_, gen) -> `Live (g0 <> gen)
+            | Error _ -> `Gone)
+          m.Models.sm_sources
+      in
+      let all_live = List.for_all (function `Live _ -> true | `Gone -> false) states in
+      let drifted = List.exists (function `Live d -> d | `Gone -> false) states in
+      if all_live && drifted then begin
+        let deadline = Clock.deadline_after t.config.request_timeout_s in
+        match
+          Models.train ~registry:t.registry ~cache:t.cache ~models:t.models ~deadline
+            ~max_cells:t.config.max_table_cells (Models.spec_of_stored m)
+        with
+        | Ok _ ->
+            Atomic.incr t.retrains;
+            log t "retrain-stale: refit model %S" m.Models.sm_name
+        | Error (code, msg) ->
+            log t "retrain-stale: refit of %S failed: %s (%s)" m.Models.sm_name msg code
+        | exception Clock.Deadline_exceeded ->
+            log t "retrain-stale: refit of %S hit the request timeout" m.Models.sm_name
+        | exception e ->
+            log t "retrain-stale: refit of %S raised %s" m.Models.sm_name (Printexc.to_string e)
+      end)
+    (Models.list t.models)
 
 (* Client sockets are nonblocking: push as much of [outbuf] as the socket
    accepts and keep the rest for the select write set, so one client that
@@ -1032,6 +1123,20 @@ let serve t =
   if !listeners = [] then invalid_arg "Server.serve: no socket_path and no tcp_port";
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let chunk = Bytes.create 65536 in
+  (* RETRAIN-on-stale runs from this loop (never from a request handler):
+     at most one scan per interval, after the batch of the iteration has
+     been dispatched and its replies queued, so a refit delays no reply
+     that was already in flight. *)
+  let last_retrain_scan = ref (Unix.gettimeofday ()) in
+  let maybe_retrain () =
+    if t.config.retrain_stale_s > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      if now -. !last_retrain_scan >= t.config.retrain_stale_s then begin
+        last_retrain_scan := now;
+        retrain_stale_pass t
+      end
+    end
+  in
   (* Run one batch of request lines through the coalescing planner and
      the pool, and write replies back in arrival order. *)
   let process_batch pending =
@@ -1166,6 +1271,7 @@ let serve t =
               | exception Unix.Unix_error _ -> conn.closing <- true))
       readable;
     process_batch (List.rev !pending);
+    maybe_retrain ();
     (* Close connections that hit EOF, errored, or sent QUIT — once their
        queued replies have drained. *)
     let dead =

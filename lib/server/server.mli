@@ -14,6 +14,17 @@ type config = {
   coloring_cache_capacity : int;
   plan_cache_bytes : int;  (** plan-cache byte budget; 0 = entries only *)
   coloring_cache_bytes : int;  (** colouring-cache byte budget; 0 = entries only *)
+  feature_cache_bytes : int;
+      (** feature-matrix cache byte budget; 0 = entries only. Cached
+          matrices are keyed by (graph, generation, mode, recipe) and
+          make a warm FEATURIZE / TRAIN / PREDICT skip column
+          materialisation entirely; they are never snapshotted *)
+  retrain_stale_s : float;
+      (** RETRAIN-on-stale scan interval in seconds; 0 disables it. When
+          set, the serve loop periodically refits (off the request path,
+          with the model's persisted spec — deterministic) every model
+          whose source generations drifted, so a subsequent PREDICT
+          answers [stale:false] again *)
   request_timeout_s : float;
       (** cooperative per-request deadline; 0 = none. Checked between
           pipeline stages and inside the WL / k-WL / hom kernels

@@ -41,6 +41,8 @@ type model_entry = {
   m_params : (int * int * float array) list;
   m_rows : int;
   m_epochs : int;
+  m_lr : float;
+  m_split : float;
   m_losses : float array;
   m_train_metric : float;
   m_test_metric : float;
@@ -65,7 +67,18 @@ let s_colorings = "COLR"
 
 let s_plans = "PLAN"
 
+(* Models were first snapshotted as "MODL"; "MOD2" extends the record
+   with the fit hyperparameters (lr, split) a RETRAIN-on-stale refit
+   needs. Writers emit MOD2 only; readers take MOD2 when present and
+   fall back to the legacy MODL codec with the historical defaults. *)
 let s_models = "MODL"
+
+let s_models2 = "MOD2"
+
+(* The TRAIN defaults in force when MODL was current (see Models). *)
+let legacy_lr = 0.05
+
+let legacy_split = 0.8
 
 let s_metrics = "MTRC"
 
@@ -173,11 +186,13 @@ let w_model w m =
     m.m_params;
   W.u32 w m.m_rows;
   W.u32 w m.m_epochs;
+  W.f64 w m.m_lr;
+  W.f64 w m.m_split;
   W.float_array w m.m_losses;
   W.f64 w m.m_train_metric;
   W.f64 w m.m_test_metric
 
-let r_model r =
+let r_model ~v2 r =
   let m_name = R.str r in
   let m_task = R.u8 r in
   let m_mode = R.u8 r in
@@ -205,6 +220,8 @@ let r_model r =
   in
   let m_rows = R.u32 r in
   let m_epochs = R.u32 r in
+  let m_lr = if v2 then R.f64 r else legacy_lr in
+  let m_split = if v2 then R.f64 r else legacy_split in
   let m_losses = R.float_array r in
   let m_train_metric = R.f64 r in
   let m_test_metric = R.f64 r in
@@ -221,6 +238,8 @@ let r_model r =
     m_params;
     m_rows;
     m_epochs;
+    m_lr;
+    m_split;
     m_losses;
     m_train_metric;
     m_test_metric;
@@ -265,15 +284,16 @@ let encode_sections snap =
             W.str w src)
           snap.plans)
   in
-  (* The MODL section is emitted only when there are models, so pre-v6
+  (* The models section is emitted only when there are models, so pre-v6
      snapshot bytes are unchanged for model-free state; old readers
-     ignore the unknown tag via the container either way. *)
+     ignore the unknown tag via the container either way. Writers emit
+     the MOD2 codec only — legacy MODL is read-side compatibility. *)
   let models =
     match snap.models with
     | [] -> []
     | ms ->
         [
-          encode_section s_models (fun w ->
+          encode_section s_models2 (fun w ->
               W.u32 w (List.length ms);
               List.iter (fun m -> w_model w m) ms);
         ]
@@ -356,11 +376,16 @@ let decode s =
                   (key, src)))
         in
         let models =
-          decode_section sections s_models
-            ~default:(fun () -> [])
+          decode_section sections s_models2
+            ~default:(fun () ->
+              decode_section sections s_models
+                ~default:(fun () -> [])
+                (fun r ->
+                  let count = R.u32 r in
+                  List.init count (fun _ -> r_model ~v2:false r)))
             (fun r ->
               let count = R.u32 r in
-              List.init count (fun _ -> r_model r))
+              List.init count (fun _ -> r_model ~v2:true r))
         in
         let metrics =
           decode_section sections s_metrics

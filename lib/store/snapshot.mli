@@ -46,9 +46,11 @@ type metrics_counters = {
 (** A trained model of the v6 serving layer, as pure data: the head is
     fully determined by [m_sizes], [m_seed] and the weight matrices, so
     the store does not depend on the nn layer. Written to a dedicated
-    MODL section — emitted only when models exist, ignored by pre-v6
+    MOD2 section — emitted only when models exist, ignored by pre-v6
     readers, defaulted to [[]] when absent — so snapshot compatibility
-    is two-way. *)
+    is two-way. The legacy MODL section (which predates [m_lr] /
+    [m_split]) is still read, defaulting those fields to the TRAIN
+    defaults in force when it was current (lr 0.05, split 0.8). *)
 type model_entry = {
   m_name : string;
   m_task : int;  (** 0 = classifier, 1 = regressor *)
@@ -62,6 +64,8 @@ type model_entry = {
   m_params : (int * int * float array) list;  (** rows, cols, row-major f64 data *)
   m_rows : int;
   m_epochs : int;
+  m_lr : float;  (** fit learning rate, kept for RETRAIN-on-stale refits *)
+  m_split : float;  (** fit train fraction, ditto *)
   m_losses : float array;
   m_train_metric : float;
   m_test_metric : float;

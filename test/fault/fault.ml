@@ -32,7 +32,12 @@
    must leave MODELS and PREDICT consistent with exactly the
    acknowledged models, and SIGKILL mid-TRAIN must leave the last SAVEd
    snapshot restoring a registry with the persisted model, none of the
-   in-flight ones, and no half-written entry. *)
+   in-flight ones, and no half-written entry.
+
+   Phase F attacks the RETRAIN-on-stale loop: a MUTATE flood racing the
+   idle-loop refits must leave every request structurally answered,
+   MODELS holding exactly the trained model, and — once the flood stops
+   — a PREDICT that settles to stale:false on the final generation. *)
 
 let failures = ref 0
 
@@ -767,6 +772,103 @@ let phase_e glqld dir =
   Unix.kill pid2 Sys.sigterm;
   check "E: clean exit after model faults" (wait_exit pid2 = Some 0)
 
+(* --- phase F: MUTATE flood racing the RETRAIN-on-stale loop --------------- *)
+
+let phase_f glqld dir =
+  let sock = Filename.concat dir "fault_f.sock" in
+  let daemon =
+    spawn_daemon glqld
+      [ "--socket"; sock; "--retrain-stale"; "0.2" ]
+      ~stdout_file:(Filename.concat dir "daemon_f.out")
+  in
+  wait_for_socket sock;
+  check "F: daemon socket appears" (Sys.file_exists sock);
+  expect_ok sock "F: LOAD cycle2000" "LOAD g cycle2000";
+  (* The recipe avoids wl so its widths are mutation-stable: every
+     idle-loop refit against a drifted generation must succeed rather
+     than trip ERR_SCHEMA_MISMATCH. *)
+  expect_ok sock "F: model trains"
+    "TRAIN live ON g WITH 'deg;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 5";
+
+  (* Flood mutations down one connection while a second interleaves
+     PREDICTs, with the refit loop racing both from the idle path. Every
+     line on both streams must come back structured — a refit holding a
+     lock across the request path would surface here as a timeout. *)
+  let structured reply =
+    (String.length reply >= 2 && String.sub reply 0 2 = "OK")
+    || String.length reply >= 3
+       && String.sub reply 0 3 = "ERR"
+       && contains ~needle:"\"code\"" reply
+  in
+  let fd_mut = connect sock and fd_pred = connect sock in
+  let race_ok = ref true in
+  for i = 0 to 199 do
+    send_line fd_mut
+      (Printf.sprintf "MUTATE g ADD_EDGES %d %d" (i mod 2000) (((i * 11) + 5) mod 2000));
+    (match recv_line fd_mut with
+    | `Line reply -> if not (structured reply) then race_ok := false
+    | `Eof | `Timeout -> race_ok := false);
+    if i mod 10 = 0 then begin
+      send_line fd_pred "PREDICT live g 0 1 2";
+      match recv_line fd_pred with
+      | `Line reply ->
+          if not (String.length reply >= 2 && String.sub reply 0 2 = "OK") then
+            race_ok := false
+      | `Eof | `Timeout -> race_ok := false
+    end;
+    (* Let the 0.2 s refit timer overlap the flood rather than only
+       trail it. *)
+    if i mod 50 = 49 then ignore (Unix.select [] [] [] 0.25)
+  done;
+  close_quiet fd_mut;
+  close_quiet fd_pred;
+  check "F: MUTATE flood racing retrain: every line answered structurally" !race_ok;
+  (match vmrss_kb daemon with
+  | None -> check "F: RSS bounded under the retrain race (skipped: no /proc)" true
+  | Some kb ->
+      check (Printf.sprintf "F: RSS bounded under the retrain race (%d KB < 512 MB)" kb)
+        (kb < 512 * 1024));
+
+  (* Quiescence: with the flood stopped, the idle loop must converge the
+     model onto the final generation — PREDICT settles at stale:false
+     and stays structurally sound. *)
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let settled = ref false in
+  while (not !settled) && Unix.gettimeofday () < deadline do
+    (match request sock "PREDICT live g 0 1 2" with
+    | `Line reply
+      when String.length reply >= 2
+           && String.sub reply 0 2 = "OK"
+           && contains ~needle:"\"stale\":false" reply ->
+        settled := true
+    | _ -> ());
+    if not !settled then ignore (Unix.select [] [] [] 0.2)
+  done;
+  check "F: PREDICT settles to stale:false after the flood" !settled;
+  (match request sock "MODELS" with
+  | `Line reply ->
+      let occurrences needle s =
+        let nl = String.length needle and sl = String.length s in
+        let count = ref 0 in
+        for i = 0 to sl - nl do
+          if String.sub s i nl = needle then incr count
+        done;
+        !count
+      in
+      check "F: MODELS holds exactly the trained model"
+        (String.length reply >= 2
+        && String.sub reply 0 2 = "OK"
+        && contains ~needle:"\"name\":\"live\"" reply
+        && occurrences "\"name\":" reply = 1)
+  | `Eof | `Timeout -> check "F: MODELS holds exactly the trained model" false);
+  (match request sock "STATS" with
+  | `Line stats ->
+      check "F: STATS counts idle-loop refits"
+        (match json_int_field stats "retrains_stale" with Some n -> n >= 1 | None -> false)
+  | `Eof | `Timeout -> check "F: STATS counts idle-loop refits" false);
+  Unix.kill daemon Sys.sigterm;
+  check "F: clean exit after the retrain race" (wait_exit daemon = Some 0)
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   at_exit kill_all;
@@ -785,6 +887,7 @@ let () =
   phase_c glqld dir;
   phase_d glqld dir;
   phase_e glqld dir;
+  phase_f glqld dir;
   Array.iter
     (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (Sys.readdir dir);

@@ -118,14 +118,22 @@ let () =
     done
   in
 
+  (* Both sides run the RETRAIN-on-stale policy at the same cadence, so
+     refreshed models stay byte-identical between the fleet and the
+     reference daemon (the refit is deterministic from the stored spec). *)
   let single =
-    spawn glqld [ "--socket"; single_sock ] ~stdout_file:(Filename.concat dir "single.out")
+    spawn glqld
+      [ "--socket"; single_sock; "--retrain-stale"; "0.4" ]
+      ~stdout_file:(Filename.concat dir "single.out")
   in
   let router =
     spawn glqld
       (* Short probe interval so the health-probe counters observably
          tick within the lifetime of this test. *)
-      [ "--router"; "--workers"; "3"; "--socket"; router_sock; "--probe-interval"; "0.2" ]
+      [
+        "--router"; "--workers"; "3"; "--socket"; router_sock; "--probe-interval"; "0.2";
+        "--retrain-stale"; "0.4";
+      ]
       ~stdout_file:(Filename.concat dir "router.out")
   in
   wait_for single_sock;
@@ -304,6 +312,54 @@ let () =
   let code_mo, models_reply = run router_sock [ "MODELS" ] in
   check "MODELS fan-out lists the trained model"
     (code_mo = Some 0 && contains ~needle:"\"name\":\"m\"" models_reply);
+  (* Batched PREDICT: the router splits the graph list across the
+     group's live members (primary + replica here) and re-concatenates
+     the per-member "batch" arrays — the merged reply must be
+     byte-identical to the single daemon serving the whole batch in one
+     process, and atomic on a failing graph. *)
+  let batch_args = [ "--predict"; "m"; "ON"; survivor ^ "," ^ survivor ] in
+  let code_b, batch_router = run router_sock batch_args in
+  let _, batch_single = run single_sock batch_args in
+  check "batched PREDICT through the router exits 0"
+    (code_b = Some 0 && contains ~needle:"\"graphs\":2" batch_router);
+  check "batched PREDICT byte-identical single vs router"
+    (batch_router = batch_single && String.length batch_single > 0);
+  let code_bx, batch_cross = run router_sock [ "--predict"; "m"; "ON"; survivor ^ ",a" ] in
+  check "mixed-shard batch rejected with the co-hash constraint"
+    (code_bx = Some 1
+    && contains ~needle:"ERR_BAD_ARG" batch_cross
+    && contains ~needle:"one" batch_cross);
+
+  (* RETRAIN-on-stale: mutate the model's source on both sides, then
+     wait for the idle loops (every 0.4s) to refit off the request
+     path. Every group member refits the same deterministic spec, so
+     once refreshed both round-robin targets must answer stale:false
+     byte-identically to the refreshed single daemon. *)
+  let _, mut_r = run router_sock [ "MUTATE"; survivor; "ADD_EDGES"; "1"; "3" ] in
+  let _, mut_s = run single_sock [ "MUTATE"; survivor; "ADD_EDGES"; "1"; "3" ] in
+  check "staleness MUTATE applied on both sides"
+    (contains ~needle:"\"add_edges\":1" mut_r && contains ~needle:"\"add_edges\":1" mut_s);
+  let fresh reply = contains ~needle:"\"stale\":false" reply && contains ~needle:"OK {" reply in
+  let rec await_retrain tries =
+    let _, p1 = run router_sock predict_args in
+    let _, p2 = run router_sock predict_args in
+    let _, ps = run single_sock predict_args in
+    if fresh p1 && fresh p2 && fresh ps then Some (p1, p2, ps)
+    else if tries = 0 then None
+    else begin
+      ignore (Unix.select [] [] [] 0.4);
+      await_retrain (tries - 1)
+    end
+  in
+  (match await_retrain 50 with
+  | None -> check "retrain-stale refreshes PREDICT to stale:false" false
+  | Some (p1, p2, ps) ->
+      check "retrain-stale refreshes PREDICT to stale:false" true;
+      check "refreshed PREDICT byte-identical across targets and daemons"
+        (p1 = ps && p2 = ps && String.length ps > 0));
+  let _, stats_single = run single_sock [ "STATS" ] in
+  check "single daemon counts its stale refits"
+    (match json_int_field stats_single "retrains_stale" with Some n -> n >= 1 | None -> false);
   (* Cross-shard PREDICT: the model lives on the survivor's shard, but
      graph "a" hashes elsewhere — a worker can only featurize graphs it
      owns, so the router must reject this locally (before member

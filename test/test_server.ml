@@ -1284,6 +1284,120 @@ let test_model_snapshot_roundtrip () =
   check_bool "stale survives restore" true
     (contains ~needle:"\"stale\":true" (Server.handle_line t3 "PREDICT clf g 0"))
 
+let test_predict_unseen_flag () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  ignore (Server.handle_line t "LOAD h cycle5");
+  ignore
+    (Server.handle_line t
+       "TRAIN clf ON g WITH 'deg;hom3;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 5");
+  let seen = Server.handle_line t "PREDICT clf g" in
+  check_bool "source graph is seen" true (contains ~needle:"\"unseen\":false" seen);
+  (* A graph the model never trained on must not look *fresher* than a
+     mutated source: it is flagged unseen, with staleness inapplicable. *)
+  let unseen = Server.handle_line t "PREDICT clf h" in
+  check_bool "PREDICT on unseen graph ok" true (P.is_ok unseen);
+  check_bool "unseen graph flagged" true (contains ~needle:"\"unseen\":true" unseen);
+  check_bool "unseen is not reported stale" true (contains ~needle:"\"stale\":false" unseen)
+
+let test_target_dim_rejected () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let reply = Server.handle_line t "TRAIN bad ON g WITH 'deg' TARGET '[1;2]'" in
+  check_bool "2-dim TARGET rejected" true (not (P.is_ok reply));
+  check_bool "classified as ERR_QUERY" true (contains ~needle:"ERR_QUERY" reply);
+  check_bool "message names the dimension" true (contains ~needle:"dimension 2" reply);
+  check_bool "model was not registered" true
+    (not (contains ~needle:"\"name\":\"bad\"" (Server.handle_line t "MODELS")))
+
+let test_histogram_overflow_folded () =
+  (* path80 refines to ~40 stable WL classes — more than hist_width — so
+     the fixed-width graph-mode histogram must fold the tail into the
+     final bucket instead of dropping its mass. *)
+  let module Featurize = Glql_server.Featurize in
+  let g = match Registry.graph_of_spec "path80" with Ok g -> g | Error e -> failwith e in
+  let classes =
+    let result = Cr.run g in
+    1 + Array.fold_left max (-1) (List.hd (Cr.stable_colors result))
+  in
+  check_bool "test graph exceeds hist_width" true (classes > 32);
+  let cache = Cache.create ~plan_capacity:4 ~coloring_capacity:4 () in
+  let cols = match Featurize.parse_recipe "wl" with Ok c -> c | Error _ -> assert false in
+  match Featurize.build ~cache ~graph_name:"p" ~gen:0 P.Fm_graph g cols with
+  | Error (code, msg) -> Alcotest.failf "graph-mode build failed: %s (%s)" msg code
+  | Ok b ->
+      check_int "fixed histogram width" 32 b.Featurize.b_width;
+      let row = b.Featurize.b_rows.(0) in
+      let total = Array.fold_left ( +. ) 0.0 row in
+      Alcotest.(check (float 1e-9)) "histogram conserves vertex count" 80.0 total;
+      check_bool "overflow folded into the final bucket" true (row.(31) > row.(30))
+
+let test_predict_batch_matches_loop () =
+  let t = make_server () in
+  List.iter (fun l -> ignore (Server.handle_line t l))
+    [ "LOAD c5 cycle5"; "LOAD c6 cycle6"; "LOAD c7 cycle7"; "LOAD c8 cycle8" ];
+  ignore
+    (Server.handle_line t
+       "TRAIN reg ON c5,c6,c7,c8 WITH 'deg;wl' TARGET 'agg_sum{x1,x2}(E(x1,x2) | [1])' MODE \
+        GRAPH EPOCHS 10");
+  let batched = Server.handle_line t "PREDICT reg ON c5,c6,c7" in
+  check_bool "batched PREDICT ok" true (P.is_ok batched);
+  check_bool "batch counts its graphs" true (contains ~needle:"\"graphs\":3" batched);
+  (* Each batch item is byte-identical to the single-PREDICT payload. *)
+  List.iter
+    (fun g ->
+      let single = Server.handle_line t (Printf.sprintf "PREDICT reg %s" g) in
+      check_bool "single PREDICT ok" true (P.is_ok single);
+      let payload = String.sub single 3 (String.length single - 3) in
+      check_bool (Printf.sprintf "batch embeds %s payload verbatim" g) true
+        (contains ~needle:payload batched))
+    [ "c5"; "c6"; "c7" ];
+  (* A failing graph fails the whole batch with its classified error,
+     exactly as the first failing iteration of a client-side loop would. *)
+  let partial = Server.handle_line t "PREDICT reg ON c5,nosuch,c7" in
+  check_bool "batch is atomic on errors" true
+    (contains ~needle:"ERR_UNKNOWN_GRAPH" partial);
+  check_bool "batched grammar rejects empty list" true
+    (contains ~needle:"ERR_PARSE" (Server.handle_line t "PREDICT reg ON ,,"))
+
+let test_feature_cache_hits () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  ignore
+    (Server.handle_line t
+       "TRAIN clf ON g WITH 'deg;hom3;label' TARGET 'agg_sum{x2}([1] | E(x1,x2))' EPOCHS 5");
+  let feature_stat key = List.assoc key (Cache.stats (Server.caches t)) in
+  (* TRAIN built and stored the matrix; the first PREDICT on the
+     unchanged generation comes back whole from the feature cache. *)
+  let misses0 = feature_stat "feature_misses" in
+  let hits0 = feature_stat "feature_hits" in
+  ignore (Server.handle_line t "PREDICT clf g");
+  ignore (Server.handle_line t "PREDICT clf g");
+  check_int "warm PREDICTs add no feature misses" misses0 (feature_stat "feature_misses");
+  check_int "each warm PREDICT is a feature hit" (hits0 + 2) (feature_stat "feature_hits");
+  check_bool "STATS surfaces the feature cache" true
+    (let stats = Server.handle_line t "STATS" in
+     contains ~needle:"\"feature_hits\":" stats
+     && contains ~needle:"\"feature_bytes\":" stats
+     && contains ~needle:"\"feature_byte_budget\":" stats)
+
+let test_mutate_invalidates_feature_cache () =
+  let t = make_server () in
+  ignore (Server.handle_line t "LOAD g petersen");
+  let feature_stat key = List.assoc key (Cache.stats (Server.caches t)) in
+  (* 'deg' consults no column cache, so cache_hits in the reply isolates
+     the feature-matrix cache: cold = 0 hits, warm = exactly 1. *)
+  check_bool "first FEATURIZE is cold" true
+    (contains ~needle:"\"cache_hits\":0" (Server.handle_line t "FEATURIZE g 'deg'"));
+  check_int "matrix cached" 1 (feature_stat "feature_entries");
+  check_bool "second FEATURIZE is warm" true
+    (contains ~needle:"\"cache_hits\":1" (Server.handle_line t "FEATURIZE g 'deg'"));
+  ignore (Server.handle_line t "MUTATE g ADD_EDGES 0 2");
+  check_int "mutation evicts the generation's matrix" 0 (feature_stat "feature_entries");
+  let after = Server.handle_line t "FEATURIZE g 'deg'" in
+  check_bool "post-MUTATE FEATURIZE is cold again" true
+    (contains ~needle:"\"cache_hits\":0" after)
+
 let suite =
   ( "server",
     [
@@ -1333,6 +1447,12 @@ let suite =
       case "featurize cell budget pre-empts materialization" test_featurize_cell_budget_preempts;
       case "TRAIN honours the request deadline" test_train_honours_deadline;
       case "persistence: model registry round trip" test_model_snapshot_roundtrip;
+      case "PREDICT flags unseen graphs" test_predict_unseen_flag;
+      case "TRAIN rejects multi-dimensional TARGET" test_target_dim_rejected;
+      case "graph-mode histogram folds overflow" test_histogram_overflow_folded;
+      case "batched PREDICT matches the per-graph loop" test_predict_batch_matches_loop;
+      case "feature cache: warm PREDICT hits" test_feature_cache_hits;
+      case "feature cache: MUTATE invalidates" test_mutate_invalidates_feature_cache;
       prop_parse_request_total;
       case "line_buf framing" test_line_buf_framing;
       case "line_buf limits" test_line_buf_limits;

@@ -182,6 +182,8 @@ let sample_snapshot () =
             [ (2, 1, [| 0.25; -0.5 |]); (1, 1, [| 0.125 |]) ];
           m_rows = 10;
           m_epochs = 3;
+          m_lr = 0.0625;
+          m_split = 0.75;
           m_losses = [| 0.9; 0.5; 0.25 |];
           m_train_metric = 0.875;
           m_test_metric = 0.5;
